@@ -1,0 +1,30 @@
+# Development targets.  `make check` is the full gate CI runs.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples docs check clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+check: test bench examples docs
+	git diff --exit-code docs/API.md
+
+clean:
+	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,51 @@
+"""E-T3.1: the 1.25-approximation (Theorem 3.1 / Lemma 3.1).
+
+Regenerates: the DFS-vs-exact quality table.  Times: the DFS algorithm on a
+growing series, exhibiting its near-linear scaling (Lemma 3.1's "linear
+time" claim — our implementation is near-linear, which preserves the shape
+against the exponential exact solver).
+"""
+
+import time
+
+from repro.analysis.experiments import dfs_approx_experiment
+from repro.analysis.report import Table
+from repro.graphs.generators import random_connected_bipartite
+from repro.core.solvers.dfs_approx import solve_dfs_approx
+
+
+def test_dfs_quality_table(benchmark, emit):
+    table = benchmark(dfs_approx_experiment, 8, 6)
+    emit("E-T3.1_dfs_quality", table)
+
+
+def test_dfs_runtime_series(benchmark, emit):
+    sizes = (20, 40, 80, 160)
+    graphs = {
+        n: random_connected_bipartite(n, n, extra_edges=n // 2, seed=1)
+        for n in sizes
+    }
+
+    def series():
+        table = Table(
+            ["n", "m", "pi_dfs", "guarantee", "seconds"],
+            title="E-T3.1: DFS algorithm runtime scaling (Lemma 3.1)",
+        )
+        for n in sizes:
+            g = graphs[n]
+            start = time.perf_counter()
+            result = solve_dfs_approx(g)
+            elapsed = time.perf_counter() - start
+            table.add_row(
+                [n, g.num_edges, result.effective_cost, result.guarantee, round(elapsed, 4)]
+            )
+        return table
+
+    table = benchmark.pedantic(series, rounds=1, iterations=1)
+    emit("E-T3.1_dfs_runtime", table)
+
+
+def test_dfs_single_solve(benchmark):
+    g = random_connected_bipartite(40, 40, extra_edges=20, seed=3)
+    result = benchmark(solve_dfs_approx, g)
+    assert result.effective_cost <= result.guarantee

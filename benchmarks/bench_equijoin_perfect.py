@@ -1,0 +1,49 @@
+"""E-T3.2 / E-T4.1: equijoin perfect pebbling in linear time.
+
+Regenerates: the perfect-pebbling table (π = m on every equijoin graph)
+and the linear-runtime series of Theorem 4.1.  Times: the linear solver on
+a mid-size instance.
+"""
+
+import time
+
+from repro.analysis.experiments import equijoin_perfect_experiment
+from repro.analysis.report import Table
+from repro.graphs.generators import union_of_bicliques
+from repro.core.solvers.equijoin import solve_equijoin
+
+
+def test_equijoin_perfect_table(benchmark, emit):
+    table = benchmark(equijoin_perfect_experiment, (2, 8, 32))
+    emit("E-T3.2_equijoin_perfect", table)
+    assert all(row[3] == "True" for row in table._rows)
+
+
+def test_linear_time_series(benchmark, emit):
+    block_counts = (50, 100, 200, 400, 800)
+    graphs = {b: union_of_bicliques([(3, 3)] * b) for b in block_counts}
+
+    def series():
+        table = Table(
+            ["blocks", "m", "seconds", "us_per_edge"],
+            title="E-T4.1: equijoin PEBBLE runtime scaling (linear time)",
+        )
+        for b in block_counts:
+            g = graphs[b]
+            start = time.perf_counter()
+            solve_equijoin(g)
+            elapsed = time.perf_counter() - start
+            table.add_row(
+                [b, g.num_edges, round(elapsed, 5),
+                 round(1e6 * elapsed / g.num_edges, 2)]
+            )
+        return table
+
+    table = benchmark.pedantic(series, rounds=1, iterations=1)
+    emit("E-T4.1_linear_time", table)
+
+
+def test_equijoin_single_solve(benchmark):
+    g = union_of_bicliques([(4, 4)] * 100)
+    scheme = benchmark(solve_equijoin, g)
+    assert scheme.effective_cost(g) == g.num_edges

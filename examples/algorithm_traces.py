@@ -1,0 +1,90 @@
+"""Real join algorithms, measured inside the pebbling model.
+
+Every join algorithm emits its result pairs in some order; that order *is*
+a pebbling scheme (paper §2: any algorithm must consider each joining pair
+at some point).  This example traces six algorithms across the three
+predicate classes and ranks them by pebbling cost — making precise the
+paper's remark that the merge phase of sort-merge join "resembles this
+pebbling game".
+
+Run:  python examples/algorithm_traces.py
+"""
+
+from repro import Equality, SetContainment, SpatialOverlap, build_join_graph
+from repro.analysis.report import Table
+from repro.joins.algorithms import (
+    block_nested_loops,
+    hash_join,
+    index_nested_loops,
+    inverted_index_join,
+    pbsm_join,
+    plane_sweep_join,
+    rtree_join,
+    signature_nested_loops,
+    sort_merge_join,
+)
+from repro.joins.trace import trace_report
+from repro.workloads.equijoin import zipf_equijoin_workload
+from repro.workloads.sets import zipf_sets_workload
+from repro.workloads.spatial import clustered_rectangles_workload
+
+
+def main() -> None:
+    table = Table(
+        ["workload", "algorithm", "m", "pi", "pi/m", "jumps"],
+        title="Join algorithm executions as pebbling schemes",
+    )
+
+    # --- equijoin -------------------------------------------------------
+    left, right = zipf_equijoin_workload(50, 50, key_universe=10, skew=1.0, seed=7)
+    graph = build_join_graph(left, right, Equality())
+    for name, output in (
+        ("sort-merge", sort_merge_join(left, right)),
+        ("hash", hash_join(left, right)),
+        ("index-NL", index_nested_loops(left, right)),
+        ("block-NL", block_nested_loops(left, right, Equality(), block_size=10)),
+    ):
+        report = trace_report(graph, output, name)
+        table.add_row(["equijoin/zipf", name, report.output_size,
+                       report.effective_cost, round(report.cost_ratio, 4),
+                       report.jumps])
+
+    # --- spatial overlap --------------------------------------------------
+    left, right = clustered_rectangles_workload(40, 40, clusters=4, seed=7)
+    graph = build_join_graph(left, right, SpatialOverlap())
+    for name, output in (
+        ("plane-sweep", plane_sweep_join(left, right)),
+        ("rtree", rtree_join(left, right)),
+        ("pbsm", pbsm_join(left, right)),
+    ):
+        report = trace_report(graph, output, name)
+        table.add_row(["spatial/clustered", name, report.output_size,
+                       report.effective_cost, round(report.cost_ratio, 4),
+                       report.jumps])
+
+    # --- set containment --------------------------------------------------
+    left, right = zipf_sets_workload(
+        30, 30, universe=12, left_size=2, right_size=6, seed=7
+    )
+    graph = build_join_graph(left, right, SetContainment())
+    for name, output in (
+        ("signature-NL", signature_nested_loops(left, right)),
+        ("inverted-index", inverted_index_join(left, right)),
+    ):
+        report = trace_report(graph, output, name)
+        table.add_row(["containment/zipf", name, report.output_size,
+                       report.effective_cost, round(report.cost_ratio, 4),
+                       report.jumps])
+
+    print(table.render())
+    print(
+        "\nReading: on equijoins sort-merge achieves the perfect ratio 1.0 "
+        "(its merge enumeration IS the Lemma 3.2 boustrophedon), while "
+        "probe-order algorithms pay a jump per outer-tuple group.  On the "
+        "other predicates every practical emission order pays jumps — and "
+        "on worst-case instances some jumps are unavoidable (Thm 3.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""The paper's headline result, on realistic workloads.
+
+Compares the intrinsic pebbling difficulty of the three join predicate
+classes:
+
+- an equijoin (Zipf-skewed keys)        -> always pi/m = 1.0;
+- a spatial overlap join (map overlay)  -> usually close to 1, but the
+  worst-case family realized as rectangles is forced above 1;
+- a set-containment join (market baskets + the Lemma 3.3 worst case)
+  -> the adversarial instance provably cannot beat ~1.25.
+
+Run:  python examples/join_predicate_showdown.py
+"""
+
+from repro import (
+    Equality,
+    SetContainment,
+    SpatialOverlap,
+    build_join_graph,
+    solve,
+)
+from repro.analysis.report import Table
+from repro.geometry.realize import realize_worst_case_family
+from repro.sets.realize import realize_worst_case_containment
+from repro.workloads.equijoin import zipf_equijoin_workload
+from repro.workloads.sets import market_basket_workload
+from repro.workloads.spatial import map_overlay_workload
+
+
+def main() -> None:
+    table = Table(
+        ["workload", "predicate", "m", "pi", "pi/m", "optimal?"],
+        title="Intrinsic pebbling difficulty by join predicate class",
+    )
+
+    cases = [
+        (
+            "zipf keys",
+            Equality(),
+            zipf_equijoin_workload(60, 60, key_universe=15, skew=1.0, seed=1),
+        ),
+        (
+            "map overlay",
+            SpatialOverlap(),
+            map_overlay_workload(tiles_left=4, tiles_right=5, seed=1),
+        ),
+        (
+            "worst-case rectangles (G_8)",
+            SpatialOverlap(),
+            realize_worst_case_family(8),
+        ),
+        (
+            "market baskets",
+            SetContainment(),
+            market_basket_workload(20, 25, catalog=40, hit_fraction=0.8, seed=1),
+        ),
+        (
+            "worst-case sets (G_8, Lemma 3.3)",
+            SetContainment(),
+            realize_worst_case_containment(8),
+        ),
+    ]
+
+    for name, predicate, (left, right) in cases:
+        graph = build_join_graph(left, right, predicate)
+        result = solve(graph, exact_edge_limit=24)
+        m = graph.num_edges
+        table.add_row(
+            [
+                name,
+                predicate.name,
+                m,
+                result.effective_cost,
+                round(result.effective_cost / m, 4) if m else 1.0,
+                result.optimal,
+            ]
+        )
+
+    print(table.render())
+    print(
+        "\nReading: equijoins always pebble perfectly (ratio 1.0) — "
+        "Theorem 3.2.\nSpatial-overlap and set-containment joins are "
+        "universal (Lemmas 3.3/3.4), so adversarial instances force the "
+        "ratio toward 1.25 — Theorem 3.3 — and no algorithm, however "
+        "clever, can do better on them."
+    )
+
+
+if __name__ == "__main__":
+    main()

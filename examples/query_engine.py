@@ -1,0 +1,53 @@
+"""The query engine: plan, execute, and EXPLAIN ANALYZE with pebbling.
+
+Shows the adoption-facing layer: describe joins, let the planner pick the
+algorithm from the predicate class and statistics, execute, and read an
+explain line that includes the execution's *pebbling* accounting — the
+paper's model as a first-class plan metric.
+
+Run:  python examples/query_engine.py
+"""
+
+from repro import Equality, SetContainment, SpatialOverlap
+from repro.engine import JoinQuery, execute, plan
+from repro.engine.stats import collect_stats
+from repro.workloads.equijoin import fk_pk_workload, zipf_equijoin_workload
+from repro.workloads.sets import market_basket_workload
+from repro.workloads.spatial import clustered_rectangles_workload
+
+
+def main() -> None:
+    queries = [
+        JoinQuery(*zipf_equijoin_workload(40, 40, key_universe=8, skew=1.2, seed=4), Equality()),
+        JoinQuery(*fk_pk_workload(60, 50, seed=4), Equality()),
+        JoinQuery(
+            *clustered_rectangles_workload(30, 30, clusters=3, seed=4), SpatialOverlap()
+        ),
+        JoinQuery(
+            *market_basket_workload(15, 20, catalog=50, hit_fraction=0.7, seed=4),
+            SetContainment(),
+        ),
+    ]
+
+    for query in queries:
+        left_stats = collect_stats(query.left)
+        print(f"-- {query.describe()}")
+        print(
+            f"   stats: left distinct={left_stats.distinct}, "
+            f"duplication={left_stats.duplication_factor:.2f}"
+        )
+        chosen = plan(query)
+        result = execute(query, chosen)
+        print(f"   {result.explain_analyze()}")
+        print(f"   first rows: {result.rows[:3]}")
+        print()
+
+    print(
+        "Note the equijoin plans: large-output joins route to sort-merge, "
+        "whose\nemission order pebbles perfectly (ratio 1.000) — "
+        "Theorem 3.2 showing up\nas an execution metric."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: the pebble game model in five minutes.
+
+Builds a tiny equijoin, extracts its join graph, solves the pebbling
+problem, and replays the optimal scheme move by move — the complete
+pipeline of the paper's model on one screen.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Equality,
+    PebbleGame,
+    Relation,
+    build_join_graph,
+    solve,
+)
+
+
+def main() -> None:
+    # 1. Two single-column relations (multisets, per the paper's §2).
+    orders = Relation("orders", [10, 10, 20, 30, 30])
+    customers = Relation("customers", [10, 20, 20, 40])
+    print(f"R = {orders.values}")
+    print(f"S = {customers.values}")
+
+    # 2. The join graph: one vertex per tuple, one edge per joining pair.
+    graph = build_join_graph(orders, customers, Equality())
+    print(f"\njoin graph: {graph}")
+    print(f"result tuples (m): {graph.num_edges}")
+
+    # 3. Solve PEBBLE.  Equijoin graphs route to the linear-time perfect
+    #    pebbler (Theorems 3.2/4.1): pi equals m, one move per result.
+    result = solve(graph)
+    print(f"\nsolver: {result.summary()}")
+    assert result.effective_cost == graph.num_edges  # perfect pebbling
+
+    # 4. Replay the scheme through the two-pebble game.
+    game = PebbleGame(graph.without_isolated_vertices())
+    game.replay(result.scheme)
+    print(f"game won: {game.is_won()} in {game.moves_used} pebble moves")
+
+    print("\nmove log:")
+    for event in game.log:
+        note = f"deleted {event.deleted_edge}" if event.deleted_edge else ""
+        print(f"  move {event.move_number:2d}: pebble {event.pebble} -> "
+              f"{event.destination} {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""The worst-case family G_n across every substrate: a gallery.
+
+One graph, four realizations: the Theorem 3.3 family is built as a set-
+containment instance (Lemma 3.3), as rectangles (Lemma 3.4), as universal
+comb polygons, and as nested 1D intervals — each checked to produce the
+same join graph and the same optimal pebbling cost, and the two geometric
+ones written out as SVG files you can open in a browser.
+
+Run:  python examples/worst_case_gallery.py
+"""
+
+from repro import SetContainment, SpatialOverlap, build_join_graph, solve
+from repro.analysis.render import render_bipartite, render_scheme
+from repro.analysis.report import Table
+from repro.analysis.svg import join_graph_svg, spatial_instance_svg
+from repro.core.families import worst_case_effective_cost, worst_case_family
+from repro.geometry.interval import realize_worst_case_intervals
+from repro.geometry.realize import (
+    realize_bipartite_with_combs,
+    realize_worst_case_family,
+)
+from repro.relations.relation import Relation
+from repro.sets.realize import realize_worst_case_containment
+
+N = 4
+
+
+def main() -> None:
+    family = worst_case_family(N)
+    print(f"G_{N}: the Theorem 3.3 worst case (m = {family.num_edges})")
+    print(render_bipartite(family))
+    print()
+
+    realizations = [
+        ("set containment (Lemma 3.3)", SetContainment(),
+         realize_worst_case_containment(N)),
+        ("rectangles (Lemma 3.4)", SpatialOverlap(),
+         realize_worst_case_family(N)),
+        ("comb polygons (universal)", SpatialOverlap(),
+         realize_bipartite_with_combs(family)),
+    ]
+    interval_left, interval_right = realize_worst_case_intervals(N)
+    realizations.append(
+        ("nested intervals (1D)", SpatialOverlap(),
+         (Relation("R", interval_left), Relation("S", interval_right)))
+    )
+
+    table = Table(
+        ["realization", "m", "pi", "formula 2n+ceil((n-2)/2)"],
+        title=f"Four faces of G_{N}: same graph, same optimal cost",
+    )
+    expected = worst_case_effective_cost(N)
+    for name, predicate, (left, right) in realizations:
+        graph = build_join_graph(left, right, predicate)
+        result = solve(graph)
+        assert result.effective_cost == expected, name
+        table.add_row([name, graph.num_edges, result.effective_cost, expected])
+    print(table.render())
+
+    # Write the geometric realizations as SVGs.
+    rect_left, rect_right = realize_worst_case_family(N)
+    with open(f"g{N}_rectangles.svg", "w") as handle:
+        handle.write(spatial_instance_svg(rect_left, rect_right))
+    comb_left, comb_right = realize_bipartite_with_combs(family)
+    with open(f"g{N}_combs.svg", "w") as handle:
+        handle.write(spatial_instance_svg(comb_left, comb_right))
+    result = solve(family)
+    with open(f"g{N}_graph.svg", "w") as handle:
+        handle.write(join_graph_svg(family, result.scheme))
+    print(
+        f"\nwrote g{N}_rectangles.svg, g{N}_combs.svg, g{N}_graph.svg "
+        f"(join graph with optimal visit order)"
+    )
+
+    print("\noptimal scheme timeline:")
+    print(render_scheme(family, result.scheme))
+
+
+if __name__ == "__main__":
+    main()

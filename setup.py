@@ -1,0 +1,4 @@
+"""Setup shim for environments with legacy setuptools (editable installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro — a reproduction of "On the Complexity of Join Predicates"
+(Cai, Chakaravarthy, Kaushik, Naughton; PODS 2001).
+
+The paper models join computation as a two-pebble game on the bipartite
+*join graph* of a join instance and shows that the three classic join
+predicate classes separate sharply inside this model:
+
+- **equijoins** always admit *perfect* pebbling (cost ``pi = m``, one move
+  per result tuple), found in linear time;
+- **spatial-overlap** and **set-containment** joins are universal — every
+  bipartite graph arises as their join graph — so they inherit the general
+  worst case ``pi = 1.25m − 1``, and finding optimal pebblings for them is
+  NP-complete and MAX-SNP-complete.
+
+This package makes every definition and theorem executable:
+
+>>> from repro import Relation, Equality, build_join_graph, solve
+>>> r = Relation("R", [1, 1, 2])
+>>> s = Relation("S", [1, 2, 2])
+>>> graph = build_join_graph(r, s, Equality())
+>>> result = solve(graph)
+>>> result.effective_cost == graph.num_edges   # equijoins pebble perfectly
+True
+
+See DESIGN.md for the module inventory and EXPERIMENTS.md for the
+theorem-by-theorem reproduction record.
+"""
+
+from repro.errors import ReproError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph
+from repro.relations.relation import Relation, TupleRef
+from repro.relations.catalog import Catalog
+from repro.joins.predicates import (
+    Band,
+    Equality,
+    JoinPredicate,
+    SetContainment,
+    SetOverlap,
+    SpatialOverlap,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.core.scheme import PebblingScheme
+from repro.core.game import PebbleGame
+from repro.core.solvers.registry import SolveResult, optimal_effective_cost, solve
+from repro.core.families import worst_case_effective_cost, worst_case_family
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Graph",
+    "BipartiteGraph",
+    "Relation",
+    "TupleRef",
+    "Catalog",
+    "JoinPredicate",
+    "Equality",
+    "SpatialOverlap",
+    "SetContainment",
+    "SetOverlap",
+    "Band",
+    "build_join_graph",
+    "PebblingScheme",
+    "PebbleGame",
+    "solve",
+    "SolveResult",
+    "optimal_effective_cost",
+    "worst_case_family",
+    "worst_case_effective_cost",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis and reporting: ASCII tables and the per-experiment drivers.
+
+:mod:`repro.analysis.report` renders the tables printed by benchmarks and
+examples; :mod:`repro.analysis.experiments` contains one driver function
+per paper artifact (theorem/figure), each returning structured rows — the
+single source for ``benchmarks/`` and ``EXPERIMENTS.md``.
+"""
+
+from repro.analysis.report import Table, format_series
+from repro.analysis.render import (
+    render_bipartite,
+    render_graph,
+    render_partitioning,
+    render_scheme,
+)
+
+__all__ = [
+    "Table",
+    "format_series",
+    "render_bipartite",
+    "render_graph",
+    "render_scheme",
+    "render_partitioning",
+]

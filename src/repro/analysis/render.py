@@ -1,0 +1,128 @@
+"""ASCII rendering of join graphs, line graphs, and pebbling schemes.
+
+Used by the CLI and examples to make small instances inspectable without
+any plotting dependency.  Rendering is deterministic, so doctests and CLI
+snapshots are stable.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph
+from repro.core.scheme import PebblingScheme
+
+
+def render_bipartite(graph: BipartiteGraph, max_width: int = 78) -> str:
+    """An adjacency-matrix view of a bipartite graph.
+
+    Left vertices label the rows, right vertices the columns; ``#`` marks
+    an edge.  Wide graphs are truncated with an ellipsis marker.
+
+    Example
+    -------
+    >>> from repro.graphs.generators import complete_bipartite
+    >>> print(render_bipartite(complete_bipartite(2, 2)))
+       | v0 v1
+    ---+------
+    u0 | #  #
+    u1 | #  #
+    """
+    lefts = [str(v) for v in graph.left]
+    rights = [str(v) for v in graph.right]
+    left_width = max((len(s) for s in lefts), default=1)
+    col_widths = [len(s) for s in rights]
+
+    header_cells = []
+    shown_rights = []
+    used = left_width + 3
+    truncated = False
+    for name, width in zip(rights, col_widths):
+        if used + width + 1 > max_width:
+            truncated = True
+            break
+        header_cells.append(name)
+        shown_rights.append(name)
+        used += width + 1
+
+    lines = []
+    header = " " * left_width + " | " + " ".join(header_cells)
+    if truncated:
+        header += " ..."
+    lines.append(header)
+    lines.append("-" * left_width + "-+-" + "-" * (len(header) - left_width - 3))
+    right_originals = graph.right
+    for li, left_name in enumerate(lefts):
+        cells = []
+        for ri, right_name in enumerate(shown_rights):
+            mark = "#" if graph.has_edge(graph.left[li], right_originals[ri]) else "."
+            cells.append(mark.ljust(len(right_name)))
+        row = left_name.ljust(left_width) + " | " + " ".join(cells)
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def render_graph(graph: Graph) -> str:
+    """A degree-annotated adjacency listing of a plain graph."""
+    lines = []
+    for v in sorted(graph.vertices, key=repr):
+        neighbors = ", ".join(str(n) for n in sorted(graph.neighbors(v), key=repr))
+        lines.append(f"{v} (deg {graph.degree(v)}): {neighbors}")
+    return "\n".join(lines)
+
+
+def render_scheme(
+    graph: BipartiteGraph | Graph, scheme: PebblingScheme
+) -> str:
+    """A step-by-step timeline of a canonical scheme.
+
+    Shows each configuration, whether the step was a 1-move slide or a
+    2-move jump, and running cost totals.
+
+    Example
+    -------
+    >>> from repro.graphs.generators import path_graph
+    >>> g = path_graph(2)
+    >>> s = PebblingScheme.from_edge_order(g, [("u0", "v0"), ("u1", "v0")])
+    >>> print(render_scheme(g, s))
+    step  1: (u0, v0)  place both    cost=2
+    step  2: (u1, v0)  slide (+1)    cost=3
+    total: pi_hat=3, jumps=0
+    """
+    from repro.core.scheme import config_transition_cost
+
+    lines = []
+    total = 0
+    previous = None
+    jumps = 0
+    for index, config in enumerate(scheme.configurations, start=1):
+        if previous is None:
+            total += 2
+            kind = "place both "
+        else:
+            step = config_transition_cost(previous, config)
+            total += step
+            if step == 2:
+                jumps += 1
+                kind = "jump  (+2) "
+            elif step == 1:
+                kind = "slide (+1) "
+            else:
+                kind = "stay  (+0) "
+        a, b = config
+        lines.append(f"step {index:2d}: ({a}, {b})  {kind}   cost={total}")
+        previous = config
+    lines.append(f"total: pi_hat={total}, jumps={jumps}")
+    return "\n".join(lines)
+
+
+def render_partitioning(graph: BipartiteGraph, partitioning) -> str:
+    """A cell-grid view of a partitioned join: ``#`` marks active cells."""
+    active = partitioning.active_cells(graph)
+    lines = ["    " + " ".join(f"S{j}" for j in range(partitioning.q))]
+    for i in range(partitioning.p):
+        cells = " ".join(
+            "# " if (i, j) in active else ". " for j in range(partitioning.q)
+        )
+        lines.append(f"R{i} | {cells.rstrip()}")
+    lines.append(f"active cells: {len(active)} / {partitioning.p * partitioning.q}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Plain-text tables and series for benchmark output.
+
+No dependencies, fixed-width rendering, stable column order — benchmark
+output is diffed across runs, so formatting must be deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    Example
+    -------
+    >>> t = Table(["n", "pi"])
+    >>> t.add_row([3, 7])
+    >>> print(t.render())
+    n | pi
+    --+---
+    3 | 7
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [self._format(cell) for cell in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append(cells)
+
+    @staticmethod
+    def _format(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            line = " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render_latex(self) -> str:
+        """The same table as a LaTeX ``tabular`` (booktabs style).
+
+        Handy for dropping reproduction tables straight into a paper:
+        underscores are escaped, the title becomes a caption comment.
+        """
+
+        def escape(cell: str) -> str:
+            return cell.replace("_", r"\_").replace("%", r"\%").replace("#", r"\#")
+
+        spec = "l" * len(self.columns)
+        lines = []
+        if self.title:
+            lines.append(f"% {self.title}")
+        lines.append(f"\\begin{{tabular}}{{{spec}}}")
+        lines.append("\\toprule")
+        lines.append(" & ".join(escape(c) for c in self.columns) + r" \\")
+        lines.append("\\midrule")
+        for row in self._rows:
+            lines.append(" & ".join(escape(c) for c in row) + r" \\")
+        lines.append("\\bottomrule")
+        lines.append("\\end{tabular}")
+        return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[tuple[Any, Any]]) -> str:
+    """Render a named (x, y) series as ``name: x1->y1 x2->y2 …``."""
+    body = " ".join(f"{x}->{y}" for x, y in points)
+    return f"{name}: {body}"
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio for report columns (0/0 = 1.0 by convention)."""
+    if denominator == 0:
+        return 1.0 if numerator == 0 else float("inf")
+    return numerator / denominator

@@ -1,0 +1,165 @@
+"""Dependency-free SVG rendering of instances.
+
+Produces standalone SVG documents for:
+
+- spatial join instances (rectangles / comb polygons) — the Lemma 3.4 and
+  comb-universality constructions become visually checkable;
+- bipartite join graphs — two vertex columns with edge lines;
+- pebbling schemes — the join graph with edges numbered in visit order.
+
+The output is deliberately minimal, valid SVG 1.1; tests assert structure
+rather than pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.geometry.primitives import Polygon, Rectangle
+from repro.relations.domains import Domain
+from repro.relations.relation import Relation
+from repro.core.scheme import PebblingScheme
+
+LEFT_COLOR = "#3366cc"
+RIGHT_COLOR = "#cc6633"
+EDGE_COLOR = "#888888"
+
+
+def _document(width: float, height: float, body: Iterable[str]) -> str:
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    lines.extend(body)
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def _bounds_of_instance(relations: list[Relation]) -> Rectangle:
+    box: Rectangle | None = None
+    for relation in relations:
+        for value in relation.values:
+            current = value if isinstance(value, Rectangle) else value.bounding_box()
+            box = current if box is None else box.union_bounds(current)
+    if box is None:
+        return Rectangle(0, 0, 1, 1)
+    return box
+
+
+def spatial_instance_svg(
+    left: Relation,
+    right: Relation,
+    width: float = 640.0,
+    margin: float = 20.0,
+) -> str:
+    """Render a spatial join instance (both relations overlaid).
+
+    Left geometries draw in blue, right in orange, both translucent so
+    overlaps — the join pairs — show as blended regions.
+    """
+    for relation in (left, right):
+        if relation.domain not in (Domain.RECTANGLE, Domain.POLYGON):
+            raise TypeError(
+                f"spatial_instance_svg needs geometric columns, got "
+                f"{relation.domain.value}"
+            )
+    bounds = _bounds_of_instance([left, right])
+    span_x = max(bounds.width, 1e-9)
+    span_y = max(bounds.height, 1e-9)
+    scale = (width - 2 * margin) / span_x
+    height = span_y * scale + 2 * margin
+
+    def tx(x: float) -> float:
+        return margin + (x - bounds.x_min) * scale
+
+    def ty(y: float) -> float:
+        # SVG y grows downward; geometry y grows upward.
+        return height - margin - (y - bounds.y_min) * scale
+
+    def shape(value, color: str) -> str:
+        if isinstance(value, Rectangle):
+            x, y = tx(value.x_min), ty(value.y_max)
+            w = value.width * scale
+            h = value.height * scale
+            return (
+                f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+                f'height="{h:.2f}" fill="{color}" fill-opacity="0.35" '
+                f'stroke="{color}"/>'
+            )
+        points = " ".join(
+            f"{tx(p.x):.2f},{ty(p.y):.2f}" for p in value.vertices
+        )
+        return (
+            f'<polygon points="{points}" fill="{color}" '
+            f'fill-opacity="0.35" stroke="{color}"/>'
+        )
+
+    body = [shape(v, LEFT_COLOR) for v in left.values]
+    body.extend(shape(v, RIGHT_COLOR) for v in right.values)
+    return _document(width, height, body)
+
+
+def join_graph_svg(
+    graph: BipartiteGraph,
+    scheme: PebblingScheme | None = None,
+    width: float = 420.0,
+    row_height: float = 36.0,
+    margin: float = 40.0,
+) -> str:
+    """Render a bipartite join graph as two labelled vertex columns.
+
+    With a canonical ``scheme``, edges are annotated with their visit
+    order, making jumps visible as out-of-sequence long hops.
+    """
+    lefts = graph.left
+    rights = graph.right
+    rows = max(len(lefts), len(rights), 1)
+    height = margin * 2 + row_height * (rows - 1) + 20
+
+    def left_pos(i: int) -> tuple[float, float]:
+        return (margin * 2, margin + i * row_height)
+
+    def right_pos(j: int) -> tuple[float, float]:
+        return (width - margin * 2, margin + j * row_height)
+
+    order: dict[frozenset, int] = {}
+    if scheme is not None:
+        for index, (a, b) in enumerate(scheme.configurations, start=1):
+            order[frozenset((a, b))] = index
+
+    left_index = {v: i for i, v in enumerate(lefts)}
+    right_index = {v: j for j, v in enumerate(rights)}
+    body = []
+    for u, v in graph.edges():
+        x1, y1 = left_pos(left_index[u])
+        x2, y2 = right_pos(right_index[v])
+        body.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{EDGE_COLOR}"/>'
+        )
+        visit = order.get(frozenset((u, v)))
+        if visit is not None:
+            mx, my = (x1 + x2) / 2, (y1 + y2) / 2 - 3
+            body.append(
+                f'<text x="{mx:.1f}" y="{my:.1f}" font-size="10" '
+                f'text-anchor="middle" fill="#333">{visit}</text>'
+            )
+    for i, u in enumerate(lefts):
+        x, y = left_pos(i)
+        body.append(f'<circle cx="{x}" cy="{y}" r="5" fill="{LEFT_COLOR}"/>')
+        body.append(
+            f'<text x="{x - 10}" y="{y + 4}" font-size="11" '
+            f'text-anchor="end">{u}</text>'
+        )
+    for j, v in enumerate(rights):
+        x, y = right_pos(j)
+        body.append(f'<circle cx="{x}" cy="{y}" r="5" fill="{RIGHT_COLOR}"/>')
+        body.append(
+            f'<text x="{x + 10}" y="{y + 4}" font-size="11" '
+            f'text-anchor="start">{v}</text>'
+        )
+    return _document(width, height, body)

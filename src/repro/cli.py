@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro-pebble``.
+
+Commands
+--------
+``pebble <graph-file> [--method M]``
+    Solve PEBBLE on a bipartite graph in the text format of
+    :mod:`repro.graphs.io` and print the scheme and costs.
+``demo``
+    A guided tour: the three join classes, their join graphs, and their
+    pebbling costs on small instances.
+``family <n>``
+    Print the worst-case family ``G_n``, its line graph's shape, and its
+    optimal pebbling cost versus the paper's formula.
+``experiments``
+    Run every experiment driver and print its table (the same content
+    recorded in EXPERIMENTS.md).
+``render <graph-file>``
+    Print an adjacency view of a bipartite graph and the timeline of its
+    solved pebbling scheme.
+``partition <graph-file> [-p P] [-q Q]``
+    Compare partitioned-join mapping strategies (§5 open problem) on a
+    graph and draw the hash-partitioning cell grid.
+``join <left-file> <right-file> [--predicate P]``
+    Join two typed relation files (see :mod:`repro.relations.io`) through
+    the query engine and print rows plus EXPLAIN ANALYZE output.
+``decide <graph-file> <K>``
+    PEBBLE(D) (Def 4.1): decide ``pi(G) <= K`` with a verifiable
+    certificate either way.
+``svg [<graph-file>] [--family N] [-o OUT]``
+    Write an SVG of a join graph (with scheme order) or of the spatial
+    realization of the worst-case family ``G_N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graphs.io import load_bipartite
+
+
+def _cmd_pebble(args: argparse.Namespace) -> int:
+    from repro.core.solvers.registry import solve
+
+    with open(args.graph_file) as handle:
+        graph = load_bipartite(handle.read())
+    result = solve(graph, args.method)
+    print(result.summary())
+    if args.show_scheme:
+        for index, (a, b) in enumerate(result.scheme.configurations, 1):
+            print(f"  {index:4d}: pebbles on ({a}, {b})")
+    if args.save:
+        from repro.core.scheme_io import dump_scheme
+
+        with open(args.save, "w") as handle:
+            handle.write(dump_scheme(result.scheme))
+        print(f"scheme saved to {args.save}")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.core.solvers.registry import solve
+    from repro.joins.join_graph import build_join_graph
+    from repro.joins.predicates import Equality, SetContainment, SpatialOverlap
+    from repro.relations.relation import Relation
+    from repro.geometry.primitives import Rectangle
+    from repro.sets.realize import realize_worst_case_containment
+
+    print("== Equijoin ==")
+    r = Relation("R", [1, 1, 2, 3])
+    s = Relation("S", [1, 2, 2, 5])
+    graph = build_join_graph(r, s, Equality())
+    result = solve(graph)
+    print(f"join graph: {graph}; {result.summary()}")
+
+    print("\n== Spatial overlap ==")
+    r = Relation("R", [Rectangle(0, 0, 2, 2), Rectangle(3, 3, 5, 5)])
+    s = Relation("S", [Rectangle(1, 1, 4, 4)])
+    graph = build_join_graph(r, s, SpatialOverlap())
+    result = solve(graph)
+    print(f"join graph: {graph}; {result.summary()}")
+
+    print("\n== Set containment (worst-case family G_4) ==")
+    r, s = realize_worst_case_containment(4)
+    graph = build_join_graph(r, s, SetContainment())
+    result = solve(graph)
+    print(f"join graph: {graph}; {result.summary()}")
+    print("note: pi exceeds m — no perfect pebbling exists (Theorem 3.3).")
+    return 0
+
+
+def _cmd_family(args: argparse.Namespace) -> int:
+    from repro.core.families import (
+        worst_case_effective_cost,
+        worst_case_family,
+    )
+    from repro.core.solvers.registry import solve
+
+    n = args.n
+    family = worst_case_family(n)
+    result = solve(family, "exact" if family.num_edges <= 20 else "dfs+polish")
+    print(f"G_{n}: m = {family.num_edges} edges")
+    print(f"formula pi = 2n + ceil((n-2)/2) = {worst_case_effective_cost(n)}")
+    print(result.summary())
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as exp
+
+    tables = [
+        exp.bounds_experiment(),
+        exp.worst_case_experiment(),
+        exp.equijoin_perfect_experiment(),
+        exp.dfs_approx_experiment(),
+        exp.perfect_iff_hamiltonian_experiment(),
+        exp.hardness_scaling_experiment(),
+        *exp.reduction_experiment(),
+        exp.approx_ladder_experiment(),
+        exp.traceability_phase_experiment(trials=10),
+        exp.join_algorithm_experiment(),
+    ]
+    for table in tables:
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_bipartite, render_scheme
+    from repro.core.solvers.registry import solve
+
+    with open(args.graph_file) as handle:
+        graph = load_bipartite(handle.read())
+    print(render_bipartite(graph))
+    result = solve(graph)
+    print()
+    print(result.summary())
+    print(render_scheme(graph, result.scheme))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_partitioning
+    from repro.errors import InstanceTooLargeError
+    from repro.joins.partitioning import (
+        greedy_partitioning,
+        hash_partitioning,
+        optimal_partitioning_bruteforce,
+        round_robin_partitioning,
+    )
+
+    with open(args.graph_file) as handle:
+        graph = load_bipartite(handle.read())
+    p, q = args.p, args.q
+    strategies = [
+        ("round-robin", round_robin_partitioning(graph, p, q)),
+        ("hash", hash_partitioning(graph, p, q)),
+        ("greedy", greedy_partitioning(graph, p, q)),
+    ]
+    try:
+        strategies.append(("optimal", optimal_partitioning_bruteforce(graph, p, q)))
+    except InstanceTooLargeError:
+        print("(instance too large for the brute-force optimum)")
+    for name, part in strategies:
+        print(f"{name}: {part.cost(graph)} sub-joins")
+    print()
+    print("hash partitioning cell grid:")
+    print(render_partitioning(graph, dict(strategies)["hash"]))
+    return 0
+
+
+_PREDICATES = {
+    "equality": "Equality",
+    "overlap": "SpatialOverlap",
+    "containment": "SetContainment",
+    "set-overlap": "SetOverlap",
+}
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from repro.engine import JoinQuery, execute
+    from repro.joins import predicates as predicate_module
+    from repro.relations.io import format_value, load_relation
+
+    with open(args.left_file) as handle:
+        left = load_relation("R", handle.read())
+    with open(args.right_file) as handle:
+        right = load_relation("S", handle.read())
+    if args.predicate == "band":
+        predicate = predicate_module.Band(args.band_width)
+    else:
+        predicate_class = getattr(predicate_module, _PREDICATES[args.predicate])
+        predicate = predicate_class()
+    result = execute(JoinQuery(left, right, predicate))
+    print(result.explain_analyze())
+    limit = args.limit if args.limit is not None else len(result.rows)
+    for a, b in result.rows[:limit]:
+        print(f"{format_value(a)}\t{format_value(b)}")
+    if limit < len(result.rows):
+        print(f"... ({len(result.rows) - limit} more rows)")
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    from repro.core.decision import decide_pebble
+
+    with open(args.graph_file) as handle:
+        graph = load_bipartite(handle.read())
+    decision = decide_pebble(graph, args.k)
+    verdict = "YES" if decision.answer else "NO"
+    print(f"pi(G) <= {args.k}?  {verdict}  ({decision.reason})")
+    if decision.answer and decision.scheme is not None:
+        print(
+            f"witness scheme: pi = "
+            f"{decision.scheme.effective_cost(graph.without_isolated_vertices())}"
+        )
+    if not decision.answer and decision.lower_bound is not None:
+        print(f"certificate: pi(G) >= {decision.lower_bound}")
+    return 0
+
+
+def _cmd_svg(args: argparse.Namespace) -> int:
+    from repro.analysis.svg import join_graph_svg, spatial_instance_svg
+    from repro.core.solvers.registry import solve
+
+    if args.family is not None:
+        from repro.geometry.realize import realize_worst_case_family
+        from repro.joins.join_graph import build_join_graph
+        from repro.joins.predicates import SpatialOverlap
+
+        left, right = realize_worst_case_family(args.family)
+        with open(args.output, "w") as handle:
+            handle.write(spatial_instance_svg(left, right))
+        print(f"spatial G_{args.family} instance written to {args.output}")
+        graph_path = args.output.replace(".svg", "-graph.svg")
+        graph = build_join_graph(left, right, SpatialOverlap())
+        result = solve(graph, exact_edge_limit=24)
+        with open(graph_path, "w") as handle:
+            handle.write(join_graph_svg(graph, result.scheme))
+        print(f"join graph with scheme order written to {graph_path}")
+        return 0
+    with open(args.graph_file) as handle:
+        graph = load_bipartite(handle.read())
+    result = solve(graph)
+    with open(args.output, "w") as handle:
+        handle.write(join_graph_svg(graph, result.scheme))
+    print(f"join graph written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pebble",
+        description="Join-predicate pebbling (PODS 2001 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    pebble = commands.add_parser("pebble", help="solve PEBBLE on a graph file")
+    pebble.add_argument("graph_file")
+    pebble.add_argument("--method", default="auto")
+    pebble.add_argument("--show-scheme", action="store_true")
+    pebble.add_argument("--save", help="write the scheme to this file")
+    pebble.set_defaults(func=_cmd_pebble)
+
+    demo = commands.add_parser("demo", help="guided tour of the three join classes")
+    demo.set_defaults(func=_cmd_demo)
+
+    family = commands.add_parser("family", help="inspect the worst-case family G_n")
+    family.add_argument("n", type=int)
+    family.set_defaults(func=_cmd_family)
+
+    experiments = commands.add_parser("experiments", help="run all paper experiments")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    render = commands.add_parser("render", help="draw a graph and its scheme")
+    render.add_argument("graph_file")
+    render.set_defaults(func=_cmd_render)
+
+    partition = commands.add_parser(
+        "partition", help="compare partitioned-join mappings (§5)"
+    )
+    partition.add_argument("graph_file")
+    partition.add_argument("-p", type=int, default=2)
+    partition.add_argument("-q", type=int, default=2)
+    partition.set_defaults(func=_cmd_partition)
+
+    join = commands.add_parser("join", help="join two relation files")
+    join.add_argument("left_file")
+    join.add_argument("right_file")
+    join.add_argument(
+        "--predicate",
+        default="equality",
+        choices=sorted(_PREDICATES) + ["band"],
+    )
+    join.add_argument("--band-width", type=float, default=0.0)
+    join.add_argument("--limit", type=int, help="print at most this many rows")
+    join.set_defaults(func=_cmd_join)
+
+    decide = commands.add_parser(
+        "decide", help="PEBBLE(D): decide pi(G) <= K (Def 4.1)"
+    )
+    decide.add_argument("graph_file")
+    decide.add_argument("k", type=int)
+    decide.set_defaults(func=_cmd_decide)
+
+    svg = commands.add_parser("svg", help="write an SVG of a graph or family")
+    svg.add_argument("graph_file", nargs="?")
+    svg.add_argument("--family", type=int, help="render the spatial G_n instance")
+    svg.add_argument("-o", "--output", default="out.svg")
+    svg.set_defaults(func=_cmd_svg)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the join-predicate pebbling model.
+
+Contents map directly onto the paper's sections:
+
+- :mod:`repro.core.scheme` / :mod:`repro.core.costs` — pebbling schemes and
+  the costs ``π̂`` and ``π`` (Definitions 2.1–2.3).
+- :mod:`repro.core.game` — a move-by-move pebble game simulator (§2).
+- :mod:`repro.core.tsp` — the TSP(1,2) view of pebbling on line graphs
+  (Propositions 2.1 and 2.2).
+- :mod:`repro.core.lower_bounds` — jump lower bounds generalizing the
+  counting argument of Theorem 3.3.
+- :mod:`repro.core.solvers` — exact and approximate PEBBLE solvers
+  (Theorems 3.1, 3.2, 4.1 and the §4 approximation discussion).
+- :mod:`repro.core.families` — the worst-case family ``G_n`` of Fig 1.
+- :mod:`repro.core.gadgets` / :mod:`repro.core.reductions` — the diamond
+  gadget of Fig 2 and the executable L-reductions of Theorems 4.3/4.4.
+- :mod:`repro.core.validate` — machine checks of the paper's lemmas on
+  arbitrary instances.
+"""
+
+from repro.core.scheme import PebbleConfig, PebblingScheme
+from repro.core.costs import (
+    effective_cost_bounds,
+    is_perfect_scheme,
+    perfect_cost,
+)
+from repro.core.game import PebbleGame
+from repro.core.kpebble import KPebbleGame
+from repro.core.solvers.registry import solve, optimal_effective_cost
+from repro.core.families import worst_case_family, worst_case_effective_cost
+
+__all__ = [
+    "PebbleConfig",
+    "PebblingScheme",
+    "PebbleGame",
+    "KPebbleGame",
+    "effective_cost_bounds",
+    "is_perfect_scheme",
+    "perfect_cost",
+    "solve",
+    "optimal_effective_cost",
+    "worst_case_family",
+    "worst_case_effective_cost",
+]

@@ -1,0 +1,137 @@
+"""The worst-case family of Theorem 3.3 (Fig 1) and friends.
+
+``G_n`` is the "spider": a star ``K_{1,n}`` whose every leaf carries one
+extra pendant edge, so ``m = 2n``.  Its line graph ``L(G_n)`` is the corona
+``K_n ∘ K_1`` — the clique ``K_n`` (the star's edges pairwise share the
+centre) with one pendant line-node per clique node (each pendant edge of
+``G_n`` meets exactly its own star edge) — exactly Fig 1(b).
+
+The sharp optimum, which the paper states asymptotically as
+``π(G_n) = 1.25m − 1``:
+
+    π(G_n) = 2n + ⌈(n − 2)/2⌉   for n ≥ 1,
+
+derived from the jump bound of Theorem 3.3 (each pendant line-node must be
+entered or left by a jump, except at the two tour ends, and one jump can
+serve two pendants) together with the explicit tour built by
+:func:`worst_case_tour`.  For even ``n`` this equals ``1.25m − 1`` exactly;
+for odd ``n`` it is ``1.25m − 0.5`` (the next integer above the
+``1.25m − 2`` tour-cost bound in the paper's proof).
+
+Lemma 3.3 (set-containment universality) and Lemma 3.4 (spatial
+realization) make these graphs realizable as actual joins; see
+:mod:`repro.sets.realize` and :mod:`repro.geometry.realize`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import spider_graph
+from repro.graphs.simple import Graph
+from repro.core.scheme import PebblingScheme
+
+
+def worst_case_family(n: int) -> BipartiteGraph:
+    """``G_n`` of Fig 1(a): star centre ``c``, leaves ``v0..v(n−1)``, and
+    pendant left vertices ``w0..w(n−1)``; ``m = 2n`` edges."""
+    return spider_graph(n)
+
+
+def worst_case_effective_cost(n: int) -> int:
+    """The exact optimum ``π(G_n) = 2n + ⌈(n − 2)/2⌉``.
+
+    Cross-validated against the exact solver in the test-suite; equals the
+    paper's ``1.25m − 1`` for even ``n``.
+    """
+    if n < 1:
+        raise GraphError("family defined for n >= 1")
+    m = 2 * n
+    extra = max(0, -(-(n - 2) // 2))  # ceil((n-2)/2), clamped at 0
+    return m + extra
+
+
+def worst_case_tour(n: int) -> list[tuple]:
+    """An optimal edge tour of ``G_n`` achieving
+    :func:`worst_case_effective_cost`.
+
+    Pattern: pair up the arms; for arms ``2i`` and ``2i+1`` walk
+
+        (w_{2i}, v_{2i}), (c, v_{2i}), (c, v_{2i+1}), (w_{2i+1}, v_{2i+1})
+
+    and jump between pairs.  Each 4-edge block covers two pendants with all
+    internal steps good, so the jump count is ``⌈n/2⌉ − 1``.
+    """
+    if n < 1:
+        raise GraphError("family defined for n >= 1")
+    tour: list[tuple] = []
+    arm = 0
+    while arm + 1 < n:
+        tour.append((f"w{arm}", f"v{arm}"))
+        tour.append(("c", f"v{arm}"))
+        tour.append(("c", f"v{arm + 1}"))
+        tour.append((f"w{arm + 1}", f"v{arm + 1}"))
+        arm += 2
+    if arm < n:  # odd n: one leftover arm
+        tour.append((f"w{arm}", f"v{arm}"))
+        tour.append(("c", f"v{arm}"))
+    return tour
+
+
+def worst_case_scheme(n: int) -> PebblingScheme:
+    """The optimal scheme corresponding to :func:`worst_case_tour`."""
+    return PebblingScheme.from_edge_order(worst_case_family(n), worst_case_tour(n))
+
+
+def corona_line_graph(n: int) -> Graph:
+    """``L(G_n)`` built directly as the corona ``K_n ∘ K_1`` (Fig 1(b)).
+
+    Node naming matches the canonical edge tuples of ``G_n`` so the result
+    is vertex-for-vertex identical to ``line_graph(worst_case_family(n))``
+    (asserted in tests).
+    """
+    if n < 1:
+        raise GraphError("family defined for n >= 1")
+    clique = [("c", f"v{j}") for j in range(n)]
+    pendants = [(f"w{j}", f"v{j}") for j in range(n)]
+    g = Graph(vertices=clique + pendants)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(clique[i], clique[j])
+        g.add_edge(clique[i], pendants[i])
+    return g
+
+
+def is_corona_of_clique(graph: Graph) -> bool:
+    """Structural test: is ``graph`` a clique ``K_n`` with exactly one
+    pendant attached to each clique node (the Fig 1(b) shape)?"""
+    pendants = [v for v in graph.vertices if graph.degree(v) == 1]
+    core = [v for v in graph.vertices if graph.degree(v) != 1]
+    n = len(core)
+    if n == 0 or len(pendants) != n:
+        return False
+    core_set = set(core)
+    attachment_counts = {v: 0 for v in core}
+    for p in pendants:
+        (anchor,) = graph.neighbors(p)
+        if anchor not in core_set:
+            return False
+        attachment_counts[anchor] += 1
+    if any(count != 1 for count in attachment_counts.values()):
+        return False
+    for v in core:
+        # Each core node: n-1 clique neighbours + 1 pendant.
+        if graph.degree(v) != n:
+            return False
+        if (graph.neighbors(v) & core_set) != core_set - {v}:
+            return False
+    return True
+
+
+def jump_count_of_family(n: int) -> int:
+    """The optimal jump count ``⌈(n − 2)/2⌉`` (0 for n ≤ 2).
+
+    This is ``J`` in the paper's proof of Theorem 3.3 (``J ≥ m/4 − 1``
+    rounded to the achievable integer).
+    """
+    return max(0, -(-(n - 2) // 2))

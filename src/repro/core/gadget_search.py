@@ -1,0 +1,102 @@
+"""Search procedure for certified diamond gadgets (Fig 2).
+
+The gadget shipped in :mod:`repro.core.gadgets` was found by the template
+search implemented here.  The search space is derived from a Pósa-rotation
+argument that sharply constrains any valid gadget:
+
+*Template.*  Fix a Hamiltonian path ``0, 1, …, n−1`` (some Hamiltonian path
+must exist, between two corners; relabel along it).  Put corners at
+positions ``0, i, j, n−1``.  Then:
+
+- interior corners ``i`` and ``j`` have degree exactly 2 and both their
+  edges are backbone edges — so they carry **no** extra edges;
+- rotating the path at endpoint corner ``0`` replaces it with a path ending
+  at the predecessor of ``0``'s second neighbour; the endpoint property
+  forces that predecessor to be a corner, so ``0``'s extra edge must go to
+  ``i+1`` or ``j+1`` (and symmetrically ``n−1``'s to ``i−1`` or ``j−1``);
+- all remaining extra edges connect central nodes, at most one per node
+  (degree cap 3 over the two backbone edges), i.e. they form a matching.
+
+Enumerating this template space (positions × rotation-edge choices ×
+central matchings) is feasible for ``n ≤ 13`` and is how
+:func:`search_template` works.  Certification of every candidate uses the
+exhaustive Hamiltonian machinery of :mod:`repro.graphs.hamiltonian`, so a
+returned gadget is correct by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import GadgetError
+from repro.graphs.simple import Graph
+from repro.core.gadgets import DiamondGadget
+
+
+def _matchings(items: list) -> Iterator[list[tuple]]:
+    """All matchings (including empty and partial) on ``items``."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    yield from _matchings(rest)
+    for index, partner in enumerate(rest):
+        others = rest[:index] + rest[index + 1 :]
+        for matching in _matchings(others):
+            yield [(first, partner)] + matching
+
+
+def template_candidates(n: int) -> Iterator[DiamondGadget]:
+    """All template-shaped gadget candidates on ``n`` nodes.
+
+    Yields un-certified :class:`DiamondGadget` objects; the caller filters
+    with :meth:`DiamondGadget.certify`.
+    """
+    if n < 6:
+        raise GadgetError("template needs at least 6 nodes")
+    for i in range(2, n - 3):
+        for j in range(i + 2, n - 2):
+            corners = (0, i, j, n - 1)
+            centrals = [v for v in range(1, n - 1) if v not in (i, j)]
+            for a_target in (i + 1, j + 1):
+                for b_target in (i - 1, j - 1):
+                    if a_target >= n - 1 or b_target <= 0:
+                        continue
+                    if a_target == b_target:
+                        continue  # that central would reach degree 4
+                    base = Graph(vertices=range(n))
+                    for v in range(n - 1):
+                        base.add_edge(v, v + 1)
+                    base.add_edge(0, a_target)
+                    base.add_edge(n - 1, b_target)
+                    free = [v for v in centrals if v not in (a_target, b_target)]
+                    for extra in _matchings(free):
+                        if any(abs(u - v) == 1 for u, v in extra):
+                            continue  # backbone edges already exist
+                        graph = base.copy()
+                        for u, v in extra:
+                            graph.add_edge(u, v)
+                        yield DiamondGadget(graph, corners)
+
+
+def search_template(
+    sizes: tuple[int, ...] = (10, 11, 12, 13),
+    require_full: bool = True,
+) -> DiamondGadget:
+    """Find a certified gadget by exhausting the template space.
+
+    With ``require_full=True`` (default) only gadgets satisfying all three
+    Fig-2 properties are accepted; raises
+    :class:`~repro.errors.GadgetError` if the searched sizes contain none.
+    """
+    best: DiamondGadget | None = None
+    for n in sizes:
+        for candidate in template_candidates(n):
+            certificate = candidate.certify()
+            if certificate.full:
+                return candidate
+            if not require_full and certificate.degree_ok and certificate.corner_pairs_ok:
+                best = best or candidate
+    if best is not None:
+        return best
+    raise GadgetError(f"no certified gadget in template sizes {sizes}")

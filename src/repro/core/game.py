@@ -1,0 +1,126 @@
+"""A move-by-move pebble game simulator (paper §2).
+
+:class:`PebbleGame` is the operational view of the model: place and move two
+pebbles on a join graph and watch edges get deleted.  It exists for three
+reasons:
+
+- it *defines* the semantics that :class:`~repro.core.scheme.PebblingScheme`
+  costs summarize (the test-suite replays schemes through the game and
+  checks that cost accounting agrees);
+- examples and the CLI use it to animate strategies;
+- failure injection tests use it to confirm invalid schemes really do leave
+  edges alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemeError, VertexError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph, Vertex
+from repro.core.scheme import PebblingScheme
+
+AnyGraph = Graph | BipartiteGraph
+
+
+@dataclass(frozen=True)
+class GameEvent:
+    """One entry of the game log."""
+
+    move_number: int
+    pebble: int
+    destination: Vertex
+    deleted_edge: tuple[Vertex, Vertex] | None
+
+
+@dataclass
+class PebbleGame:
+    """Mutable two-pebble game state on a fixed graph.
+
+    The graph itself is never mutated; the game tracks the set of deleted
+    edges.  The game is *won* when every edge has been deleted.
+
+    Example
+    -------
+    >>> from repro.graphs.generators import path_graph
+    >>> game = PebbleGame(path_graph(2))
+    >>> _ = game.move(0, "u0")
+    >>> game.move(1, "v0")
+    ('v0', 'u0')
+    >>> game.move(0, "u1")
+    ('u1', 'v0')
+    >>> game.is_won()
+    True
+    >>> game.moves_used
+    3
+    """
+
+    graph: AnyGraph
+    positions: list[Vertex | None] = field(default_factory=lambda: [None, None])
+    moves_used: int = 0
+    log: list[GameEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._alive: set[frozenset] = {frozenset(e) for e in self.graph.edges()}
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining_edges(self) -> int:
+        return len(self._alive)
+
+    def edge_alive(self, u: Vertex, v: Vertex) -> bool:
+        return frozenset((u, v)) in self._alive
+
+    def is_won(self) -> bool:
+        """True when every edge of the graph has been deleted."""
+        return not self._alive
+
+    # ------------------------------------------------------------------
+    def move(self, pebble: int, destination: Vertex) -> tuple[Vertex, Vertex] | None:
+        """Move ``pebble`` (0 or 1) onto ``destination``; one move of cost 1.
+
+        Pebbles may be placed on any vertex ("teleport" semantics, §2: "one
+        of the two pebbles can be moved to another node").  If, after the
+        move, the two pebbles sit on the endpoints of a live edge, that edge
+        is deleted and returned.
+        """
+        if pebble not in (0, 1):
+            raise SchemeError(f"pebble index must be 0 or 1, got {pebble!r}")
+        has_vertex = self.graph.has_vertex
+        if not has_vertex(destination):
+            raise VertexError(f"vertex {destination!r} does not exist")
+        other = self.positions[1 - pebble]
+        if destination == other:
+            raise SchemeError("both pebbles cannot occupy one vertex")
+        self.positions[pebble] = destination
+        self.moves_used += 1
+        deleted: tuple[Vertex, Vertex] | None = None
+        if other is not None:
+            key = frozenset((destination, other))
+            if key in self._alive:
+                self._alive.discard(key)
+                deleted = (destination, other)
+        self.log.append(
+            GameEvent(self.moves_used, pebble, destination, deleted)
+        )
+        return deleted
+
+    def replay(self, scheme: PebblingScheme) -> int:
+        """Replay a scheme from the current state; return total moves used.
+
+        The scheme is expanded to individual moves via
+        :meth:`PebblingScheme.moves` and fed through :meth:`move`, so after
+        replaying a valid scheme from a fresh game, ``moves_used`` equals
+        ``scheme.cost()`` and :meth:`is_won` is true.
+        """
+        for pebble, destination in scheme.moves():
+            self.move(pebble, destination)
+        return self.moves_used
+
+    def reset(self) -> None:
+        """Restore all edges and remove the pebbles."""
+        self._alive = {frozenset(e) for e in self.graph.edges()}
+        self.positions = [None, None]
+        self.moves_used = 0
+        self.log.clear()

@@ -1,0 +1,46 @@
+"""Serialization of pebbling schemes.
+
+A text format mirroring :mod:`repro.graphs.io`: one configuration per
+line, so solved schemes can be saved, diffed, and replayed later (the CLI
+``pebble --save`` path uses this).
+
+.. code-block:: text
+
+    # pebbling-scheme
+    C u0 v0
+    C u0 v1
+    C u1 v1
+
+Vertex names are written with ``str`` and restored as strings, matching
+the graph text format's convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemeError
+from repro.core.scheme import PebblingScheme
+
+
+def dump_scheme(scheme: PebblingScheme) -> str:
+    """Serialize a scheme; inverse of :func:`load_scheme`."""
+    lines = ["# pebbling-scheme"]
+    for a, b in scheme.configurations:
+        text_a, text_b = str(a), str(b)
+        if " " in text_a or " " in text_b:
+            raise SchemeError("vertex names with spaces cannot be serialized")
+        lines.append(f"C {text_a} {text_b}")
+    return "\n".join(lines) + "\n"
+
+
+def load_scheme(text: str) -> PebblingScheme:
+    """Parse the output of :func:`dump_scheme`."""
+    configs = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tag, *fields = line.split()
+        if tag != "C" or len(fields) != 2:
+            raise SchemeError(f"line {lineno}: expected 'C <a> <b>'")
+        configs.append((fields[0], fields[1]))
+    return PebblingScheme(configs)

@@ -1,0 +1,19 @@
+"""PEBBLE solvers: exact and approximate strategies for the pebble game.
+
+- :mod:`repro.core.solvers.exact` — optimal schemes via minimum path
+  partition of the line graph (ground truth; exponential worst case, as
+  Theorem 4.2 demands).
+- :mod:`repro.core.solvers.equijoin` — the linear-time perfect pebbler for
+  equijoin graphs (Lemma 3.2 / Theorems 3.2 and 4.1).
+- :mod:`repro.core.solvers.dfs_approx` — the 1.25-approximation of
+  Theorem 3.1 / Lemma 3.1.
+- :mod:`repro.core.solvers.greedy`, :mod:`repro.core.solvers.matching_stitch`,
+  :mod:`repro.core.solvers.local_search` — heuristics echoing the §4
+  approximation discussion.
+- :mod:`repro.core.solvers.registry` — a uniform front door with automatic
+  method selection.
+"""
+
+from repro.core.solvers.registry import SolveResult, optimal_effective_cost, solve
+
+__all__ = ["solve", "optimal_effective_cost", "SolveResult"]

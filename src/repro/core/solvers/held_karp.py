@@ -1,0 +1,84 @@
+"""Held–Karp dynamic program for TSP(1,2) paths: an independent oracle.
+
+The primary exact solver searches path partitions; this module solves the
+same problem by the classic bitmask DP over the completed line graph and
+exists to *cross-check* it (the test-suite asserts both engines agree on
+every instance they can both handle).  Being Θ(2ⁿ n²) in time and Θ(2ⁿ n)
+in memory, it is capped at 18 nodes.
+
+The DP tracks, for every (visited set, last node), the minimum number of
+*jumps* of a path visiting exactly that set and ending there; the tour
+cost is then ``n − 1 + J`` and, through Prop 2.2's identity,
+``π = m + 1 + J − β₀``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InstanceTooLargeError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import betti_number
+from repro.graphs.line_graph import line_graph
+from repro.graphs.simple import Graph
+
+AnyGraph = Graph | BipartiteGraph
+
+_DP_LIMIT = 18
+_INFINITY = float("inf")
+
+
+def held_karp_min_jumps(line: Graph) -> int:
+    """The minimum number of weight-2 steps over all visiting orders of the
+    nodes of ``line`` (weights: 1 on edges, 2 off edges)."""
+    order = sorted(line.vertices, key=repr)
+    n = len(order)
+    if n == 0:
+        return 0
+    if n > _DP_LIMIT:
+        raise InstanceTooLargeError(f"Held-Karp limited to {_DP_LIMIT} nodes, got {n}")
+    index = {v: i for i, v in enumerate(order)}
+    adjacency = [0] * n
+    for u, v in line.edges():
+        adjacency[index[u]] |= 1 << index[v]
+        adjacency[index[v]] |= 1 << index[u]
+
+    size = 1 << n
+    # jumps[mask * n + last] = min jumps of a path over `mask` ending at `last`.
+    jumps = [_INFINITY] * (size * n)
+    for i in range(n):
+        jumps[(1 << i) * n + i] = 0
+    for mask in range(1, size):
+        base = mask * n
+        for last in range(n):
+            current = jumps[base + last]
+            if current is _INFINITY:
+                continue
+            if not (mask >> last) & 1:
+                continue
+            good = adjacency[last] & ~mask
+            remaining = ~mask & (size - 1)
+            while remaining:
+                low = remaining & (-remaining)
+                remaining ^= low
+                nxt = low.bit_length() - 1
+                step = 0 if (good >> nxt) & 1 else 1
+                slot = (mask | low) * n + nxt
+                if current + step < jumps[slot]:
+                    jumps[slot] = current + step
+    best = min(jumps[(size - 1) * n + last] for last in range(n))
+    assert best is not _INFINITY
+    return int(best)
+
+
+def held_karp_effective_cost(graph: AnyGraph) -> int:
+    """``π(G)`` via the Held–Karp DP: ``m + 1 + J_min − β₀``.
+
+    Independent of the path-partition engine; used as a second opinion in
+    tests.  Limited to graphs whose edge count is at most 18.
+    """
+    working = graph.without_isolated_vertices()
+    m = working.num_edges
+    if m == 0:
+        return 0
+    line = line_graph(working)
+    j_min = held_karp_min_jumps(line)
+    return m + 1 + j_min - betti_number(working)

@@ -1,0 +1,157 @@
+"""Uniform solver front door with automatic method selection.
+
+``solve(graph)`` picks the cheapest method that is guaranteed optimal or,
+failing that, the best approximation available:
+
+1. if the graph is a union of bicliques (equijoin shape), the linear-time
+   perfect pebbler — optimal (Theorems 3.2/4.1);
+2. if each component's edge count is within the exact budget, the exact
+   search — optimal;
+3. otherwise the certified 1.25-approximation, polished with local search.
+
+Explicit methods can be requested by name, which benchmarks use to compare
+strategies on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import component_vertex_sets
+from repro.graphs.simple import Graph
+from repro.core.scheme import PebblingScheme
+from repro.core.solvers import exact as exact_mod
+from repro.core.solvers.dfs_approx import solve_dfs_approx
+from repro.core.solvers.equijoin import is_union_of_bicliques, solve_equijoin
+from repro.core.solvers.greedy import solve_greedy
+from repro.core.solvers.local_search import polish_scheme
+from repro.core.solvers.matching_stitch import solve_matching_stitch
+
+AnyGraph = Graph | BipartiteGraph
+
+# Largest per-component edge count the auto method hands to exact search.
+AUTO_EXACT_EDGE_LIMIT = 16
+
+METHODS = (
+    "auto",
+    "exact",
+    "equijoin",
+    "dfs",
+    "dfs+polish",
+    "greedy",
+    "greedy+polish",
+    "matching",
+    "matching+polish",
+    "anneal",
+)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """A solved pebbling instance.
+
+    ``optimal`` is True only when the method carries an optimality
+    guarantee (exact search, or the equijoin fast path).
+    """
+
+    scheme: PebblingScheme
+    method: str
+    effective_cost: int
+    raw_cost: int
+    jumps: int
+    optimal: bool
+
+    def summary(self) -> str:
+        flag = "optimal" if self.optimal else "approximate"
+        return (
+            f"{self.method}: pi={self.effective_cost} "
+            f"(pi_hat={self.raw_cost}, jumps={self.jumps}, {flag})"
+        )
+
+
+def _wrap(graph: AnyGraph, scheme: PebblingScheme, method: str, optimal: bool) -> SolveResult:
+    working = graph.without_isolated_vertices()
+    return SolveResult(
+        scheme=scheme,
+        method=method,
+        effective_cost=scheme.effective_cost(working),
+        raw_cost=scheme.cost(),
+        jumps=scheme.jumps(),
+        optimal=optimal,
+    )
+
+
+def _max_component_edges(graph: AnyGraph) -> int:
+    working = graph.without_isolated_vertices()
+    sizes = [
+        working.subgraph(vs).num_edges
+        for vs in component_vertex_sets(working)
+    ]
+    return max(sizes, default=0)
+
+
+def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
+    """Solve PEBBLE on ``graph`` with the requested ``method``.
+
+    Options: ``node_budget`` (exact search budget),
+    ``exact_edge_limit`` (auto-mode threshold for exact search).
+    """
+    if method not in METHODS:
+        raise SolverError(f"unknown method {method!r}; choose from {METHODS}")
+
+    if method == "auto":
+        if isinstance(graph, BipartiteGraph) and is_union_of_bicliques(graph):
+            return solve(graph, "equijoin")
+        limit = options.get("exact_edge_limit", AUTO_EXACT_EDGE_LIMIT)
+        if _max_component_edges(graph) <= limit:
+            return solve(graph, "exact", **options)
+        return solve(graph, "dfs+polish", **options)
+
+    if method == "equijoin":
+        scheme = solve_equijoin(graph)
+        return _wrap(graph, scheme, method, optimal=True)
+
+    if method == "exact":
+        budget = options.get("node_budget", exact_mod.DEFAULT_NODE_BUDGET)
+        result = exact_mod.solve_exact(graph, node_budget=budget)
+        return _wrap(graph, result.scheme, method, optimal=True)
+
+    if method in ("dfs", "dfs+polish"):
+        result = solve_dfs_approx(graph)
+        scheme = result.scheme
+        if method == "dfs+polish":
+            scheme = polish_scheme(graph, scheme).scheme
+        return _wrap(graph, scheme, method, optimal=False)
+
+    if method in ("greedy", "greedy+polish"):
+        result = solve_greedy(graph)
+        scheme = result.scheme
+        if method == "greedy+polish":
+            scheme = polish_scheme(graph, scheme).scheme
+        return _wrap(graph, scheme, method, optimal=False)
+
+    if method == "anneal":
+        from repro.core.solvers.anneal import solve_anneal
+
+        result = solve_anneal(
+            graph,
+            seed=options.get("seed", 0),
+            steps=options.get("steps", 4000),
+        )
+        return _wrap(graph, result.scheme, method, optimal=False)
+
+    # matching / matching+polish
+    result = solve_matching_stitch(graph)
+    scheme = result.scheme
+    if method == "matching+polish":
+        scheme = polish_scheme(graph, scheme).scheme
+    return _wrap(graph, scheme, method, optimal=False)
+
+
+def optimal_effective_cost(graph: AnyGraph, **options) -> int:
+    """``π(G)`` via the cheapest guaranteed-optimal method."""
+    if isinstance(graph, BipartiteGraph) and is_union_of_bicliques(graph):
+        return graph.without_isolated_vertices().num_edges
+    return solve(graph, "exact", **options).effective_cost

@@ -1,0 +1,34 @@
+"""A small join query engine on top of the substrate.
+
+The layer a downstream user actually calls: describe a join
+(:class:`~repro.engine.query.JoinQuery`), let the planner pick an
+algorithm from the predicate class and cheap statistics, execute, and get
+results *plus* the pebbling accounting of the execution — the paper's
+model surfaced as an explain-plan metric.
+
+>>> from repro import Relation, Equality
+>>> from repro.engine import JoinQuery, execute
+>>> q = JoinQuery(Relation("R", [1, 2, 2]), Relation("S", [2, 3]), Equality())
+>>> result = execute(q)
+>>> result.rows
+[(2, 2), (2, 2)]
+"""
+
+from repro.engine.query import JoinQuery
+from repro.engine.planner import Plan, plan
+from repro.engine.executor import QueryResult, execute
+from repro.engine.chain import ChainQuery, ChainResult, execute_chain
+from repro.engine.stats import ColumnStats, estimate_selectivity
+
+__all__ = [
+    "JoinQuery",
+    "Plan",
+    "plan",
+    "QueryResult",
+    "execute",
+    "ChainQuery",
+    "ChainResult",
+    "execute_chain",
+    "ColumnStats",
+    "estimate_selectivity",
+]

@@ -1,0 +1,75 @@
+"""Query execution: run a plan, return rows plus pebbling accounting.
+
+Execution materializes the value pairs and, when requested, builds the
+join graph and converts the emission order into a pebbling trace — the
+paper's model as an explain-analyze metric for real executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.planner import Plan, algorithm_by_name, plan as make_plan
+from repro.engine.query import JoinQuery
+from repro.errors import SolverError
+from repro.joins.algorithms import block_nested_loops
+from repro.joins.join_graph import build_join_graph
+from repro.joins.trace import TraceReport, trace_report
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one executed join query."""
+
+    plan: Plan
+    pairs: list  # (left TupleRef, right TupleRef) in emission order
+    rows: list[tuple[Any, Any]]  # materialized value pairs, same order
+    trace: TraceReport | None  # pebbling accounting (None if not requested)
+
+    @property
+    def output_size(self) -> int:
+        return len(self.pairs)
+
+    def explain_analyze(self) -> str:
+        """An EXPLAIN ANALYZE-style line including pebbling metrics."""
+        base = f"{self.plan.explain()}; actual m = {self.output_size}"
+        if self.trace is None:
+            return base
+        return (
+            f"{base}; pebbling pi = {self.trace.effective_cost} "
+            f"(ratio {self.trace.cost_ratio:.3f}, jumps {self.trace.jumps})"
+        )
+
+
+def execute(
+    query: JoinQuery,
+    chosen_plan: Plan | None = None,
+    with_trace: bool = True,
+) -> QueryResult:
+    """Plan (unless a plan is supplied) and execute ``query``.
+
+    With ``with_trace=True`` (default) the join graph is also built and
+    the execution's pebbling costs reported; pass False to skip that
+    overhead for large joins.
+    """
+    the_plan = chosen_plan or make_plan(query)
+    if the_plan.query is not query and the_plan.query != query:
+        raise SolverError("plan does not belong to this query")
+    name = the_plan.algorithm_name
+    if name == "block-NL":
+        pairs = block_nested_loops(query.left, query.right, query.predicate)
+    else:
+        algorithm = algorithm_by_name(name)
+        if algorithm is None:
+            raise SolverError(f"unknown algorithm {name!r}")
+        pairs = algorithm(query.left, query.right)
+    rows = [
+        (query.left.value(l_ref), query.right.value(r_ref))
+        for l_ref, r_ref in pairs
+    ]
+    trace = None
+    if with_trace:
+        graph = build_join_graph(query.left, query.right, query.predicate)
+        trace = trace_report(graph, pairs, name)
+    return QueryResult(plan=the_plan, pairs=pairs, rows=rows, trace=trace)

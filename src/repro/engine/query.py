@@ -1,0 +1,40 @@
+"""Join query descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PredicateError
+from repro.joins.predicates import JoinPredicate
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A two-relation join: ``left ⋈_θ right``.
+
+    Immutable; domain compatibility is checked at construction so planning
+    and execution never see ill-typed queries.
+    """
+
+    left: Relation
+    right: Relation
+    predicate: JoinPredicate
+
+    def __post_init__(self) -> None:
+        if not self.predicate.accepts(self.left.domain, self.right.domain):
+            raise PredicateError(
+                f"{self.predicate.name} cannot join "
+                f"{self.left.domain.value} with {self.right.domain.value}"
+            )
+
+    @property
+    def input_size(self) -> int:
+        return len(self.left) + len(self.right)
+
+    def describe(self) -> str:
+        return (
+            f"{self.left.name}({len(self.left)} tuples) "
+            f"{self.predicate.name} "
+            f"{self.right.name}({len(self.right)} tuples)"
+        )

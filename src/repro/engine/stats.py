@@ -1,0 +1,98 @@
+"""Cheap column statistics and join selectivity estimation.
+
+The planner's inputs: per-column summaries collected in one pass, and a
+sampling-based selectivity estimate for arbitrary predicates.  Everything
+is deterministic given the seed, so plans are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.joins.predicates import JoinPredicate
+from repro.relations.domains import Domain
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """A one-pass summary of a single-column relation."""
+
+    count: int
+    distinct: int | None  # None when values are unhashable
+    domain: Domain
+
+    @property
+    def duplication_factor(self) -> float:
+        """Mean tuples per distinct value (1.0 = key column)."""
+        if not self.count or not self.distinct:
+            return 1.0
+        return self.count / self.distinct
+
+
+def collect_stats(relation: Relation) -> ColumnStats:
+    """Collect :class:`ColumnStats` for a relation."""
+    try:
+        distinct: int | None = len(set(relation.values))
+    except TypeError:
+        distinct = None
+    return ColumnStats(
+        count=len(relation), distinct=distinct, domain=relation.domain
+    )
+
+
+def estimate_selectivity(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    sample_size: int = 64,
+    seed: int = 0,
+) -> float:
+    """Estimate the fraction of the cross product satisfying ``predicate``
+    by evaluating it on a random sample of tuple pairs.
+
+    Returns 0.0 for empty inputs.  The estimate drives the planner's
+    expected-output-size computation; it is *not* used for correctness.
+    """
+    n_left, n_right = len(left), len(right)
+    if n_left == 0 or n_right == 0:
+        return 0.0
+    rng = random.Random(seed)
+    pairs = min(sample_size, n_left * n_right)
+    hits = 0
+    left_values = left.values
+    right_values = right.values
+    for _ in range(pairs):
+        a = left_values[rng.randrange(n_left)]
+        b = right_values[rng.randrange(n_right)]
+        if predicate.matches(a, b):
+            hits += 1
+    return hits / pairs
+
+
+def estimate_output_size(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    sample_size: int = 64,
+    seed: int = 0,
+) -> float:
+    """Expected ``m``: selectivity × cross-product size.
+
+    For equijoins a closed-form refinement is used when both sides hash:
+    ``|R|·|S| / max(d_R, d_S)`` (the textbook containment assumption),
+    which is far more stable than sampling at low selectivities.
+    """
+    from repro.joins.predicates import Equality
+
+    if isinstance(predicate, Equality):
+        left_stats = collect_stats(left)
+        right_stats = collect_stats(right)
+        if left_stats.distinct and right_stats.distinct:
+            return (
+                len(left) * len(right) / max(left_stats.distinct, right_stats.distinct)
+            )
+    selectivity = estimate_selectivity(left, right, predicate, sample_size, seed)
+    return selectivity * len(left) * len(right)

@@ -1,0 +1,47 @@
+"""Spatial substrate for spatial-overlap joins.
+
+Provides the geometric primitives (points, axis-aligned rectangles, simple
+polygons), overlap tests, an STR-bulk-loaded R-tree, a plane-sweep rectangle
+intersection engine, and — the reproduction-critical piece — *realizations*:
+constructions of concrete spatial instances whose overlap join graphs are
+prescribed bipartite graphs (Lemma 3.4 and a comb-polygon universality
+construction).
+"""
+
+from repro.geometry.primitives import Point, Polygon, Rectangle
+from repro.geometry.interval import (
+    Interval,
+    IntervalIndex,
+    realize_worst_case_intervals,
+    sweep_interval_pairs,
+)
+from repro.geometry.intersect import (
+    polygons_overlap,
+    rectangles_overlap,
+    segments_intersect,
+)
+from repro.geometry.rtree import RTree
+from repro.geometry.sweep import sweep_rectangle_pairs
+from repro.geometry.realize import (
+    realize_bipartite_with_combs,
+    realize_union_of_bicliques,
+    realize_worst_case_family,
+)
+
+__all__ = [
+    "Point",
+    "Rectangle",
+    "Polygon",
+    "Interval",
+    "IntervalIndex",
+    "sweep_interval_pairs",
+    "realize_worst_case_intervals",
+    "rectangles_overlap",
+    "segments_intersect",
+    "polygons_overlap",
+    "RTree",
+    "sweep_rectangle_pairs",
+    "realize_worst_case_family",
+    "realize_bipartite_with_combs",
+    "realize_union_of_bicliques",
+]

@@ -1,0 +1,98 @@
+"""Overlap and intersection tests.
+
+The spatial-overlap join predicate ``r.A ∩ s.B ≠ ∅`` needs a robust overlap
+test for each geometry pair.  Rectangle–rectangle is interval arithmetic;
+polygon–polygon uses the standard two-part test: boundary segments
+intersect, or one polygon contains a vertex of the other.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import Point, Polygon, Rectangle
+
+_EPS = 1e-12
+
+
+def rectangles_overlap(a: Rectangle, b: Rectangle) -> bool:
+    """Closed overlap of axis-aligned rectangles."""
+    return a.intersects(b)
+
+
+def _orient(a: Point, b: Point, c: Point) -> int:
+    """Sign of the cross product (b−a) × (c−a): 1 ccw, −1 cw, 0 collinear."""
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def point_on_segment(p: Point, a: Point, b: Point) -> bool:
+    """Is ``p`` on the closed segment ``ab``?"""
+    if _orient(a, b, p) != 0:
+        return False
+    return (
+        min(a.x, b.x) - _EPS <= p.x <= max(a.x, b.x) + _EPS
+        and min(a.y, b.y) - _EPS <= p.y <= max(a.y, b.y) + _EPS
+    )
+
+
+def segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool:
+    """Closed-segment intersection, handling all collinear cases."""
+    d1 = _orient(q1, q2, p1)
+    d2 = _orient(q1, q2, p2)
+    d3 = _orient(p1, p2, q1)
+    d4 = _orient(p1, p2, q2)
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+    if d1 == 0 and point_on_segment(p1, q1, q2):
+        return True
+    if d2 == 0 and point_on_segment(p2, q1, q2):
+        return True
+    if d3 == 0 and point_on_segment(q1, p1, p2):
+        return True
+    if d4 == 0 and point_on_segment(q2, p1, p2):
+        return True
+    return False
+
+
+def polygons_overlap(a: Polygon, b: Polygon) -> bool:
+    """Do two simple polygons share at least one point (closed semantics)?
+
+    Fast path: bounding boxes must overlap.  Then: any pair of boundary
+    edges intersects, or one polygon's first vertex is inside the other
+    (covering the nested case).
+    """
+    if not a.bounding_box().intersects(b.bounding_box()):
+        return False
+    edges_a = a.edges()
+    edges_b = b.edges()
+    for ea in edges_a:
+        for eb in edges_b:
+            if segments_intersect(ea[0], ea[1], eb[0], eb[1]):
+                return True
+    if b.contains_point(a.vertices[0]):
+        return True
+    if a.contains_point(b.vertices[0]):
+        return True
+    return False
+
+
+def overlap(a, b) -> bool:
+    """Polymorphic overlap over the supported geometry types."""
+    from repro.geometry.interval import Interval
+
+    if isinstance(a, Interval) and isinstance(b, Interval):
+        return a.overlaps(b)
+    if isinstance(a, Rectangle) and isinstance(b, Rectangle):
+        return rectangles_overlap(a, b)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return polygons_overlap(a, b)
+    if isinstance(a, Rectangle) and isinstance(b, Polygon):
+        return polygons_overlap(Polygon.from_rectangle(a), b)
+    if isinstance(a, Polygon) and isinstance(b, Rectangle):
+        return polygons_overlap(a, Polygon.from_rectangle(b))
+    raise TypeError(f"unsupported geometry pair: {type(a).__name__}, {type(b).__name__}")

@@ -1,0 +1,182 @@
+"""Geometric primitives: points, axis-aligned rectangles, simple polygons.
+
+Everything is immutable and hashable so geometric values can live in
+relation columns and be deduplicated.  Coordinates are floats (ints are
+accepted and promoted).  Rectangles are *closed*: boundary contact counts
+as overlap, consistent with the usual spatial-join semantics of "overlap"
+predicates in the literature the paper cites (Orenstein; Patel–DeWitt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True, order=True)
+class Rectangle:
+    """A closed axis-aligned rectangle ``[x_min, x_max] × [y_min, y_max]``.
+
+    Degenerate (zero-width or zero-height) rectangles are allowed — they
+    model line/point objects and are useful in realization constructions —
+    but inverted bounds raise :class:`~repro.errors.GeometryError`.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise GeometryError(f"inverted rectangle bounds: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    def contains_point(self, p: Point) -> bool:
+        return self.x_min <= p.x <= self.x_max and self.y_min <= p.y <= self.y_max
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Closed-interval overlap test (boundary contact counts)."""
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+        )
+
+    def union_bounds(self, other: "Rectangle") -> "Rectangle":
+        """The smallest rectangle covering both."""
+        return Rectangle(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rectangle":
+        return Rectangle(
+            self.x_min + dx, self.y_min + dy, self.x_max + dx, self.y_max + dy
+        )
+
+
+class Polygon:
+    """A simple polygon given by its vertex ring (no self-intersections).
+
+    Simplicity is the caller's responsibility for arbitrary input; the
+    constructors used by the library (rectilinear combs, boxes) are simple
+    by construction, and :meth:`is_simple` offers an O(n²) check for tests.
+    """
+
+    def __init__(self, vertices: list[Point] | list[tuple[float, float]]) -> None:
+        if len(vertices) < 3:
+            raise GeometryError("a polygon needs at least 3 vertices")
+        ring = [v if isinstance(v, Point) else Point(*v) for v in vertices]
+        if len(set(ring)) != len(ring):
+            raise GeometryError("polygon has repeated vertices")
+        self.vertices: tuple[Point, ...] = tuple(ring)
+
+    @classmethod
+    def from_rectangle(cls, rect: Rectangle) -> "Polygon":
+        if rect.width == 0 or rect.height == 0:
+            raise GeometryError("cannot polygonize a degenerate rectangle")
+        return cls(
+            [
+                Point(rect.x_min, rect.y_min),
+                Point(rect.x_max, rect.y_min),
+                Point(rect.x_max, rect.y_max),
+                Point(rect.x_min, rect.y_max),
+            ]
+        )
+
+    def edges(self) -> list[tuple[Point, Point]]:
+        """The boundary segments in ring order."""
+        n = len(self.vertices)
+        return [(self.vertices[i], self.vertices[(i + 1) % n]) for i in range(n)]
+
+    def bounding_box(self) -> Rectangle:
+        xs = [p.x for p in self.vertices]
+        ys = [p.y for p in self.vertices]
+        return Rectangle(min(xs), min(ys), max(xs), max(ys))
+
+    def area(self) -> float:
+        """Absolute area by the shoelace formula."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2
+
+    def contains_point(self, p: Point) -> bool:
+        """Ray-casting point-in-polygon (boundary points count as inside)."""
+        from repro.geometry.intersect import point_on_segment
+
+        for a, b in self.edges():
+            if point_on_segment(p, a, b):
+                return True
+        inside = False
+        n = len(self.vertices)
+        for i in range(n):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % n]
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def is_simple(self) -> bool:
+        """O(n²) check that non-adjacent boundary edges do not intersect."""
+        from repro.geometry.intersect import segments_intersect
+
+        edges = self.edges()
+        n = len(edges)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if j == i + 1 or (i == 0 and j == n - 1):
+                    continue  # adjacent edges share a vertex by design
+                if segments_intersect(*edges[i], *edges[j]):
+                    return False
+        return True
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        return Polygon([v.translated(dx, dy) for v in self.vertices])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self.vertices == other.vertices
+
+    def __hash__(self) -> int:
+        return hash(self.vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon(n={len(self.vertices)})"

@@ -1,0 +1,154 @@
+"""Geometric realizations of prescribed join graphs (Lemma 3.4 and beyond).
+
+Lemma 3.4 states that the worst-case family of Fig 1(a) arises as the join
+graph of a spatial overlap join.  :func:`realize_worst_case_family` builds
+such an instance from axis-aligned rectangles.
+
+The library goes further with :func:`realize_bipartite_with_combs`: *every*
+bipartite graph is the overlap join graph of two sets of simple rectilinear
+("comb") polygons.  The construction gives each edge ``(u_i, v_j)`` a
+private x-column; ``u_i`` is a horizontal spine high up with teeth
+descending into a middle strip at its edge columns, ``v_j`` a spine low
+down with teeth ascending into the same strip.  Two teeth meet in the
+middle strip iff they share a column iff the edge exists.  Overlaps among
+polygons of the *same* relation are irrelevant to the join graph, which is
+what makes the construction work.  This strengthens the paper's §3.3
+observation (spatial joins reach the worst case) to full universality, the
+spatial analogue of Lemma 3.3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.geometry.primitives import Point, Polygon, Rectangle
+from repro.relations.relation import Relation
+
+
+def realize_worst_case_family(n: int) -> tuple[Relation, Relation]:
+    """A rectangle instance whose overlap join graph is ``G_n`` (Lemma 3.4).
+
+    Layout: the star centre ``c`` is a long horizontal bar; each ``v_j`` is
+    a vertical bar crossing it; each pendant ``w_j`` is a small box touching
+    only the bottom of ``v_j``.  Returns ``(R, S)`` where
+    ``R = [c, w_0, …]`` and ``S = [v_0, …]`` in the same vertex order as
+    :func:`repro.core.families.worst_case_family` (asserted by tests).
+    """
+    if n < 1:
+        raise GeometryError("family defined for n >= 1")
+    centre = Rectangle(0.0, 0.0, float(4 * n), 1.0)
+    r_values = [centre]
+    s_values = []
+    for j in range(n):
+        x0 = 4.0 * j + 1.0
+        s_values.append(Rectangle(x0, -4.0, x0 + 1.0, 0.5))
+        r_values.append(Rectangle(x0, -5.0, x0 + 1.0, -3.5))  # w_j
+    return Relation("R", r_values), Relation("S", s_values)
+
+
+def realize_union_of_bicliques(sizes: list[tuple[int, int]]) -> tuple[Relation, Relation]:
+    """A rectangle instance whose overlap join graph is a union of
+    complete bipartite blocks — the equijoin shape, realized spatially.
+
+    Block ``b`` lives in its own disjoint region; inside it all ``k`` left
+    and all ``l`` right rectangles pairwise overlap.
+    """
+    r_values: list[Rectangle] = []
+    s_values: list[Rectangle] = []
+    for b, (k, l) in enumerate(sizes):
+        ox = 10.0 * b
+        for i in range(k):
+            r_values.append(Rectangle(ox + 0.1 * i, 0.0, ox + 5.0, 5.0))
+        for j in range(l):
+            s_values.append(Rectangle(ox + 1.0, 0.1 * j, ox + 4.0, 4.0))
+    return Relation("R", r_values), Relation("S", s_values)
+
+
+def _comb_polygon(
+    spine_y0: float,
+    spine_y1: float,
+    columns: list[float],
+    tooth_width: float,
+    tooth_tip_y: float,
+    x_extent: tuple[float, float],
+) -> Polygon:
+    """A rectilinear comb: a horizontal spine with rectangular teeth.
+
+    Teeth extend from the spine towards ``tooth_tip_y`` (below the spine if
+    ``tooth_tip_y < spine_y0``, above if ``> spine_y1``) at the given column
+    x-positions.  With no columns, the comb degenerates to the spine box.
+    """
+    x_lo, x_hi = x_extent
+    if spine_y0 >= spine_y1:
+        raise GeometryError("spine must have positive height")
+    cols = sorted(columns)
+    if not cols:
+        return Polygon.from_rectangle(Rectangle(x_lo, spine_y0, x_hi, spine_y1))
+    teeth_below = tooth_tip_y < spine_y0
+    base_y = spine_y0 if teeth_below else spine_y1
+    ring: list[Point] = []
+    if teeth_below:
+        # Clockwise from top-left: top edge, right edge, weave along bottom.
+        ring.append(Point(x_lo, spine_y1))
+        ring.append(Point(x_hi, spine_y1))
+        ring.append(Point(x_hi, base_y))
+        for c in reversed(cols):
+            ring.append(Point(c + tooth_width, base_y))
+            ring.append(Point(c + tooth_width, tooth_tip_y))
+            ring.append(Point(c, tooth_tip_y))
+            ring.append(Point(c, base_y))
+        ring.append(Point(x_lo, base_y))
+    else:
+        # Counter-clockwise from bottom-left: bottom edge, right edge, weave
+        # along the top.
+        ring.append(Point(x_lo, spine_y0))
+        ring.append(Point(x_hi, spine_y0))
+        ring.append(Point(x_hi, base_y))
+        for c in reversed(cols):
+            ring.append(Point(c + tooth_width, base_y))
+            ring.append(Point(c + tooth_width, tooth_tip_y))
+            ring.append(Point(c, tooth_tip_y))
+            ring.append(Point(c, base_y))
+        ring.append(Point(x_lo, base_y))
+    return Polygon(ring)
+
+
+def realize_bipartite_with_combs(graph: BipartiteGraph) -> tuple[Relation, Relation]:
+    """A polygon instance whose overlap join graph is exactly ``graph``.
+
+    Universality construction (see module docstring).  The returned
+    relations list one polygon per vertex, in ``graph.left`` /
+    ``graph.right`` order, so ``TupleRef("R", i)`` corresponds to
+    ``graph.left[i]``.
+    """
+    lefts = graph.left
+    rights = graph.right
+    left_index = {v: i for i, v in enumerate(lefts)}
+    right_index = {v: j for j, v in enumerate(rights)}
+    n_left = len(lefts)
+
+    def column_x(i: int, j: int) -> float:
+        # A private unit column per (left, right) pair.
+        return float(j * n_left + i)
+
+    total_cols = max(1, n_left * len(rights))
+    x_extent = (-1.0, float(total_cols) + 1.0)
+    tooth_width = 0.5
+
+    r_polys: list[Polygon] = []
+    for i, u in enumerate(lefts):
+        cols = [column_x(i, right_index[v]) for v in graph.neighbors(u)]
+        # Spine high above the middle strip; teeth descend to y = -1.
+        y0 = 2.0 + 2.0 * i
+        r_polys.append(
+            _comb_polygon(y0, y0 + 1.0, cols, tooth_width, -1.0, x_extent)
+        )
+    s_polys: list[Polygon] = []
+    for j, v in enumerate(rights):
+        cols = [column_x(left_index[u], j) for u in graph.neighbors(v)]
+        # Spine far below; teeth ascend to y = +1.
+        y1 = -2.0 - 2.0 * j
+        s_polys.append(
+            _comb_polygon(y1 - 1.0, y1, cols, tooth_width, 1.0, x_extent)
+        )
+    return Relation("R", r_polys), Relation("S", s_polys)

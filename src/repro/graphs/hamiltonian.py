@@ -1,0 +1,213 @@
+"""Exact Hamiltonian-path search.
+
+Proposition 2.1 states that a connected graph ``G`` has a *perfect* pebbling
+scheme (``π(G) = m``) iff its line graph ``L(G)`` has a Hamiltonian path, so
+exact Hamiltonian-path detection is the ground truth for perfect-pebbling
+questions.  It is also used to certify the diamond gadget of Fig 2, whose
+defining properties quantify over all Hamiltonian paths.
+
+Two engines are provided:
+
+- a bitmask dynamic program (Held–Karp style) in ``O(2^n · n²)``, best for
+  decision/optimization up to ``n ≈ 20``;
+- a backtracking enumerator that can stream *all* Hamiltonian paths (used by
+  gadget certification, where the per-endpoint question matters).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import InstanceTooLargeError
+from repro.graphs.simple import Graph, Vertex
+
+_DP_LIMIT = 22
+
+
+def _index_graph(graph: Graph) -> tuple[list[Vertex], list[int]]:
+    """Map vertices to indices and adjacency to bitmasks."""
+    vertices = sorted(graph.vertices, key=repr)
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency = [0] * len(vertices)
+    for u, v in graph.edges():
+        adjacency[index[u]] |= 1 << index[v]
+        adjacency[index[v]] |= 1 << index[u]
+    return vertices, adjacency
+
+
+def has_hamiltonian_path(graph: Graph) -> bool:
+    """Decide whether ``graph`` has a Hamiltonian path."""
+    return find_hamiltonian_path(graph) is not None
+
+
+def find_hamiltonian_path(
+    graph: Graph,
+    start: Vertex | None = None,
+    end: Vertex | None = None,
+) -> list[Vertex] | None:
+    """Find a Hamiltonian path, optionally pinning one or both endpoints.
+
+    Returns the vertex sequence or ``None``.  Uses the bitmask DP; raises
+    :class:`~repro.errors.InstanceTooLargeError` beyond ``n = 22`` vertices
+    (use the pebbling branch-and-bound solver for larger line graphs).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    if n == 1:
+        only = graph.vertices[0]
+        if (start is not None and start != only) or (end is not None and end != only):
+            return None
+        return [only]
+    if n > _DP_LIMIT:
+        raise InstanceTooLargeError(
+            f"Hamiltonian DP limited to {_DP_LIMIT} vertices, got {n}"
+        )
+    vertices, adjacency = _index_graph(graph)
+    index = {v: i for i, v in enumerate(vertices)}
+    if start is not None and start not in index:
+        return None
+    if end is not None and end not in index:
+        return None
+
+    start_idx = index[start] if start is not None else None
+    end_idx = index[end] if end is not None else None
+    full = (1 << n) - 1
+
+    # reachable[mask] = bitmask of vertices v such that some path visiting
+    # exactly `mask` ends at v.
+    reachable = [0] * (1 << n)
+    if start_idx is None:
+        for i in range(n):
+            reachable[1 << i] = 1 << i
+    else:
+        reachable[1 << start_idx] = 1 << start_idx
+
+    order = sorted(range(1, 1 << n), key=lambda m: m.bit_count())
+    for mask in order:
+        ends = reachable[mask]
+        if not ends:
+            continue
+        remaining = ends
+        while remaining:
+            low = remaining & (-remaining)
+            remaining ^= low
+            v = low.bit_length() - 1
+            extensions = adjacency[v] & ~mask
+            while extensions:
+                bit = extensions & (-extensions)
+                extensions ^= bit
+                reachable[mask | bit] |= bit
+
+    final_ends = reachable[full]
+    if end_idx is not None:
+        final_ends &= 1 << end_idx
+    if not final_ends:
+        return None
+
+    # Reconstruct one path by walking backwards through the DP.
+    last = (final_ends & -final_ends).bit_length() - 1
+    path_indices = [last]
+    mask = full
+    while mask.bit_count() > 1:
+        prev_mask = mask ^ (1 << last)
+        candidates = reachable[prev_mask] & adjacency[last]
+        assert candidates, "DP reconstruction invariant violated"
+        prev = (candidates & -candidates).bit_length() - 1
+        path_indices.append(prev)
+        mask = prev_mask
+        last = prev
+    path_indices.reverse()
+    path = [vertices[i] for i in path_indices]
+    if start is not None and path[0] != start:
+        path.reverse()
+    return path
+
+
+def hamiltonian_path_endpoints(graph: Graph) -> set[Vertex]:
+    """All vertices that are an endpoint of *some* Hamiltonian path.
+
+    The diamond gadget of Fig 2 requires that every Hamiltonian path starts
+    and ends at corner nodes — i.e. that this set contains no central node.
+    Uses the same DP table as :func:`find_hamiltonian_path` (endpoint set is
+    the reachable set of the full mask, over all start vertices), so the
+    whole question is answered in one ``O(2^n n²)`` sweep.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return set()
+    if n > _DP_LIMIT:
+        raise InstanceTooLargeError(
+            f"Hamiltonian DP limited to {_DP_LIMIT} vertices, got {n}"
+        )
+    vertices, adjacency = _index_graph(graph)
+    full = (1 << n) - 1
+    reachable = [0] * (1 << n)
+    for i in range(n):
+        reachable[1 << i] = 1 << i
+    order = sorted(range(1, 1 << n), key=lambda m: m.bit_count())
+    for mask in order:
+        ends = reachable[mask]
+        if not ends:
+            continue
+        remaining = ends
+        while remaining:
+            low = remaining & (-remaining)
+            remaining ^= low
+            v = low.bit_length() - 1
+            extensions = adjacency[v] & ~mask
+            while extensions:
+                bit = extensions & (-extensions)
+                extensions ^= bit
+                reachable[mask | bit] |= bit
+    ends = reachable[full]
+    result: set[Vertex] = set()
+    i = 0
+    while ends:
+        if ends & 1:
+            result.add(vertices[i])
+        ends >>= 1
+        i += 1
+    return result
+
+
+def enumerate_hamiltonian_paths(
+    graph: Graph, start: Vertex | None = None
+) -> Iterator[list[Vertex]]:
+    """Yield every Hamiltonian path (each undirected path once).
+
+    Backtracking enumeration; exponential, intended for gadget-sized graphs
+    (``n ≤ 12``).  To avoid yielding each path twice (once per direction),
+    paths are emitted only when the first endpoint sorts at or before the
+    last endpoint — unless ``start`` pins the first endpoint.
+    """
+    vertices = sorted(graph.vertices, key=repr)
+    n = len(vertices)
+    if n == 0:
+        return
+    starts = [start] if start is not None else vertices
+
+    path: list[Vertex] = []
+    visited: set[Vertex] = set()
+
+    def backtrack() -> Iterator[list[Vertex]]:
+        if len(path) == n:
+            if start is not None or repr(path[0]) <= repr(path[-1]):
+                yield list(path)
+            return
+        current = path[-1]
+        for neighbor in sorted(graph.neighbors(current), key=repr):
+            if neighbor in visited:
+                continue
+            path.append(neighbor)
+            visited.add(neighbor)
+            yield from backtrack()
+            path.pop()
+            visited.remove(neighbor)
+
+    for first in starts:
+        path.append(first)
+        visited.add(first)
+        yield from backtrack()
+        path.pop()
+        visited.remove(first)

@@ -1,0 +1,85 @@
+"""Line graphs and the weighted completion used by the TSP view (paper §2.2).
+
+The line graph ``L(G)`` has one node per edge of ``G``; two nodes are
+adjacent iff the corresponding edges of ``G`` share an endpoint.  A pebbling
+scheme moves from edge to edge, so a scheme is a walk over the nodes of
+``L(G)``; viewing ``L(G)`` as a complete graph with weight 1 on its edges
+("good") and weight 2 on non-edges ("bad"), the optimal pebbling cost is a
+minimum-cost travelling-salesman *path* (Prop 2.2).
+
+Line graphs of connected graphs are connected and claw-free (Harary), which
+Theorem 3.1 relies on; :func:`is_claw_free` verifies the property.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph
+
+AnyGraph = Graph | BipartiteGraph
+
+# A node of L(G) is an edge of G in canonical orientation.  For a bipartite
+# G this is the (left, right) tuple; for a plain Graph the normalized tuple.
+LineNode = tuple
+
+
+def graph_edge_list(graph: AnyGraph) -> list[LineNode]:
+    """The canonical edge list of either graph type."""
+    return list(graph.edges())
+
+
+def line_graph(graph: AnyGraph) -> Graph:
+    """Construct ``L(G)``.
+
+    Nodes of the result are the canonical edge tuples of ``graph``.  The
+    construction is O(sum of deg² ) — it groups edges by shared endpoint
+    rather than testing all edge pairs.
+    """
+    edges = graph_edge_list(graph)
+    lg = Graph(vertices=edges)
+    # Group the edges by endpoint; every pair within a group is adjacent.
+    by_endpoint: dict[object, list[LineNode]] = {}
+    for edge in edges:
+        u, v = edge
+        by_endpoint.setdefault(u, []).append(edge)
+        by_endpoint.setdefault(v, []).append(edge)
+    for incident in by_endpoint.values():
+        for e1, e2 in combinations(incident, 2):
+            lg.add_edge(e1, e2)
+    return lg
+
+
+def is_claw_free(graph: Graph) -> bool:
+    """True iff ``graph`` has no induced ``K_{1,3}`` (claw).
+
+    Checked directly from the definition: for every vertex, no three pairwise
+    non-adjacent neighbors exist.  Cost is O(Σ deg³) which is fine for the
+    line graphs this library builds.
+    """
+    for center in graph.vertices:
+        neighbors = sorted(graph.neighbors(center), key=repr)
+        for a, b, c in combinations(neighbors, 3):
+            if (
+                not graph.has_edge(a, b)
+                and not graph.has_edge(a, c)
+                and not graph.has_edge(b, c)
+            ):
+                return False
+    return True
+
+
+def tsp_weight(line: Graph, a: LineNode, b: LineNode) -> int:
+    """Weight of the pair ``{a, b}`` in the completed line graph: 1 if the
+    two underlying edges share an endpoint ("good"), else 2 ("bad")."""
+    return line.complement_weight(a, b)
+
+
+def good_degree(line: Graph, node: LineNode) -> int:
+    """The number of weight-1 (good) edges at ``node`` in the completion.
+
+    This is simply the node's degree in ``L(G)`` and drives the deficiency
+    lower bound (Theorem 3.3's counting argument generalized).
+    """
+    return line.degree(node)

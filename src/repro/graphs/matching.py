@@ -1,0 +1,168 @@
+"""Matchings: Hopcroft–Karp on bipartite graphs, greedy on general graphs.
+
+Matchings appear in three places in this reproduction:
+
+- Lemma 2.4 identifies matchings as the pebbling-cost extreme among
+  disconnected graphs (``π̂ = 2m``);
+- the matching-based TSP(1,2) heuristic
+  (:mod:`repro.core.solvers.matching_stitch`) seeds path fragments from a
+  matching of the line graph, in the spirit of the Papadimitriou–Yannakakis
+  approximation the paper cites;
+- workload analysis uses maximum matchings to characterize join graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph, Vertex, normalize_edge
+
+_INFINITY = float("inf")
+
+
+def hopcroft_karp(graph: BipartiteGraph) -> dict[Vertex, Vertex]:
+    """Maximum matching of a bipartite graph via Hopcroft–Karp.
+
+    Returns a symmetric dict: if ``u`` is matched to ``v`` then both
+    ``result[u] == v`` and ``result[v] == u``.  Runs in ``O(E sqrt(V))``.
+    """
+    match_left: dict[Vertex, Vertex | None] = {u: None for u in graph.left}
+    match_right: dict[Vertex, Vertex | None] = {v: None for v in graph.right}
+    distance: dict[Vertex | None, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[Vertex] = deque()
+        for u in graph.left:
+            if match_left[u] is None:
+                distance[u] = 0
+                queue.append(u)
+            else:
+                distance[u] = _INFINITY
+        distance[None] = _INFINITY
+        while queue:
+            u = queue.popleft()
+            if distance[u] < distance[None]:
+                for v in graph.neighbors(u):
+                    mate = match_right[v]
+                    if distance.get(mate, _INFINITY) == _INFINITY:
+                        distance[mate] = distance[u] + 1
+                        if mate is not None:
+                            queue.append(mate)
+        return distance[None] != _INFINITY
+
+    def dfs(u: Vertex) -> bool:
+        for v in graph.neighbors(u):
+            mate = match_right[v]
+            if mate is None or (
+                distance.get(mate) == distance[u] + 1 and dfs(mate)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INFINITY
+        return False
+
+    while bfs():
+        for u in graph.left:
+            if match_left[u] is None:
+                dfs(u)
+
+    matching: dict[Vertex, Vertex] = {}
+    for u, v in match_left.items():
+        if v is not None:
+            matching[u] = v
+            matching[v] = u
+    return matching
+
+
+def maximum_matching_size(graph: BipartiteGraph) -> int:
+    """The number of edges in a maximum matching."""
+    return len(hopcroft_karp(graph)) // 2
+
+
+def greedy_maximal_matching(graph: Graph) -> list[tuple[Vertex, Vertex]]:
+    """A maximal (not necessarily maximum) matching of a general graph.
+
+    Edges are scanned in order of increasing minimum endpoint degree, which
+    empirically leaves fewer exposed vertices than arbitrary order.  Used as
+    the seed for the matching-stitch pebbling heuristic.
+    """
+    degree = {v: graph.degree(v) for v in graph.vertices}
+    edges = sorted(
+        graph.edges(),
+        key=lambda e: (min(degree[e[0]], degree[e[1]]), repr(e)),
+    )
+    matched: set[Vertex] = set()
+    matching: list[tuple[Vertex, Vertex]] = []
+    for u, v in edges:
+        if u not in matched and v not in matched:
+            matched.add(u)
+            matched.add(v)
+            matching.append((u, v))
+    return matching
+
+
+def improve_matching(
+    graph: Graph, matching: list[tuple[Vertex, Vertex]], max_rounds: int = 4
+) -> list[tuple[Vertex, Vertex]]:
+    """Grow a matching by simple augmenting-path search (no blossoms).
+
+    This is a heuristic improvement for *general* graphs: it looks for
+    alternating paths between exposed vertices, ignoring odd-cycle
+    (blossom) structure, so it may miss some augmenting paths but never
+    returns a smaller matching.  For bipartite inputs it finds a maximum
+    matching (no blossoms exist there).
+    """
+    matched: dict[Vertex, Vertex] = {}
+    for u, v in matching:
+        matched[u] = v
+        matched[v] = u
+
+    def find_augmenting(start: Vertex) -> list[Vertex] | None:
+        # BFS over alternating paths; even-level vertices are reached via a
+        # matched edge (or are the start).
+        parent: dict[Vertex, Vertex | None] = {start: None}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v in parent:
+                    continue
+                mate = matched.get(v)
+                if mate is None:
+                    # Augmenting path found; reconstruct it.
+                    path = [v, u]
+                    current = parent[u]
+                    while current is not None:
+                        path.append(current)
+                        current = parent[current]
+                    path.reverse()
+                    return path
+                if mate not in parent:
+                    parent[v] = u
+                    parent[mate] = v
+                    queue.append(mate)
+        return None
+
+    for _ in range(max_rounds):
+        exposed = [v for v in graph.vertices if v not in matched]
+        augmented = False
+        for start in exposed:
+            if start in matched:
+                continue
+            path = find_augmenting(start)
+            if path is None:
+                continue
+            # Flip matched/unmatched status along the path.
+            for i in range(0, len(path) - 1, 2):
+                matched[path[i]] = path[i + 1]
+                matched[path[i + 1]] = path[i]
+            augmented = True
+        if not augmented:
+            break
+
+    seen: set[tuple[Vertex, Vertex]] = set()
+    for u, v in matched.items():
+        seen.add(normalize_edge(u, v))
+    return sorted(seen, key=repr)

@@ -1,0 +1,49 @@
+"""The join layer: predicates, join graphs, algorithms, and the trace bridge.
+
+This is where the paper's abstraction meets running code:
+
+- :mod:`repro.joins.predicates` — the three predicate classes the paper
+  studies (equality, spatial overlap, set containment) plus extensions;
+- :mod:`repro.joins.join_graph` — build the bipartite join graph of an
+  instance (§2), naively or with predicate-specific acceleration;
+- :mod:`repro.joins.algorithms` — real join algorithms (hash, sort-merge,
+  index/block nested loops, plane-sweep/R-tree/PBSM spatial joins,
+  signature/inverted-index set joins);
+- :mod:`repro.joins.trace` — convert any algorithm's output order into a
+  pebbling scheme, so the model's costs can be measured on real executions.
+"""
+
+from repro.joins.predicates import (
+    Band,
+    Equality,
+    JoinPredicate,
+    SetContainment,
+    SetOverlap,
+    SpatialOverlap,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.joins.trace import scheme_from_output, trace_report
+from repro.joins.partitioning import (
+    Partitioning,
+    greedy_partitioning,
+    hash_partitioning,
+    optimal_partitioning_bruteforce,
+    round_robin_partitioning,
+)
+
+__all__ = [
+    "Partitioning",
+    "hash_partitioning",
+    "round_robin_partitioning",
+    "greedy_partitioning",
+    "optimal_partitioning_bruteforce",
+    "JoinPredicate",
+    "Equality",
+    "SpatialOverlap",
+    "SetContainment",
+    "SetOverlap",
+    "Band",
+    "build_join_graph",
+    "scheme_from_output",
+    "trace_report",
+]

@@ -1,0 +1,36 @@
+"""Block nested loops: the universal join algorithm.
+
+Works for any predicate by brute force.  The block structure matters for
+the pebbling view: with a block of ``B`` left tuples resident, the
+algorithm emits, per right tuple, all its matches within the block — so
+output order is (block, right tuple, left tuple), which is the classic
+outer/inner loop structure of a real BNL join.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RelationError
+from repro.joins.predicates import JoinPredicate
+from repro.relations.relation import Relation, TupleRef
+
+
+def block_nested_loops(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    block_size: int = 64,
+) -> list[tuple[TupleRef, TupleRef]]:
+    """All matching pairs, in block-nested-loops emission order."""
+    if block_size < 1:
+        raise RelationError("block size must be positive")
+    predicate.check_domains(left.domain, right.domain)
+    left_items = list(left.items())
+    right_items = list(right.items())
+    out: list[tuple[TupleRef, TupleRef]] = []
+    for start in range(0, len(left_items), block_size):
+        block = left_items[start : start + block_size]
+        for s_ref, s_val in right_items:
+            for r_ref, r_val in block:
+                if predicate.matches(r_val, s_val):
+                    out.append((r_ref, s_ref))
+    return out

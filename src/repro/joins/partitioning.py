@@ -1,0 +1,320 @@
+"""Partitioned joins: the paper's closing open problem (§5).
+
+"Many join algorithms in practice work by first mapping the input
+relations R and S into R₁ ∪ … ∪ R_p and S₁ ∪ … ∪ S_q, and doing the join
+by investigating a subset of the joins R_i ⋈ S_j …  This is done either to
+explore parallelism or to make better use of main memory …  Here it is
+natural to ask how hard it is to find the optimal mapping of the tuples …
+For the three classes of joins we consider, this problem is NP-complete.
+However, we conjecture that the problem for equijoins has good
+approximation algorithms."
+
+This module makes the problem concrete and testable.  Because the memory /
+parallelism motivation is what makes the problem non-trivial, partitions
+are **capacity-constrained**: with ``p`` left and ``q`` right partitions,
+each left partition holds at most ``⌈|L|/p⌉`` tuples and each right
+partition at most ``⌈|R|/q⌉`` (balanced partitioning).  The **cost** of a
+valid partitioning is the number of *active cells* — pairs ``(i, j)`` such
+that some joining pair crosses ``R_i × S_j`` — i.e. the number of
+sub-joins the partitioned algorithm must execute.
+
+Provided strategies:
+
+- :func:`optimal_partitioning_bruteforce` — exact exponential reference;
+- :func:`hash_partitioning` — bin-pack connected components (for equijoin
+  graphs: key groups) into cells, the classic hash-partitioned join;
+- :func:`round_robin_partitioning` — the value-blind baseline;
+- :func:`greedy_partitioning` — capacity-respecting local search;
+- :func:`replication_grid_partitioning` — the PBSM-style trade: fewer
+  cells for replicated tuples.
+
+Supporting the paper's conjecture, tests show hash partitioning tracks
+the brute-force optimum on equijoin graphs while round-robin does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import InstanceTooLargeError, SchemeError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import component_vertex_sets
+from repro.graphs.simple import Vertex
+
+
+def left_capacity(graph: BipartiteGraph, p: int) -> int:
+    """Balanced capacity of one left partition: ``⌈|L|/p⌉``."""
+    return -(-len(graph.left) // p)
+
+
+def right_capacity(graph: BipartiteGraph, q: int) -> int:
+    """Balanced capacity of one right partition: ``⌈|R|/q⌉``."""
+    return -(-len(graph.right) // q)
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """An assignment of join-graph vertices to partition indices."""
+
+    p: int
+    q: int
+    left_of: dict
+    right_of: dict
+
+    def validate(self, graph: BipartiteGraph) -> None:
+        """Check full assignment, index ranges, and balanced capacities."""
+        counts_left = [0] * self.p
+        counts_right = [0] * self.q
+        for v in graph.left:
+            i = self.left_of.get(v, -1)
+            if not 0 <= i < self.p:
+                raise SchemeError(f"left vertex {v!r} unassigned or out of range")
+            counts_left[i] += 1
+        for v in graph.right:
+            j = self.right_of.get(v, -1)
+            if not 0 <= j < self.q:
+                raise SchemeError(f"right vertex {v!r} unassigned or out of range")
+            counts_right[j] += 1
+        if max(counts_left, default=0) > left_capacity(graph, self.p):
+            raise SchemeError("a left partition exceeds its balanced capacity")
+        if max(counts_right, default=0) > right_capacity(graph, self.q):
+            raise SchemeError("a right partition exceeds its balanced capacity")
+
+    def active_cells(self, graph: BipartiteGraph) -> set[tuple[int, int]]:
+        """The sub-joins that must run: cells crossed by some join edge."""
+        return {(self.left_of[u], self.right_of[v]) for u, v in graph.edges()}
+
+    def cost(self, graph: BipartiteGraph) -> int:
+        """The number of active cells (sub-joins executed)."""
+        return len(self.active_cells(graph))
+
+
+def cell_capacity_lower_bound(graph: BipartiteGraph, p: int, q: int) -> int:
+    """Any valid partitioning activates at least
+    ``⌈m / (cap_L · cap_R)⌉`` cells: one cell joins at most
+    ``cap_L · cap_R`` tuple pairs."""
+    m = graph.num_edges
+    if m == 0:
+        return 0
+    per_cell = left_capacity(graph, p) * right_capacity(graph, q)
+    return -(-m // per_cell)
+
+
+def hash_partitioning(graph: BipartiteGraph, p: int, q: int) -> Partitioning:
+    """Partition by connected component (key group), packing whole
+    components into *cells* first-fit-decreasing.
+
+    For an equijoin graph, components are key groups: hashing on the join
+    key sends a whole group to one cell.  Because left capacity is shared
+    by all cells in a row and right capacity by all cells in a column, the
+    packer places each component (sorted by size, largest first) into an
+    already-active cell whose row and column still fit it, opening a fresh
+    least-loaded cell otherwise; co-locating several small key groups in
+    one cell is what keeps the active-cell count near the optimum.
+    Component sides larger than a partition's capacity spill across
+    partitions vertex-by-vertex (which necessarily activates extra cells —
+    no strategy avoids that).
+    """
+    cap_left = left_capacity(graph, p)
+    cap_right = right_capacity(graph, q)
+    left_set = set(graph.left)
+    components = []
+    for vertex_set in component_vertex_sets(graph):
+        lefts = [v for v in vertex_set if v in left_set]
+        rights = [v for v in vertex_set if v not in left_set]
+        components.append((lefts, rights))
+    components.sort(key=lambda c: -(len(c[0]) + len(c[1])))
+
+    left_loads = [0] * p
+    right_loads = [0] * q
+    used_cells: list[tuple[int, int]] = []
+    left_of: dict[Vertex, int] = {}
+    right_of: dict[Vertex, int] = {}
+
+    def place(lefts: list, rights: list, cell: tuple[int, int]) -> None:
+        i, j = cell
+        for v in lefts:
+            row = i
+            if left_loads[row] >= cap_left:  # oversized component: spill
+                row = min(range(p), key=lambda r: left_loads[r])
+            left_loads[row] += 1
+            left_of[v] = row
+        for v in rights:
+            col = j
+            if right_loads[col] >= cap_right:
+                col = min(range(q), key=lambda c: right_loads[c])
+            right_loads[col] += 1
+            right_of[v] = col
+
+    for lefts, rights in components:
+        target = None
+        for cell in used_cells:
+            i, j = cell
+            if (
+                left_loads[i] + len(lefts) <= cap_left
+                and right_loads[j] + len(rights) <= cap_right
+            ):
+                target = cell
+                break
+        if target is None:
+            target = (
+                min(range(p), key=lambda r: left_loads[r]),
+                min(range(q), key=lambda c: right_loads[c]),
+            )
+            if lefts and rights:
+                used_cells.append(target)
+        place(lefts, rights, target)
+    return Partitioning(p, q, left_of, right_of)
+
+
+def round_robin_partitioning(graph: BipartiteGraph, p: int, q: int) -> Partitioning:
+    """The oblivious baseline: deal tuples round-robin, ignoring values.
+
+    Perfectly balanced but value-blind; on equijoin graphs it shreds key
+    groups across cells.
+    """
+    left_of = {v: i % p for i, v in enumerate(graph.left)}
+    right_of = {v: j % q for j, v in enumerate(graph.right)}
+    return Partitioning(p, q, left_of, right_of)
+
+
+def greedy_partitioning(
+    graph: BipartiteGraph, p: int, q: int, max_rounds: int = 20
+) -> Partitioning:
+    """Local search from :func:`hash_partitioning`: repeatedly move one
+    vertex to another partition (if capacity allows) when that reduces the
+    active-cell count."""
+    start = hash_partitioning(graph, p, q)
+    left_of = dict(start.left_of)
+    right_of = dict(start.right_of)
+    cap_left = left_capacity(graph, p)
+    cap_right = right_capacity(graph, q)
+    left_loads = [0] * p
+    right_loads = [0] * q
+    for v in graph.left:
+        left_loads[left_of[v]] += 1
+    for v in graph.right:
+        right_loads[right_of[v]] += 1
+
+    def cost() -> int:
+        return len({(left_of[u], right_of[v]) for u, v in graph.edges()})
+
+    best = cost()
+    for _ in range(max_rounds):
+        improved = False
+        for v in graph.left:
+            home = left_of[v]
+            for i in range(p):
+                if i == home or left_loads[i] >= cap_left:
+                    continue
+                left_of[v] = i
+                c = cost()
+                if c < best:
+                    best = c
+                    left_loads[home] -= 1
+                    left_loads[i] += 1
+                    home = i
+                    improved = True
+                else:
+                    left_of[v] = home
+        for v in graph.right:
+            home = right_of[v]
+            for j in range(q):
+                if j == home or right_loads[j] >= cap_right:
+                    continue
+                right_of[v] = j
+                c = cost()
+                if c < best:
+                    best = c
+                    right_loads[home] -= 1
+                    right_loads[j] += 1
+                    home = j
+                    improved = True
+                else:
+                    right_of[v] = home
+        if not improved:
+            break
+    return Partitioning(p, q, left_of, right_of)
+
+
+def optimal_partitioning_bruteforce(
+    graph: BipartiteGraph, p: int, q: int
+) -> Partitioning:
+    """The exact optimum over all capacity-respecting assignments.
+
+    ``p^|L| · q^|R|`` candidates — the NP-complete problem solved by brute
+    force, for cross-checking heuristics on tiny instances.
+    """
+    lefts = graph.left
+    rights = graph.right
+    if p ** len(lefts) * q ** len(rights) > 2_000_000:
+        raise InstanceTooLargeError("brute-force partitioning space too large")
+    cap_left = left_capacity(graph, p)
+    cap_right = right_capacity(graph, q)
+    edges = graph.edges()
+    best_cost = None
+    best: Partitioning | None = None
+
+    def balanced(assignment: tuple[int, ...], bins: int, capacity: int) -> bool:
+        counts = [0] * bins
+        for b in assignment:
+            counts[b] += 1
+            if counts[b] > capacity:
+                return False
+        return True
+
+    for left_assignment in product(range(p), repeat=len(lefts)):
+        if not balanced(left_assignment, p, cap_left):
+            continue
+        left_of = dict(zip(lefts, left_assignment))
+        for right_assignment in product(range(q), repeat=len(rights)):
+            if not balanced(right_assignment, q, cap_right):
+                continue
+            right_of = dict(zip(rights, right_assignment))
+            c = len({(left_of[u], right_of[v]) for u, v in edges})
+            if best_cost is None or c < best_cost:
+                best_cost = c
+                best = Partitioning(p, q, left_of, right_of)
+    assert best is not None, "balanced assignments always exist"
+    return best
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Outcome of the PBSM-style replicating strategy."""
+
+    left_of: dict
+    copies_of: dict  # right vertex -> set of left partitions holding a copy
+    replicas: int  # extra right-tuple copies beyond the first
+    active_subjoins: int  # one per left partition that has any join edge
+
+
+def replication_grid_partitioning(
+    graph: BipartiteGraph, p: int, q: int
+) -> ReplicationReport:
+    """The PBSM-style trade: round-robin the left side, then *replicate*
+    each right tuple into every left partition holding a joining partner.
+
+    With replication there is one merged right bucket per left partition,
+    so at most ``p`` sub-joins run regardless of the join graph — bought
+    with the returned replica count, the "replication of data" cost the
+    paper's introduction holds against spatial join algorithms.  (``q`` is
+    accepted for signature symmetry with the non-replicating strategies;
+    replication collapses the right dimension.)
+    """
+    left_of = {v: i % p for i, v in enumerate(graph.left)}
+    copies_of: dict[Vertex, set[int]] = {}
+    replicas = 0
+    for v in graph.right:
+        cells = {left_of[u] for u in graph.neighbors(v)}
+        copies_of[v] = cells
+        if cells:
+            replicas += len(cells) - 1
+    active = {left_of[u] for u, _ in graph.edges()}
+    return ReplicationReport(
+        left_of=left_of,
+        copies_of=copies_of,
+        replicas=replicas,
+        active_subjoins=len(active),
+    )

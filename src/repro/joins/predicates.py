@@ -1,0 +1,123 @@
+"""Join predicate classes (paper §2).
+
+A :class:`JoinPredicate` is a boolean test over a pair of attribute values
+plus metadata: which domains it accepts and a name for reports.  The three
+classes the paper analyzes are :class:`Equality`, :class:`SpatialOverlap`,
+and :class:`SetContainment`; :class:`SetOverlap` and :class:`Band` are
+extensions exercising the same machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.errors import PredicateError
+from repro.geometry.intersect import overlap as geometry_overlap
+from repro.relations.domains import Domain
+from repro.sets.setvalue import contains as set_contains
+from repro.sets.setvalue import overlaps as set_overlaps
+
+
+class JoinPredicate(abc.ABC):
+    """A binary join predicate ``θ`` over single-column tuples.
+
+    Subclasses implement :meth:`matches` and declare the domains they
+    accept; :meth:`check_domains` is called once per join to fail fast on
+    type mismatches.
+    """
+
+    name: str = "predicate"
+
+    @abc.abstractmethod
+    def matches(self, left: Any, right: Any) -> bool:
+        """Does ``left θ right`` hold?"""
+
+    @abc.abstractmethod
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        """Are the two column domains valid inputs for this predicate?"""
+
+    def check_domains(self, left_domain: Domain, right_domain: Domain) -> None:
+        if not self.accepts(left_domain, right_domain):
+            raise PredicateError(
+                f"{self.name} cannot join {left_domain.value} "
+                f"with {right_domain.value}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Equality(JoinPredicate):
+    """The equijoin predicate ``r.A = s.B``.
+
+    Works over any domain that supports equality (§2), i.e. all of them.
+    """
+
+    name = "equality"
+
+    def matches(self, left: Any, right: Any) -> bool:
+        return left == right
+
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        return left_domain == right_domain
+
+
+class SpatialOverlap(JoinPredicate):
+    """The spatial-overlap predicate: geometries share at least one point."""
+
+    name = "spatial-overlap"
+
+    def matches(self, left: Any, right: Any) -> bool:
+        return geometry_overlap(left, right)
+
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        return left_domain.supports_overlap and right_domain.supports_overlap
+
+
+class SetContainment(JoinPredicate):
+    """The set-containment predicate ``r.A ⊆ s.B``."""
+
+    name = "set-containment"
+
+    def matches(self, left: Any, right: Any) -> bool:
+        return set_contains(left, right)
+
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        return left_domain.supports_containment and right_domain.supports_containment
+
+
+class SetOverlap(JoinPredicate):
+    """Extension: the set-overlap predicate ``r.A ∩ s.B ≠ ∅``."""
+
+    name = "set-overlap"
+
+    def matches(self, left: Any, right: Any) -> bool:
+        return set_overlaps(left, right)
+
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        return left_domain.supports_containment and right_domain.supports_containment
+
+
+class Band(JoinPredicate):
+    """Extension: the band-join predicate ``|r.A − s.B| ≤ width``.
+
+    A numeric near-equality join; with ``width = 0`` it degenerates to the
+    equijoin, which tests use to confirm the two predicates agree there.
+    """
+
+    name = "band"
+
+    def __init__(self, width: float) -> None:
+        if width < 0:
+            raise PredicateError("band width must be non-negative")
+        self.width = width
+
+    def matches(self, left: Any, right: Any) -> bool:
+        return abs(left - right) <= self.width
+
+    def accepts(self, left_domain: Domain, right_domain: Domain) -> bool:
+        return left_domain == Domain.NUMERIC and right_domain == Domain.NUMERIC
+
+    def __repr__(self) -> str:
+        return f"Band(width={self.width})"

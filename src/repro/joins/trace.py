@@ -1,0 +1,94 @@
+"""The trace bridge: join executions as pebbling schemes.
+
+"For every pair of tuples (r, s) that joins, any join algorithm has to
+consider this pair of tuples at some point of time in its execution and
+produce a result tuple" (§2).  The *order* in which an algorithm emits its
+result pairs therefore induces a pebbling scheme: configuration ``i`` puts
+the pebbles on the ``i``-th emitted pair.  This module performs that
+conversion and summarizes the resulting pebbling costs, which is how the
+benchmarks compare real algorithms (sort-merge, hash join, plane sweep,
+signature joins, …) inside the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemeError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import betti_number
+from repro.relations.relation import TupleRef
+from repro.core.costs import effective_cost_bounds
+from repro.core.scheme import PebblingScheme
+
+JoinOutput = list[tuple[TupleRef, TupleRef]]
+
+
+def scheme_from_output(
+    graph: BipartiteGraph, output: JoinOutput
+) -> PebblingScheme:
+    """Convert a join algorithm's emitted pair order into a scheme.
+
+    The output must contain every join-graph edge exactly once (all join
+    algorithms in :mod:`repro.joins.algorithms` satisfy this; a buggy one
+    raises :class:`~repro.errors.SchemeError` here, which the failure-
+    injection tests rely on).
+    """
+    working = graph.without_isolated_vertices()
+    return PebblingScheme.from_edge_order(working, output)
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Pebbling-cost accounting for one join execution."""
+
+    algorithm: str
+    output_size: int  # m: result tuples
+    effective_cost: int  # π of the induced scheme
+    raw_cost: int  # π̂
+    jumps: int
+    lower_bound: int  # m
+    upper_bound: int  # sum of floor(1.25 m_c)
+
+    @property
+    def cost_ratio(self) -> float:
+        """π / m: 1.0 means the execution pebbles perfectly."""
+        if self.output_size == 0:
+            return 1.0
+        return self.effective_cost / self.output_size
+
+    def row(self) -> tuple:
+        return (
+            self.algorithm,
+            self.output_size,
+            self.effective_cost,
+            round(self.cost_ratio, 4),
+            self.jumps,
+        )
+
+
+def trace_report(
+    graph: BipartiteGraph, output: JoinOutput, algorithm: str
+) -> TraceReport:
+    """Build a :class:`TraceReport` for one execution's output order."""
+    working = graph.without_isolated_vertices()
+    if working.num_edges == 0:
+        if output:
+            raise SchemeError("join emitted pairs but the join graph is empty")
+        return TraceReport(algorithm, 0, 0, 0, 0, 0, 0)
+    scheme = scheme_from_output(working, output)
+    lower, upper = effective_cost_bounds(working)
+    return TraceReport(
+        algorithm=algorithm,
+        output_size=working.num_edges,
+        effective_cost=scheme.effective_cost(working),
+        raw_cost=scheme.cost(),
+        jumps=scheme.jumps(),
+        lower_bound=lower,
+        upper_bound=upper,
+    )
+
+
+def beta0(graph: BipartiteGraph) -> int:
+    """Convenience re-export of the Betti number for report code."""
+    return betti_number(graph.without_isolated_vertices())

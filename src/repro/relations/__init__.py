@@ -1,0 +1,16 @@
+"""Relational substrate: single-column relations over typed domains.
+
+The paper assumes "all relations have a single column, and all joins are on
+that column" (§2), with multiset semantics.  This subpackage provides that
+relation model, the value domains the three join-predicate classes need
+(numbers/strings for equijoins, rectangles/polygons for spatial joins, sets
+for containment joins), a tiny catalog, and a paged-storage simulator that
+connects the model to the page-fetch-scheduling lineage of the pebbling game
+(Merrett–Kambayashi–Yasuura, the paper's reference [6]).
+"""
+
+from repro.relations.relation import Relation, TupleRef
+from repro.relations.domains import Domain, infer_domain
+from repro.relations.catalog import Catalog
+
+__all__ = ["Relation", "TupleRef", "Domain", "infer_domain", "Catalog"]

@@ -1,0 +1,63 @@
+"""A tiny relation catalog.
+
+Examples and the CLI register relations by name; the catalog enforces name
+uniqueness and gives a single place to look up join inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import RelationError
+from repro.relations.relation import Relation
+
+
+class Catalog:
+    """Named registry of :class:`~repro.relations.relation.Relation` objects.
+
+    Example
+    -------
+    >>> cat = Catalog()
+    >>> _ = cat.create("R", [1, 2, 3])
+    >>> cat.get("R").values
+    [1, 2, 3]
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def create(self, name: str, values=()) -> Relation:
+        """Create and register a relation; duplicate names raise."""
+        if name in self._relations:
+            raise RelationError(f"relation {name!r} already exists")
+        relation = Relation(name, values)
+        self._relations[name] = relation
+        return relation
+
+    def register(self, relation: Relation) -> None:
+        """Register an existing relation object under its own name."""
+        if relation.name in self._relations:
+            raise RelationError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+
+    def get(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise RelationError(f"no relation named {name!r}")
+        return self._relations[name]
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise RelationError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)

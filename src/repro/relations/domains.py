@@ -1,0 +1,88 @@
+"""Value domains for join attributes.
+
+The paper's three join classes live on three domain families:
+
+- equality-comparable scalars (numbers, strings) for equijoins;
+- spatial values (rectangles, polygons) for overlap joins;
+- set values for containment joins.
+
+:class:`Domain` tags a relation's column so join predicates can check type
+compatibility up front instead of failing on the millionth tuple.
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from typing import Any
+
+from repro.errors import PredicateError
+
+
+class Domain(enum.Enum):
+    """The attribute domains the library's predicates understand."""
+
+    NUMERIC = "numeric"
+    STRING = "string"
+    INTERVAL = "interval"
+    RECTANGLE = "rectangle"
+    POLYGON = "polygon"
+    SET = "set"
+    OTHER = "other"
+
+    @property
+    def supports_equality(self) -> bool:
+        """Every domain supports equality ("A and B can be over any domain
+        that supports equality", §2)."""
+        return True
+
+    @property
+    def supports_overlap(self) -> bool:
+        return self in (Domain.INTERVAL, Domain.RECTANGLE, Domain.POLYGON)
+
+    @property
+    def supports_containment(self) -> bool:
+        return self is Domain.SET
+
+
+def infer_domain(value: Any) -> Domain:
+    """Classify a single attribute value.
+
+    Geometry types are detected by duck-typing on the primitives of
+    :mod:`repro.geometry.primitives` (checked by class name to avoid a hard
+    import cycle); sets cover ``set``/``frozenset``.
+    """
+    if isinstance(value, bool):
+        return Domain.OTHER
+    if isinstance(value, numbers.Number):
+        return Domain.NUMERIC
+    if isinstance(value, str):
+        return Domain.STRING
+    if isinstance(value, (set, frozenset)):
+        return Domain.SET
+    name = type(value).__name__
+    if name == "Interval":
+        return Domain.INTERVAL
+    if name == "Rectangle":
+        return Domain.RECTANGLE
+    if name == "Polygon":
+        return Domain.POLYGON
+    return Domain.OTHER
+
+
+def common_domain(values: Any) -> Domain:
+    """The domain shared by all values, or raise
+    :class:`~repro.errors.PredicateError` on a mixed column.
+
+    ``NUMERIC`` absorbs int/float mixes; an empty column is ``OTHER``.
+    """
+    domain: Domain | None = None
+    for value in values:
+        current = infer_domain(value)
+        if domain is None:
+            domain = current
+        elif domain != current:
+            raise PredicateError(
+                f"mixed column: saw both {domain.value} and {current.value}"
+            )
+    return domain if domain is not None else Domain.OTHER

@@ -1,0 +1,105 @@
+"""Loading and saving relations as text files.
+
+One value per line, with typed parsing so every domain the library joins
+over has a file format:
+
+- numerics: ``42`` or ``3.5``
+- strings: anything else (quoted forms keep leading/trailing spaces)
+- intervals: ``12.5..17.25``
+- rectangles: ``0,0..4,2.5`` (x_min,y_min..x_max,y_max)
+- sets: ``{a|b|c}`` (``{}`` is the empty set)
+
+The parser infers the domain from the first non-empty line and insists the
+rest of the file agrees (mirroring :class:`~repro.relations.relation.
+Relation`'s single-domain column rule).  The CLI's ``join`` command reads
+these files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import RelationError
+from repro.geometry.interval import Interval
+from repro.geometry.primitives import Rectangle
+from repro.relations.relation import Relation
+
+_INTERVAL = re.compile(r"^(-?\d+(?:\.\d+)?)\.\.(-?\d+(?:\.\d+)?)$")
+_RECTANGLE = re.compile(
+    r"^(-?\d+(?:\.\d+)?),(-?\d+(?:\.\d+)?)\.\.(-?\d+(?:\.\d+)?),(-?\d+(?:\.\d+)?)$"
+)
+_SET = re.compile(r"^\{(.*)\}$")
+_NUMBER = re.compile(r"^-?\d+(\.\d+)?$")
+_QUOTED = re.compile(r'^"(.*)"$')
+
+
+def parse_value(text: str) -> Any:
+    """Parse one line into a typed attribute value."""
+    stripped = text.strip()
+    quoted = _QUOTED.match(stripped)
+    if quoted:
+        return quoted.group(1)
+    match = _INTERVAL.match(stripped)
+    if match:
+        return Interval(float(match.group(1)), float(match.group(2)))
+    match = _RECTANGLE.match(stripped)
+    if match:
+        return Rectangle(*(float(match.group(i)) for i in range(1, 5)))
+    match = _SET.match(stripped)
+    if match:
+        body = match.group(1).strip()
+        if not body:
+            return frozenset()
+        return frozenset(part.strip() for part in body.split("|"))
+    if _NUMBER.match(stripped):
+        value = float(stripped)
+        return int(value) if value.is_integer() and "." not in stripped else value
+    return stripped
+
+
+def format_value(value: Any) -> str:
+    """Format a typed value back to its line form (inverse of parse)."""
+    if isinstance(value, Interval):
+        return f"{value.lo}..{value.hi}"
+    if isinstance(value, Rectangle):
+        return f"{value.x_min},{value.y_min}..{value.x_max},{value.y_max}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + "|".join(sorted(str(e) for e in value)) + "}"
+    if isinstance(value, str):
+        needs_quotes = (
+            value != value.strip()
+            or _NUMBER.match(value)
+            or _INTERVAL.match(value)
+            or _RECTANGLE.match(value)
+            or _SET.match(value)
+        )
+        return f'"{value}"' if needs_quotes else value
+    return str(value)
+
+
+def load_relation(name: str, text: str) -> Relation:
+    """Parse a relation file body into a named relation.
+
+    Blank lines and ``#`` comments are skipped; a domain mismatch anywhere
+    in the file raises :class:`~repro.errors.RelationError` with the line
+    number.
+    """
+    relation = Relation(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        value = parse_value(line)
+        try:
+            relation.append(value)
+        except RelationError as exc:
+            raise RelationError(f"line {lineno}: {exc}") from exc
+    return relation
+
+
+def dump_relation(relation: Relation) -> str:
+    """Serialize a relation; inverse of :func:`load_relation`."""
+    lines = [f"# relation {relation.name} ({relation.domain.value})"]
+    lines.extend(format_value(v) for v in relation.values)
+    return "\n".join(lines) + "\n"

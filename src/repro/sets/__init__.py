@@ -1,0 +1,22 @@
+"""Set-valued substrate for set-containment joins.
+
+Provides set-value helpers, superimposed-coding signatures (the classic
+filter for containment joins — Helmer–Moerkotte; Ramasamy et al., the
+paper's references [5, 14]), an inverted index on set elements, and the
+Lemma 3.3 universality construction: *every* bipartite graph is the join
+graph of some set-containment instance.
+"""
+
+from repro.sets.setvalue import contains, overlaps
+from repro.sets.signatures import Signature, SignatureScheme
+from repro.sets.inverted import InvertedIndex
+from repro.sets.realize import realize_bipartite_as_containment
+
+__all__ = [
+    "contains",
+    "overlaps",
+    "Signature",
+    "SignatureScheme",
+    "InvertedIndex",
+    "realize_bipartite_as_containment",
+]

@@ -1,0 +1,76 @@
+"""An inverted index on set elements.
+
+The other classic containment-join access path (Ramasamy et al., the
+paper's [14]): index the *right* relation by element; a left set ``A``
+joins exactly the right tuples appearing in the posting lists of **all**
+elements of ``A`` (an intersection of postings).  Empty ``A`` joins
+everything — the ⊆ predicate is vacuously true.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, Hashable
+
+from repro.errors import PredicateError
+
+
+class InvertedIndex:
+    """Element → posting-list index over ``(payload, set_value)`` entries.
+
+    Example
+    -------
+    >>> idx = InvertedIndex([("s0", {1, 2}), ("s1", {2, 3})])
+    >>> sorted(idx.superset_candidates({2}))
+    ['s0', 's1']
+    >>> sorted(idx.superset_candidates({1, 2}))
+    ['s0']
+    """
+
+    def __init__(self, entries: list[tuple[Any, AbstractSet[Hashable]]] = ()) -> None:
+        self._postings: dict[Hashable, set[Any]] = {}
+        self._all_payloads: list[Any] = []
+        for payload, value in entries:
+            self.add(payload, value)
+
+    def add(self, payload: Any, value: AbstractSet[Hashable]) -> None:
+        if not isinstance(value, (set, frozenset)):
+            raise PredicateError(f"{value!r} is not a set")
+        self._all_payloads.append(payload)
+        for element in value:
+            self._postings.setdefault(element, set()).add(payload)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._all_payloads)
+
+    @property
+    def num_elements(self) -> int:
+        return len(self._postings)
+
+    def postings(self, element: Hashable) -> set[Any]:
+        """The payload set containing ``element`` (empty if unseen)."""
+        return set(self._postings.get(element, ()))
+
+    def superset_candidates(self, query: AbstractSet[Hashable]) -> list[Any]:
+        """Payloads whose set contains *all* elements of ``query``.
+
+        Exact (no verification needed): intersects posting lists smallest
+        first.  An empty query matches every entry.
+        """
+        if not isinstance(query, (set, frozenset)):
+            raise PredicateError(f"{query!r} is not a set")
+        if not query:
+            return list(self._all_payloads)
+        lists = []
+        for element in query:
+            posting = self._postings.get(element)
+            if not posting:
+                return []
+            lists.append(posting)
+        lists.sort(key=len)
+        result = set(lists[0])
+        for posting in lists[1:]:
+            result &= posting
+            if not result:
+                return []
+        return sorted(result, key=repr)

@@ -1,0 +1,61 @@
+"""Set-value predicates.
+
+Set-containment joins use ``r.A ⊆ s.B`` (paper §2: "r.A ⊆ s.B"); the
+set-overlap variant ``r.A ∩ s.B ≠ ∅`` is also provided as an extension.
+Values are ``set`` or ``frozenset`` of hashable elements.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any
+
+from repro.errors import PredicateError
+
+SetValue = AbstractSet[Any]
+
+
+def _require_set(value: Any, side: str) -> SetValue:
+    if not isinstance(value, (set, frozenset)):
+        raise PredicateError(f"{side} value {value!r} is not a set")
+    return value
+
+
+def contains(left: Any, right: Any) -> bool:
+    """The containment predicate: ``left ⊆ right``.
+
+    Following the paper's direction, a tuple of ``R`` joins a tuple of ``S``
+    when the *left* set is contained in the *right* set.
+    """
+    return _require_set(left, "left") <= _require_set(right, "right")
+
+
+def overlaps(left: Any, right: Any) -> bool:
+    """The set-overlap predicate: ``left ∩ right ≠ ∅``."""
+    return bool(_require_set(left, "left") & _require_set(right, "right"))
+
+
+def universe_of(values) -> frozenset:
+    """The union of all set values (the element universe of a column)."""
+    out: set = set()
+    for value in values:
+        out |= _require_set(value, "column")
+    return frozenset(out)
+
+
+def containment_stats(left_values, right_values) -> dict:
+    """Quick selectivity statistics for a containment join input.
+
+    Used by workloads and examples to report how dense an instance is.
+    """
+    pairs = 0
+    matches = 0
+    for a in left_values:
+        for b in right_values:
+            pairs += 1
+            if contains(a, b):
+                matches += 1
+    return {
+        "pairs": pairs,
+        "matches": matches,
+        "selectivity": matches / pairs if pairs else 0.0,
+    }

@@ -1,0 +1,98 @@
+"""Superimposed-coding signatures for containment filtering.
+
+The standard pre-filter of main-memory containment joins (Helmer–Moerkotte,
+the paper's [5]): hash every element to ``k`` bit positions in a ``b``-bit
+word; a set's signature is the OR of its elements' codes.  Then
+``sig(A) & ~sig(B) == 0`` is necessary for ``A ⊆ B`` — signatures can
+produce false positives but never false negatives, so the verify step only
+runs on surviving pairs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import AbstractSet, Any
+
+from repro.errors import PredicateError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A fixed-width bit signature."""
+
+    bits: int
+    width: int
+
+    def covers(self, other: "Signature") -> bool:
+        """Necessary condition for *other's set* ⊆ *this signature's set*…
+
+        …is the wrong way around to remember, so use the scheme helper
+        :meth:`SignatureScheme.may_contain` instead; this low-level test is
+        ``other.bits ⊆ self.bits``.
+        """
+        if self.width != other.width:
+            raise PredicateError("signatures of different widths")
+        return other.bits & ~self.bits == 0
+
+
+class SignatureScheme:
+    """A hashing scheme: ``width`` bits, ``k`` probes per element.
+
+    Deterministic across runs (uses blake2b of the element repr), so test
+    expectations are stable.
+
+    Example
+    -------
+    >>> scheme = SignatureScheme(width=64, probes=2)
+    >>> a = scheme.signature({1, 2})
+    >>> b = scheme.signature({1, 2, 3})
+    >>> scheme.may_contain(a, b)   # {1,2} ⊆ {1,2,3}: must pass
+    True
+    """
+
+    def __init__(self, width: int = 64, probes: int = 2) -> None:
+        if width < 1 or probes < 1:
+            raise PredicateError("width and probes must be positive")
+        self.width = width
+        self.probes = probes
+
+    def element_code(self, element: Any) -> int:
+        """The ``k``-bit superimposed code of one element."""
+        code = 0
+        for probe in range(self.probes):
+            digest = hashlib.blake2b(
+                f"{probe}:{element!r}".encode(), digest_size=8
+            ).digest()
+            position = int.from_bytes(digest, "big") % self.width
+            code |= 1 << position
+        return code
+
+    def signature(self, value: AbstractSet[Any]) -> Signature:
+        """The OR of the element codes."""
+        if not isinstance(value, (set, frozenset)):
+            raise PredicateError(f"{value!r} is not a set")
+        bits = 0
+        for element in value:
+            bits |= self.element_code(element)
+        return Signature(bits, self.width)
+
+    def may_contain(self, left: Signature, right: Signature) -> bool:
+        """Signature test for ``left_set ⊆ right_set``.
+
+        True is a *maybe* (verify on the real sets); False is definitive.
+        """
+        if left.width != right.width:
+            raise PredicateError("signatures of different widths")
+        return left.bits & ~right.bits == 0
+
+    def false_positive_probability(self, left_size: int, right_size: int) -> float:
+        """Rough FP probability of the containment test for random sets.
+
+        Standard Bloom-style estimate: the right signature has roughly
+        ``width · (1 − (1 − 1/width)^(probes · right_size))`` bits set; the
+        test passes spuriously when all ``probes · left_size`` left bits
+        land on set positions.
+        """
+        fill = 1.0 - (1.0 - 1.0 / self.width) ** (self.probes * right_size)
+        return fill ** (self.probes * left_size)

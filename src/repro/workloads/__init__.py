@@ -1,0 +1,24 @@
+"""Workload generators: realistic join inputs for the three predicate classes.
+
+Every generator is deterministic given a seed and returns plain
+:class:`~repro.relations.relation.Relation` pairs, so examples, tests, and
+benchmarks all draw from the same distributions.
+"""
+
+from repro.workloads.equijoin import fk_pk_workload, zipf_equijoin_workload
+from repro.workloads.spatial import (
+    clustered_rectangles_workload,
+    map_overlay_workload,
+    uniform_rectangles_workload,
+)
+from repro.workloads.sets import market_basket_workload, zipf_sets_workload
+
+__all__ = [
+    "zipf_equijoin_workload",
+    "fk_pk_workload",
+    "uniform_rectangles_workload",
+    "clustered_rectangles_workload",
+    "map_overlay_workload",
+    "zipf_sets_workload",
+    "market_basket_workload",
+]

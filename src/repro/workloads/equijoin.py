@@ -1,0 +1,77 @@
+"""Equijoin workloads.
+
+Two staples of the equijoin literature:
+
+- Zipf-skewed keys on both sides — the join graph becomes a union of
+  complete bipartite blocks whose sizes follow the skew;
+- foreign-key → primary-key joins — every FK block meets exactly one PK
+  tuple, so blocks are stars ``K_{k,1}``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.relations.relation import Relation
+
+
+def _zipf_keys(rng: random.Random, n: int, universe: int, skew: float) -> list[int]:
+    """Draw ``n`` keys from ``{0..universe-1}`` with Zipf(s=skew) weights."""
+    weights = [1.0 / (k + 1) ** skew for k in range(universe)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    keys = []
+    for _ in range(n):
+        u = rng.random()
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        keys.append(lo)
+    return keys
+
+
+def zipf_equijoin_workload(
+    n_left: int,
+    n_right: int,
+    key_universe: int = 100,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Zipf-distributed integer keys on both sides."""
+    if n_left < 1 or n_right < 1 or key_universe < 1:
+        raise WorkloadError("sizes must be positive")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    rng = random.Random(seed)
+    return (
+        Relation("R", _zipf_keys(rng, n_left, key_universe, skew)),
+        Relation("S", _zipf_keys(rng, n_right, key_universe, skew)),
+    )
+
+
+def fk_pk_workload(
+    n_fact: int,
+    n_dim: int,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """A foreign-key/primary-key join: ``R`` holds FKs drawn uniformly from
+    the ``n_dim`` distinct PKs of ``S``.
+
+    Every join-graph component is a star, hence pebbles perfectly — the
+    easiest realistic equijoin shape.
+    """
+    if n_fact < 1 or n_dim < 1:
+        raise WorkloadError("sizes must be positive")
+    rng = random.Random(seed)
+    fact = [rng.randrange(n_dim) for _ in range(n_fact)]
+    dim = list(range(n_dim))
+    return Relation("R", fact), Relation("S", dim)

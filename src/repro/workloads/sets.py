@@ -1,0 +1,103 @@
+"""Set-valued workloads for containment joins.
+
+- Zipf-element sets: elements drawn with Zipf skew (popular elements appear
+  in many sets), left sets small, right sets larger — the typical profile
+  where containment matches exist;
+- market-basket: right tuples are "baskets" over an item catalog; left
+  tuples are small "query patterns" (some sampled from baskets so matches
+  are guaranteed to exist).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+from repro.relations.relation import Relation
+
+
+def _zipf_element(rng: random.Random, universe: int, skew: float) -> int:
+    # Inverse-CDF sampling over a small universe is fine at workload scale.
+    weights = [1.0 / (k + 1) ** skew for k in range(universe)]
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    for k, w in enumerate(weights):
+        acc += w
+        if u <= acc:
+            return k
+    return universe - 1
+
+
+def _random_set(
+    rng: random.Random, universe: int, size: int, skew: float
+) -> frozenset:
+    out: set[int] = set()
+    guard = 0
+    while len(out) < size and guard < 50 * size:
+        out.add(_zipf_element(rng, universe, skew))
+        guard += 1
+    return frozenset(out)
+
+
+def zipf_sets_workload(
+    n_left: int,
+    n_right: int,
+    universe: int = 50,
+    left_size: int = 2,
+    right_size: int = 8,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Zipf-element sets: small left sets, larger right sets."""
+    if min(n_left, n_right, universe, left_size, right_size) < 1:
+        raise WorkloadError("sizes must be positive")
+    if left_size > universe or right_size > universe:
+        raise WorkloadError("set sizes cannot exceed the universe")
+    rng = random.Random(seed)
+    return (
+        Relation(
+            "R", [_random_set(rng, universe, left_size, skew) for _ in range(n_left)]
+        ),
+        Relation(
+            "S", [_random_set(rng, universe, right_size, skew) for _ in range(n_right)]
+        ),
+    )
+
+
+def market_basket_workload(
+    n_patterns: int,
+    n_baskets: int,
+    catalog: int = 100,
+    basket_size: int = 12,
+    pattern_size: int = 3,
+    hit_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Query patterns vs shopping baskets.
+
+    A ``hit_fraction`` of the patterns are subsampled from actual baskets
+    (guaranteeing containment matches); the rest are random (mostly
+    non-matching).  Returns ``(patterns, baskets)``.
+    """
+    if min(n_patterns, n_baskets, catalog, basket_size, pattern_size) < 1:
+        raise WorkloadError("sizes must be positive")
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise WorkloadError("hit_fraction must lie in [0, 1]")
+    rng = random.Random(seed)
+    baskets = [
+        frozenset(rng.sample(range(catalog), min(basket_size, catalog)))
+        for _ in range(n_baskets)
+    ]
+    patterns = []
+    for _ in range(n_patterns):
+        if rng.random() < hit_fraction:
+            source = baskets[rng.randrange(n_baskets)]
+            patterns.append(
+                frozenset(rng.sample(sorted(source), min(pattern_size, len(source))))
+            )
+        else:
+            patterns.append(
+                frozenset(rng.sample(range(catalog), min(pattern_size, catalog)))
+            )
+    return Relation("R", patterns), Relation("S", baskets)

@@ -1,0 +1,65 @@
+"""Tests for ASCII rendering."""
+
+from repro.analysis.render import (
+    render_bipartite,
+    render_graph,
+    render_partitioning,
+    render_scheme,
+)
+from repro.graphs.generators import complete_bipartite, path_graph, union_of_bicliques
+from repro.graphs.simple import Graph
+from repro.core.scheme import PebblingScheme
+from repro.joins.partitioning import hash_partitioning
+
+
+class TestRenderBipartite:
+    def test_complete_graph_all_hash(self):
+        text = render_bipartite(complete_bipartite(2, 2))
+        assert text.count("#") == 4
+        assert "." not in text
+
+    def test_sparse_graph_mixes_marks(self):
+        g = path_graph(3)  # 2x2 grid with one missing edge
+        text = render_bipartite(g)
+        assert "#" in text and "." in text
+
+    def test_wide_graph_truncated(self):
+        g = complete_bipartite(1, 60)
+        text = render_bipartite(g, max_width=30)
+        assert "..." in text
+
+
+class TestRenderGraph:
+    def test_lists_degrees(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        text = render_graph(g)
+        assert "b (deg 2)" in text
+        assert "a (deg 1)" in text
+
+
+class TestRenderScheme:
+    def test_slide_and_totals(self):
+        g = path_graph(2)
+        s = PebblingScheme.from_edge_order(g, [("u0", "v0"), ("u1", "v0")])
+        text = render_scheme(g, s)
+        assert "place both" in text
+        assert "slide (+1)" in text
+        assert "pi_hat=3, jumps=0" in text
+
+    def test_jump_annotated(self):
+        from repro.graphs.generators import matching_graph
+
+        g = matching_graph(2)
+        s = PebblingScheme.from_edge_order(g, g.edges())
+        text = render_scheme(g, s)
+        assert "jump  (+2)" in text
+        assert "jumps=1" in text
+
+
+class TestRenderPartitioning:
+    def test_grid_marks(self):
+        g = union_of_bicliques([(2, 2), (1, 1)])
+        part = hash_partitioning(g, 2, 2)
+        text = render_partitioning(g, part)
+        assert text.count("#") == part.cost(g)
+        assert "active cells:" in text

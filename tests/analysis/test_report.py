@@ -1,0 +1,121 @@
+"""Tests for the report tables and the experiment drivers."""
+
+import pytest
+
+from repro.analysis.report import Table, format_series, ratio
+
+
+class TestTable:
+    def test_render_basic(self):
+        t = Table(["a", "bb"])
+        t.add_row([1, 2])
+        text = t.render()
+        assert "a" in text and "bb" in text
+        assert "1" in text
+
+    def test_title(self):
+        t = Table(["x"], title="My title")
+        t.add_row([5])
+        assert t.render().splitlines()[0] == "My title"
+
+    def test_column_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1.23456789])
+        assert "1.235" in t.render()
+
+    def test_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["x", 1])
+        t.add_row(["longer", 2])
+        lines = t.render().splitlines()
+        assert len(lines[2]) >= len("longer")
+
+    def test_len(self):
+        t = Table(["a"])
+        assert len(t) == 0
+        t.add_row([1])
+        assert len(t) == 1
+
+    def test_render_latex(self):
+        t = Table(["n", "pi_exact"], title="My table")
+        t.add_row([3, 7])
+        latex = t.render_latex()
+        assert latex.startswith("% My table")
+        assert "\\begin{tabular}{ll}" in latex
+        assert "pi\\_exact" in latex  # underscore escaped
+        assert "3 & 7 \\\\" in latex
+        assert latex.endswith("\\end{tabular}")
+
+
+class TestHelpers:
+    def test_format_series(self):
+        assert format_series("s", [(1, 2), (3, 4)]) == "s: 1->2 3->4"
+
+    def test_ratio(self):
+        assert ratio(4, 2) == 2.0
+        assert ratio(0, 0) == 1.0
+        assert ratio(1, 0) == float("inf")
+
+
+class TestExperimentDrivers:
+    """Smoke-level runs of every driver with tiny parameters."""
+
+    def test_bounds(self):
+        from repro.analysis.experiments import bounds_experiment
+
+        table = bounds_experiment(seeds=3)
+        assert len(table) == 3
+
+    def test_worst_case(self):
+        from repro.analysis.experiments import worst_case_experiment
+
+        table = worst_case_experiment(max_n=4)
+        assert len(table) == 4
+
+    def test_equijoin(self):
+        from repro.analysis.experiments import equijoin_perfect_experiment
+
+        table = equijoin_perfect_experiment(block_counts=(2, 4))
+        assert len(table) == 2
+
+    def test_dfs(self):
+        from repro.analysis.experiments import dfs_approx_experiment
+
+        table = dfs_approx_experiment(seeds=2, size=4)
+        assert len(table) == 2
+
+    def test_hardness(self):
+        from repro.analysis.experiments import hardness_scaling_experiment
+
+        table = hardness_scaling_experiment(sizes=(5, 6), node_budget=50_000)
+        assert len(table) == 2
+
+    def test_perfect_iff_ham(self):
+        from repro.analysis.experiments import perfect_iff_hamiltonian_experiment
+
+        table = perfect_iff_hamiltonian_experiment(seeds=2)
+        assert len(table) == 2
+
+    def test_reductions(self):
+        from repro.analysis.experiments import reduction_experiment
+
+        diamond, incidence = reduction_experiment(seeds=2)
+        assert len(diamond) == 2
+        assert len(incidence) >= 1
+
+    def test_approx_ladder(self):
+        from repro.analysis.experiments import approx_ladder_experiment
+
+        table = approx_ladder_experiment(seeds=2)
+        assert len(table) == 2
+
+    def test_join_algorithms(self):
+        from repro.analysis.experiments import join_algorithm_experiment
+
+        table = join_algorithm_experiment()
+        assert len(table) >= 4

@@ -1,0 +1,74 @@
+"""Tests for the SVG renderer (structure-level assertions)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import join_graph_svg, spatial_instance_svg
+from repro.geometry.realize import (
+    realize_bipartite_with_combs,
+    realize_worst_case_family,
+)
+from repro.graphs.generators import complete_bipartite, random_bipartite_gnm
+from repro.core.families import worst_case_family
+from repro.core.solvers.equijoin import solve_equijoin
+from repro.relations.relation import Relation
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSpatialSvg:
+    def test_rectangle_instance(self):
+        left, right = realize_worst_case_family(4)
+        svg = spatial_instance_svg(left, right)
+        root = _parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # background + 5 left + 4 right rectangles
+        assert len(rects) == 1 + len(left) + len(right)
+
+    def test_comb_polygon_instance(self):
+        target = random_bipartite_gnm(3, 3, 5, seed=1)
+        left, right = realize_bipartite_with_combs(target)
+        svg = spatial_instance_svg(left, right)
+        root = _parse(svg)
+        polygons = [e for e in root.iter() if e.tag.endswith("polygon")]
+        assert len(polygons) == len(left) + len(right)
+
+    def test_coordinates_within_canvas(self):
+        left, right = realize_worst_case_family(3)
+        svg = spatial_instance_svg(left, right, width=300.0)
+        root = _parse(svg)
+        width = float(root.attrib["width"])
+        for rect in root.iter():
+            if rect.tag.endswith("rect") and "x" in rect.attrib:
+                assert 0 <= float(rect.attrib["x"]) <= width
+
+    def test_rejects_non_spatial(self):
+        with pytest.raises(TypeError):
+            spatial_instance_svg(Relation("R", [1]), Relation("S", [2]))
+
+
+class TestJoinGraphSvg:
+    def test_vertices_and_edges_drawn(self):
+        g = complete_bipartite(2, 3)
+        root = _parse(join_graph_svg(g))
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        lines = [e for e in root.iter() if e.tag.endswith("line")]
+        assert len(circles) == 5
+        assert len(lines) == 6
+
+    def test_scheme_annotations(self):
+        g = complete_bipartite(2, 2)
+        scheme = solve_equijoin(g)
+        root = _parse(join_graph_svg(g, scheme))
+        labels = [
+            e.text for e in root.iter() if e.tag.endswith("text") and e.text.isdigit()
+        ]
+        assert sorted(int(t) for t in labels) == [1, 2, 3, 4]
+
+    def test_worst_case_family_renders(self):
+        g = worst_case_family(5)
+        svg = join_graph_svg(g)
+        assert svg.count("<line") == g.num_edges

@@ -1,0 +1,50 @@
+"""Shared fixtures: a zoo of small graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path4() -> BipartiteGraph:
+    """A path with 4 edges."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def k23() -> BipartiteGraph:
+    """The complete bipartite graph K_{2,3}."""
+    return complete_bipartite(2, 3)
+
+
+@pytest.fixture
+def cycle6() -> BipartiteGraph:
+    """A 6-edge cycle."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def matching5() -> BipartiteGraph:
+    """A matching with 5 edges (5 components)."""
+    return matching_graph(5)
+
+
+@pytest.fixture
+def star4() -> BipartiteGraph:
+    """The star K_{1,4}."""
+    return star_graph(4)
+
+
+@pytest.fixture
+def tiny_zoo(path4, k23, cycle6, matching5, star4) -> list[BipartiteGraph]:
+    """A varied collection of small graphs for sweep-style tests."""
+    return [path4, k23, cycle6, matching5, star4]

@@ -1,0 +1,71 @@
+"""Tests for the simulated annealing solver."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    random_bipartite_gnm,
+    random_connected_bipartite,
+)
+from repro.core.families import worst_case_effective_cost, worst_case_family
+from repro.core.solvers.anneal import anneal_component_tour, solve_anneal
+from repro.core.solvers.dfs_approx import solve_dfs_approx
+from repro.core.solvers.exact import solve_exact
+from repro.core.solvers.registry import solve
+from repro.core.tsp import tour_cost
+
+
+class TestAnneal:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_and_never_worse_than_start(self, seed):
+        g = random_connected_bipartite(5, 5, extra_edges=3, seed=seed)
+        result = solve_anneal(g, seed=seed)
+        result.scheme.validate(g)
+        start = solve_dfs_approx(g)
+        assert result.effective_cost <= start.effective_cost
+
+    def test_reaches_optimum_on_worst_case_family(self):
+        g = worst_case_family(6)
+        result = solve_anneal(g, seed=1, steps=8000)
+        assert result.effective_cost == worst_case_effective_cost(6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_close_to_exact_on_random(self, seed):
+        g = random_bipartite_gnm(4, 4, 9, seed=seed).without_isolated_vertices()
+        if g.num_edges == 0:
+            return
+        exact = solve_exact(g).effective_cost
+        annealed = solve_anneal(g, seed=seed).effective_cost
+        assert annealed <= exact + 1  # typically equal
+
+    def test_deterministic_given_seed(self):
+        g = random_connected_bipartite(5, 5, extra_edges=4, seed=2)
+        a = solve_anneal(g, seed=7).effective_cost
+        b = solve_anneal(g, seed=7).effective_cost
+        assert a == b
+
+    def test_registry_integration(self):
+        g = complete_bipartite(2, 3)
+        result = solve(g, "anneal")
+        result.scheme.validate(g)
+        assert result.method == "anneal"
+        assert not result.optimal
+
+    def test_component_anneal_never_increases_cost(self):
+        g = worst_case_family(4)
+        import random as random_module
+
+        tour = g.edges()  # deliberately bad order
+        annealed, accepted = anneal_component_tour(
+            tour, random_module.Random(0), steps=2000
+        )
+        assert tour_cost(annealed) <= tour_cost(tour)
+        assert sorted(map(repr, annealed)) == sorted(map(repr, tour))
+
+    def test_tiny_tour_untouched(self):
+        import random as random_module
+
+        tour = [("u0", "v0"), ("u1", "v0")]
+        annealed, accepted = anneal_component_tour(tour, random_module.Random(0))
+        assert annealed == tour
+        assert accepted == 0

@@ -1,0 +1,99 @@
+"""Tests for the cost bounds of §2.1."""
+
+from repro.graphs.components import disjoint_union
+from repro.graphs.generators import (
+    complete_bipartite,
+    matching_graph,
+    path_graph,
+    union_of_bicliques,
+)
+from repro.core.costs import (
+    effective_cost_bounds,
+    effective_cost_of_edge_order,
+    is_perfect_scheme,
+    matching_raw_cost,
+    naive_cost_bounds,
+    perfect_cost,
+    raw_cost_bounds,
+)
+from repro.core.scheme import PebblingScheme
+from repro.core.solvers.equijoin import solve_equijoin
+
+
+class TestBounds:
+    def test_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert effective_cost_bounds(BipartiteGraph()) == (0, 0)
+        assert naive_cost_bounds(BipartiteGraph()) == (0, 0)
+
+    def test_connected_bounds(self, k23):
+        lower, upper = effective_cost_bounds(k23)
+        assert lower == 6
+        assert upper == 7  # floor(1.25 * 6)
+
+    def test_naive_bounds(self, k23):
+        assert naive_cost_bounds(k23) == (6, 11)
+
+    def test_bounds_sum_over_components(self):
+        g = union_of_bicliques([(2, 2), (2, 2)])
+        lower, upper = effective_cost_bounds(g)
+        assert lower == 8
+        assert upper == 10  # 5 + 5
+
+    def test_raw_bounds_shift_by_betti(self):
+        g = matching_graph(3)
+        lower, upper = raw_cost_bounds(g)
+        eff_lower, eff_upper = effective_cost_bounds(g)
+        assert lower == eff_lower + 3
+        assert upper == eff_upper + 3
+
+    def test_matching_raw_cost(self):
+        assert matching_raw_cost(7) == 14
+
+
+class TestPerfect:
+    def test_perfect_cost_is_m(self, k23):
+        assert perfect_cost(k23) == 6
+
+    def test_equijoin_scheme_is_perfect(self, k23):
+        scheme = solve_equijoin(k23)
+        assert is_perfect_scheme(k23, scheme)
+
+    def test_matching_scheme_is_perfect(self):
+        # A matching's pi equals m (all cost is start-up, subtracted by β0).
+        g = matching_graph(3)
+        scheme = PebblingScheme.from_edge_order(g, g.edges())
+        assert is_perfect_scheme(g, scheme)
+
+    def test_invalid_scheme_not_perfect(self, k23):
+        scheme = PebblingScheme(k23.edges()[:-1])
+        assert not is_perfect_scheme(k23, scheme)
+
+
+class TestEdgeOrderCost:
+    def test_connected_identity(self):
+        g = path_graph(3)
+        from tests.core.test_scheme import _path_order
+
+        order = _path_order(g)
+        assert effective_cost_of_edge_order(order) == 3  # m + 0 jumps
+
+    def test_jumpy_order(self):
+        g = matching_graph(3)
+        order = g.edges()
+        # beta0 = 3: pi = m + 1 + J - beta0 = 3 + 1 + 2 - 3 = 3.
+        assert effective_cost_of_edge_order(order, beta0=3) == 3
+
+    def test_empty(self):
+        assert effective_cost_of_edge_order([]) == 0
+
+    def test_agrees_with_scheme_cost(self, cycle6):
+        from repro.core.solvers.exact import solve_exact
+
+        result = solve_exact(cycle6)
+        order = [cycle6.orient_edge(*c) for c in result.scheme.configurations]
+        assert (
+            effective_cost_of_edge_order(order)
+            == result.scheme.effective_cost(cycle6)
+        )

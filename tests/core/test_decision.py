@@ -1,0 +1,94 @@
+"""Tests for PEBBLE(D), the explicit decision problem (Def 4.1)."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    random_bipartite_gnm,
+    union_of_bicliques,
+)
+from repro.core.decision import PebbleDecision, decide_pebble, decide_per_component
+from repro.core.families import worst_case_effective_cost, worst_case_family
+from repro.core.solvers.exact import solve_exact
+
+
+class TestDecide:
+    def test_yes_at_optimum(self):
+        g = worst_case_family(4)
+        opt = worst_case_effective_cost(4)
+        decision = decide_pebble(g, opt)
+        assert decision.answer
+        assert decision.verify(g)
+
+    def test_no_below_optimum(self):
+        g = worst_case_family(4)
+        opt = worst_case_effective_cost(4)
+        decision = decide_pebble(g, opt - 1)
+        assert not decision.answer
+        assert decision.verify(g)
+        assert decision.lower_bound == opt or decision.lower_bound > opt - 1
+
+    def test_fast_no_via_deficiency_bound(self):
+        # K below even the deficiency bound: answered without search.
+        g = worst_case_family(6)
+        decision = decide_pebble(g, g.num_edges)  # optimum is m + 2
+        assert not decision.answer
+        assert "deficiency" in decision.reason
+
+    def test_fast_yes_via_dfs_bound(self):
+        g = complete_bipartite(3, 3)
+        decision = decide_pebble(g, 2 * g.num_edges)
+        assert decision.answer
+        assert decision.verify(g)
+
+    def test_boundary_consistency_sweep(self):
+        # The decision flips exactly at the optimum, for many instances.
+        for seed in range(6):
+            g = random_bipartite_gnm(3, 4, 7, seed=seed).without_isolated_vertices()
+            if g.num_edges == 0:
+                continue
+            opt = solve_exact(g).effective_cost
+            assert decide_pebble(g, opt).answer
+            assert not decide_pebble(g, opt - 1).answer
+
+    def test_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert decide_pebble(BipartiteGraph(), 0).answer
+        assert not decide_pebble(BipartiteGraph(), -1).answer
+
+    def test_certificates_verify(self):
+        for seed in range(4):
+            g = random_bipartite_gnm(4, 4, 8, seed=seed).without_isolated_vertices()
+            if g.num_edges == 0:
+                continue
+            opt = solve_exact(g).effective_cost
+            for threshold in (opt - 1, opt, opt + 2):
+                decision = decide_pebble(g, threshold)
+                assert decision.verify(g), (seed, threshold)
+
+    def test_tampered_certificate_fails_verification(self):
+        g = complete_bipartite(2, 2)
+        decision = decide_pebble(g, 10)
+        assert decision.answer
+        tampered = PebbleDecision(
+            answer=True,
+            threshold=2,  # below m: no valid scheme can witness this
+            reason="tampered",
+            scheme=decision.scheme,
+            lower_bound=None,
+        )
+        assert not tampered.verify(g)
+
+
+class TestPerComponent:
+    def test_component_report(self):
+        g = union_of_bicliques([(2, 2), (1, 3)])
+        report = decide_per_component(g, threshold=0)
+        assert len(report) == 2
+        assert sum(entry["pi"] for entry in report) == g.num_edges
+
+    def test_component_report_on_hard_family(self):
+        g = worst_case_family(3)
+        report = decide_per_component(g, threshold=0)
+        assert report[0]["jumps"] == 1

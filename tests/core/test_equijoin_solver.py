@@ -1,0 +1,92 @@
+"""Tests for the linear-time equijoin pebbler (Lemma 3.2, Thms 3.2/4.1)."""
+
+import time
+
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    union_of_bicliques,
+)
+from repro.core.solvers.equijoin import (
+    biclique_tour,
+    is_union_of_bicliques,
+    solve_equijoin,
+)
+from repro.core.families import worst_case_family
+
+
+class TestStructureCheck:
+    def test_biclique_union_accepted(self):
+        assert is_union_of_bicliques(union_of_bicliques([(2, 3), (1, 1), (4, 2)]))
+
+    def test_matching_is_biclique_union(self):
+        assert is_union_of_bicliques(matching_graph(5))
+
+    def test_cycle_rejected(self):
+        assert not is_union_of_bicliques(cycle_graph(6))
+
+    def test_worst_case_family_rejected(self):
+        # Fig 1 graphs cannot be equijoin graphs (paper §3.2).
+        assert not is_union_of_bicliques(worst_case_family(4))
+
+    def test_isolated_vertices_ignored(self):
+        g = complete_bipartite(2, 2)
+        g.add_left_vertex("iso")
+        assert is_union_of_bicliques(g)
+
+
+class TestBoustrophedon:
+    @pytest.mark.parametrize("k,l", [(1, 1), (1, 5), (3, 1), (2, 3), (4, 4)])
+    def test_tour_has_no_jumps(self, k, l):
+        tour = biclique_tour(complete_bipartite(k, l))
+        for e1, e2 in zip(tour, tour[1:]):
+            assert set(e1) & set(e2), f"jump between {e1} and {e2}"
+
+    def test_tour_covers_all_edges_once(self):
+        g = complete_bipartite(3, 4)
+        tour = biclique_tour(g)
+        assert len(tour) == 12
+        assert len(set(tour)) == 12
+
+
+class TestSolve:
+    def test_perfect_on_biclique_union(self):
+        g = union_of_bicliques([(2, 2), (3, 1), (1, 4)])
+        scheme = solve_equijoin(g)
+        scheme.validate(g)
+        assert scheme.effective_cost(g) == g.num_edges
+
+    def test_rejects_non_equijoin_graph(self):
+        with pytest.raises(SolverError):
+            solve_equijoin(cycle_graph(6))
+
+    def test_rejects_worst_case_family(self):
+        with pytest.raises(SolverError):
+            solve_equijoin(worst_case_family(3))
+
+    def test_scaling_is_roughly_linear(self):
+        # Thm 4.1: linear time.  We check that 4x the edges costs well under
+        # the ~16x a quadratic algorithm would take (generous slack for
+        # timing noise).
+        small = union_of_bicliques([(4, 4)] * 25)  # m = 400
+        large = union_of_bicliques([(4, 4)] * 100)  # m = 1600
+
+        def timed(graph):
+            start = time.perf_counter()
+            solve_equijoin(graph)
+            return time.perf_counter() - start
+
+        timed(small)  # warm-up
+        t_small = min(timed(small) for _ in range(3))
+        t_large = min(timed(large) for _ in range(3))
+        assert t_large < 10 * max(t_small, 1e-4)
+
+    def test_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        scheme = solve_equijoin(BipartiteGraph())
+        assert scheme.cost() == 0

@@ -1,0 +1,111 @@
+"""Tests for the worst-case family G_n (Theorem 3.3, Fig 1)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.components import is_connected
+from repro.graphs.line_graph import line_graph
+from repro.core.families import (
+    corona_line_graph,
+    is_corona_of_clique,
+    jump_count_of_family,
+    worst_case_effective_cost,
+    worst_case_family,
+    worst_case_scheme,
+    worst_case_tour,
+)
+from repro.core.solvers.exact import solve_exact
+
+
+class TestFamilyShape:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_edge_count(self, n):
+        assert worst_case_family(n).num_edges == 2 * n
+
+    def test_connected(self):
+        assert is_connected(worst_case_family(5))
+
+    def test_not_complete_bipartite(self):
+        # The paper notes Fig 1 graphs cannot be equijoin graphs.
+        from repro.core.solvers.equijoin import is_union_of_bicliques
+
+        assert not is_union_of_bicliques(worst_case_family(3))
+
+    def test_invalid_n(self):
+        with pytest.raises(GraphError):
+            worst_case_family(0)
+        with pytest.raises(GraphError):
+            worst_case_effective_cost(0)
+        with pytest.raises(GraphError):
+            worst_case_tour(0)
+
+
+class TestLineGraphCorona:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_line_graph_is_corona(self, n):
+        assert line_graph(worst_case_family(n)) == corona_line_graph(n)
+
+    def test_corona_recognizer_accepts(self):
+        assert is_corona_of_clique(corona_line_graph(5))
+
+    def test_corona_recognizer_rejects_plain_clique(self):
+        from repro.graphs.simple import Graph
+        from itertools import combinations
+
+        clique = Graph(edges=combinations(range(4), 2))
+        assert not is_corona_of_clique(clique)
+
+    def test_corona_recognizer_rejects_path(self):
+        from repro.graphs.simple import Graph
+
+        # A 2-path: pendants 'a','c' both attach to 'b' — not a corona.
+        path = Graph(edges=[("a", "b"), ("b", "c")])
+        assert not is_corona_of_clique(path)
+
+    def test_corona_recognizer_rejects_double_pendant(self):
+        from repro.graphs.simple import Graph
+        from itertools import combinations
+
+        g = Graph(edges=combinations(range(3), 2))
+        g.add_edge(0, "p0")
+        g.add_edge(0, "p1")
+        g.add_edge(1, "p2")
+        assert not is_corona_of_clique(g)
+
+
+class TestOptimalCost:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_formula_matches_exact_solver(self, n):
+        family = worst_case_family(n)
+        assert solve_exact(family).effective_cost == worst_case_effective_cost(n)
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_even_n_equals_paper_bound(self, n):
+        # For even n the paper's 1.25m − 1 is exact.
+        m = 2 * n
+        assert worst_case_effective_cost(n) == 1.25 * m - 1
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_odd_n_above_paper_proof_bound(self, n):
+        # The proof of Thm 3.3 lower-bounds tour cost by 1.25m − 2, i.e.
+        # pi >= 1.25m − 1; odd n sits half a unit above 1.25m − 1.
+        m = 2 * n
+        assert worst_case_effective_cost(n) >= 1.25 * m - 1
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_explicit_scheme_is_optimal(self, n):
+        family = worst_case_family(n)
+        scheme = worst_case_scheme(n)
+        scheme.validate(family)
+        assert scheme.effective_cost(family) == worst_case_effective_cost(n)
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_jump_count(self, n):
+        scheme = worst_case_scheme(n)
+        assert scheme.jumps() == jump_count_of_family(n)
+
+    def test_ratio_tends_to_125(self):
+        # pi / m -> 1.25 as n grows.
+        n = 40
+        ratio = worst_case_effective_cost(n) / (2 * n)
+        assert ratio > 1.2

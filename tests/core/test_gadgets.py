@@ -1,0 +1,121 @@
+"""Tests for the diamond gadget (Fig 2) and its certification."""
+
+import itertools
+
+import pytest
+
+from repro.errors import GadgetError
+from repro.graphs.hamiltonian import enumerate_hamiltonian_paths
+from repro.graphs.simple import Graph
+from repro.core.gadgets import DiamondGadget, default_gadget
+
+
+class TestDefaultGadgetCertificate:
+    def test_degree_bound(self):
+        gadget = default_gadget()
+        cert = gadget.certify()
+        assert cert.degree_ok
+        for corner in gadget.corners:
+            assert gadget.graph.degree(corner) == 2
+        for central in gadget.central_nodes():
+            assert gadget.graph.degree(central) <= 3
+
+    def test_endpoint_property(self):
+        # Every Hamiltonian path of the gadget ends at two corners.
+        gadget = default_gadget()
+        assert gadget.certify().endpoints_ok
+
+    def test_endpoint_property_by_full_enumeration(self):
+        # Independent re-verification via explicit path enumeration.
+        gadget = default_gadget()
+        corner_set = set(gadget.corners)
+        found = 0
+        for path in enumerate_hamiltonian_paths(gadget.graph):
+            found += 1
+            assert path[0] in corner_set and path[-1] in corner_set
+        assert found > 0
+
+    def test_corner_connectivity_five_of_six(self):
+        # The shipped gadget's documented certificate: exactly one corner
+        # pair lacks a Hamiltonian path (and no <=14-node gadget can have
+        # all six: see repro.core.gadget_search).
+        gadget = default_gadget()
+        assert len(gadget.missing_pairs()) == 1
+
+    def test_corner_paths_are_hamiltonian(self):
+        gadget = default_gadget()
+        for c1, c2 in itertools.combinations(gadget.corners, 2):
+            path = gadget.hamiltonian_corner_path(c1, c2)
+            if path is None:
+                continue
+            assert path[0] == c1 and path[-1] == c2
+            assert len(path) == gadget.num_nodes
+            for a, b in zip(path, path[1:]):
+                assert gadget.graph.has_edge(a, b)
+
+    def test_reversed_corner_path_cached(self):
+        gadget = default_gadget()
+        c1, c2 = gadget.corners[0], gadget.corners[1]
+        forward = gadget.hamiltonian_corner_path(c1, c2)
+        backward = gadget.hamiltonian_corner_path(c2, c1)
+        assert backward == list(reversed(forward))
+
+
+class TestPickCornerPair:
+    def test_pinned_pair_with_path(self):
+        gadget = default_gadget()
+        for c1, c2 in itertools.combinations(gadget.corners, 2):
+            if gadget.hamiltonian_corner_path(c1, c2) is not None:
+                assert gadget.pick_corner_pair(c1, c2) == (c1, c2)
+                break
+
+    def test_missing_pair_releases_exit(self):
+        gadget = default_gadget()
+        (c1, c2) = gadget.missing_pairs()[0]
+        picked = gadget.pick_corner_pair(c1, c2)
+        assert picked[0] == c1
+        assert gadget.hamiltonian_corner_path(*picked) is not None
+
+    def test_free_traversal(self):
+        gadget = default_gadget()
+        c1, c2 = gadget.pick_corner_pair(None, None)
+        assert gadget.hamiltonian_corner_path(c1, c2) is not None
+
+    def test_same_corner_both_sides(self):
+        gadget = default_gadget()
+        corner = gadget.corners[0]
+        c1, c2 = gadget.pick_corner_pair(corner, corner)
+        assert c1 == corner and c2 != corner
+
+    def test_non_corner_rejected(self):
+        gadget = default_gadget()
+        central = gadget.central_nodes()[0]
+        with pytest.raises(GadgetError):
+            gadget.pick_corner_pair(central, None)
+
+
+class TestConstruction:
+    def test_needs_four_corners(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(GadgetError):
+            DiamondGadget(g, (0, 1, 2))
+
+    def test_corners_must_exist(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        with pytest.raises(GadgetError):
+            DiamondGadget(g, (0, 1, 2, 99))
+
+    def test_graph_is_copied(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        gadget = DiamondGadget(g, (0, 1, 2, 3))
+        g.add_edge(0, 4)
+        assert not gadget.graph.has_edge(0, 4)
+
+    def test_failed_certificate_on_bad_gadget(self):
+        # A plain path: corners 0 and 4 connect, but interior "corners"
+        # kill most pairs.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        gadget = DiamondGadget(g, (0, 1, 3, 4))
+        cert = gadget.certify()
+        assert not cert.corner_pairs_ok
+        assert not cert.full

@@ -1,0 +1,99 @@
+"""Tests for the move-by-move pebble game simulator."""
+
+import pytest
+
+from repro.errors import SchemeError, VertexError
+from repro.graphs.generators import complete_bipartite, path_graph
+from repro.core.game import PebbleGame
+from repro.core.scheme import PebblingScheme
+from repro.core.solvers.equijoin import biclique_tour
+
+
+class TestMoves:
+    def test_initial_state(self, path4):
+        game = PebbleGame(path4)
+        assert game.remaining_edges == 4
+        assert not game.is_won()
+        assert game.moves_used == 0
+
+    def test_move_deletes_edge(self):
+        g = path_graph(2)
+        game = PebbleGame(g)
+        game.move(0, "u0")
+        deleted = game.move(1, "v0")
+        assert set(deleted) == {"u0", "v0"}
+        assert game.remaining_edges == 1
+
+    def test_move_without_edge_deletes_nothing(self, path4):
+        game = PebbleGame(path4)
+        game.move(0, "u0")
+        assert game.move(1, "v1") is None  # not adjacent in path
+
+    def test_teleporting_allowed(self, k23):
+        game = PebbleGame(k23)
+        game.move(0, "u0")
+        game.move(0, "u1")  # reposition without deleting anything
+        assert game.moves_used == 2
+
+    def test_double_occupancy_rejected(self, path4):
+        game = PebbleGame(path4)
+        game.move(0, "u0")
+        with pytest.raises(SchemeError):
+            game.move(1, "u0")
+
+    def test_bad_pebble_index(self, path4):
+        with pytest.raises(SchemeError):
+            PebbleGame(path4).move(2, "u0")
+
+    def test_unknown_vertex(self, path4):
+        with pytest.raises(VertexError):
+            PebbleGame(path4).move(0, "ghost")
+
+    def test_edge_not_deleted_twice(self):
+        g = path_graph(2)
+        game = PebbleGame(g)
+        game.move(0, "u0")
+        game.move(1, "v0")
+        game.move(0, "u1")
+        # Move pebble 0 back: the u0-v0 edge is already gone.
+        assert game.move(0, "u0") is None
+
+
+class TestReplay:
+    def test_replay_wins_and_costs_match(self, k23):
+        scheme = PebblingScheme.from_edge_order(k23, biclique_tour(k23))
+        game = PebbleGame(k23)
+        assert game.replay(scheme) == scheme.cost()
+        assert game.is_won()
+
+    def test_log_records_deletions(self):
+        g = path_graph(2)
+        game = PebbleGame(g)
+        scheme = PebblingScheme.from_edge_order(
+            g, [("u0", "v0"), ("u1", "v0")]
+        )
+        game.replay(scheme)
+        deletions = [e.deleted_edge for e in game.log if e.deleted_edge]
+        assert len(deletions) == 2
+
+    def test_incomplete_replay_not_won(self, path4):
+        game = PebbleGame(path4)
+        partial = PebblingScheme(path4.edges()[:2])
+        game.replay(partial)
+        assert not game.is_won()
+        assert game.remaining_edges > 0
+
+    def test_reset(self, path4):
+        game = PebbleGame(path4)
+        game.move(0, "u0")
+        game.reset()
+        assert game.moves_used == 0
+        assert game.remaining_edges == 4
+        assert game.positions == [None, None]
+
+    def test_won_game_cost_lower_bounded(self, k23):
+        # Any winning play uses at least m+1 moves on a connected graph.
+        scheme = PebblingScheme.from_edge_order(k23, biclique_tour(k23))
+        game = PebbleGame(k23)
+        game.replay(scheme)
+        assert game.moves_used >= k23.num_edges + 1

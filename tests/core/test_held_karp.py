@@ -1,0 +1,66 @@
+"""Cross-validation: Held–Karp DP vs the path-partition exact solver."""
+
+import pytest
+
+from repro.errors import InstanceTooLargeError
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    path_graph,
+    random_bipartite_gnm,
+)
+from repro.graphs.line_graph import line_graph
+from repro.core.families import worst_case_family
+from repro.core.solvers.exact import solve_exact
+from repro.core.solvers.held_karp import (
+    held_karp_effective_cost,
+    held_karp_min_jumps,
+)
+
+
+class TestAgreementWithPrimarySolver:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs(self, seed):
+        g = random_bipartite_gnm(4, 4, 10, seed=seed).without_isolated_vertices()
+        assert held_karp_effective_cost(g) == solve_exact(g).effective_cost
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_worst_case_family(self, n):
+        g = worst_case_family(n)
+        assert held_karp_effective_cost(g) == solve_exact(g).effective_cost
+
+    def test_structured_instances(self):
+        for g in (
+            path_graph(8),
+            cycle_graph(8),
+            complete_bipartite(3, 4),
+            matching_graph(5),
+        ):
+            assert held_karp_effective_cost(g) == solve_exact(g).effective_cost
+
+
+class TestJumpCounts:
+    def test_traceable_line_graph_zero_jumps(self):
+        assert held_karp_min_jumps(line_graph(path_graph(6))) == 0
+
+    def test_matching_all_jumps(self):
+        line = line_graph(matching_graph(4))
+        assert held_karp_min_jumps(line) == 3
+
+    def test_corona_jumps(self):
+        from repro.core.families import jump_count_of_family
+
+        for n in (3, 4, 5):
+            line = line_graph(worst_case_family(n))
+            assert held_karp_min_jumps(line) == jump_count_of_family(n)
+
+    def test_empty(self):
+        from repro.graphs.simple import Graph
+
+        assert held_karp_min_jumps(Graph()) == 0
+
+    def test_size_limit(self):
+        g = matching_graph(19)
+        with pytest.raises(InstanceTooLargeError):
+            held_karp_effective_cost(g)

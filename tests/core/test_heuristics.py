@@ -1,0 +1,102 @@
+"""Tests for greedy, matching-stitch, and local-search solvers."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    path_graph,
+    random_bipartite_gnm,
+    random_connected_bipartite,
+)
+from repro.core.costs import naive_cost_bounds
+from repro.core.families import worst_case_family
+from repro.core.solvers.exact import solve_exact
+from repro.core.solvers.greedy import solve_greedy
+from repro.core.solvers.local_search import improve_tour, polish_scheme
+from repro.core.solvers.matching_stitch import solve_matching_stitch
+from repro.core.tsp import tour_cost
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_and_within_naive_bounds(self, seed):
+        g = random_bipartite_gnm(5, 5, 11, seed=seed).without_isolated_vertices()
+        if g.num_edges == 0:
+            return
+        result = solve_greedy(g)
+        result.scheme.validate(g)
+        lower, upper = naive_cost_bounds(g)
+        assert lower <= result.effective_cost <= upper
+
+    def test_greedy_perfect_on_biclique(self):
+        g = complete_bipartite(3, 3)
+        assert solve_greedy(g).effective_cost == 9
+
+    def test_greedy_perfect_on_path(self):
+        assert solve_greedy(path_graph(7)).effective_cost == 7
+
+    def test_greedy_on_matching(self):
+        g = matching_graph(4)
+        assert solve_greedy(g).effective_cost == 4
+
+
+class TestMatchingStitch:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_and_within_naive_bounds(self, seed):
+        g = random_bipartite_gnm(5, 5, 11, seed=seed).without_isolated_vertices()
+        if g.num_edges == 0:
+            return
+        result = solve_matching_stitch(g)
+        result.scheme.validate(g)
+        lower, upper = naive_cost_bounds(g)
+        assert lower <= result.effective_cost <= upper
+
+    def test_fragments_shrink(self):
+        g = worst_case_family(5)
+        result = solve_matching_stitch(g)
+        assert result.fragments_final <= result.fragments_initial
+
+    def test_on_cycle(self):
+        g = cycle_graph(8)
+        result = solve_matching_stitch(g)
+        result.scheme.validate(g)
+        assert result.effective_cost <= 10
+
+
+class TestLocalSearch:
+    def test_improve_tour_never_worse(self):
+        g = worst_case_family(5)
+        edges = g.edges()
+        improved = improve_tour(edges)
+        assert tour_cost(improved) <= tour_cost(edges)
+
+    def test_improve_tour_preserves_multiset(self):
+        g = worst_case_family(4)
+        improved = improve_tour(g.edges())
+        assert sorted(map(repr, improved)) == sorted(map(repr, g.edges()))
+
+    def test_polish_never_worse(self):
+        for seed in range(6):
+            g = random_connected_bipartite(5, 5, extra_edges=3, seed=seed)
+            base = solve_greedy(g)
+            polished = polish_scheme(g, base.scheme)
+            polished.scheme.validate(g)
+            assert polished.effective_cost <= base.effective_cost
+            assert polished.improvement >= 0
+
+    def test_polish_reaches_optimum_on_easy_graph(self):
+        g = complete_bipartite(2, 4)
+        base = solve_greedy(g)
+        polished = polish_scheme(g, base.scheme)
+        assert polished.effective_cost == solve_exact(g).effective_cost
+
+    def test_two_opt_fixes_bad_order(self):
+        # Deliberately bad order of a path's edges; 2-opt should recover a
+        # much better tour.
+        g = path_graph(6)
+        edges = g.edges()
+        shuffled = edges[::2] + edges[1::2]
+        improved = improve_tour(shuffled)
+        assert tour_cost(improved) <= tour_cost(shuffled)

@@ -1,0 +1,138 @@
+"""Tests for the k-pebble generalization."""
+
+import pytest
+
+from repro.errors import InstanceTooLargeError, SchemeError
+from repro.graphs.generators import (
+    complete_bipartite,
+    matching_graph,
+    path_graph,
+    random_bipartite_gnm,
+)
+from repro.core.families import worst_case_family
+from repro.core.kpebble import (
+    KPebbleGame,
+    degree_lower_bound,
+    greedy_kpebble_cost,
+    greedy_kpebble_schedule,
+    kpebble_lower_bound,
+    optimal_kpebble_cost_bruteforce,
+    vertex_count_lower_bound,
+)
+from repro.core.solvers.exact import solve_exact
+
+
+class TestGameMechanics:
+    def test_needs_two_pebbles(self):
+        with pytest.raises(SchemeError):
+            KPebbleGame(path_graph(2), k=1)
+
+    def test_single_placement_deletes_fan(self):
+        g = complete_bipartite(1, 3)  # star
+        game = KPebbleGame(g, k=4)
+        game.move(0, "v0")
+        game.move(1, "v1")
+        game.move(2, "v2")
+        deleted = game.move(3, "u0")
+        assert len(deleted) == 3
+        assert game.is_won()
+        assert game.moves_used == 4
+
+    def test_no_double_occupancy(self):
+        g = path_graph(2)
+        game = KPebbleGame(g, k=3)
+        game.move(0, "u0")
+        with pytest.raises(SchemeError):
+            game.move(1, "u0")
+
+    def test_bad_pebble_index(self):
+        with pytest.raises(SchemeError):
+            KPebbleGame(path_graph(2), k=2).move(5, "u0")
+
+
+class TestLowerBounds:
+    def test_vertex_count_bound(self):
+        g = complete_bipartite(2, 3)
+        assert vertex_count_lower_bound(g) == 5
+
+    def test_degree_bound(self):
+        g = complete_bipartite(2, 3)
+        # m=6, Delta=3 -> ceil(6/3)+1 = 3.
+        assert degree_lower_bound(g) == 3
+
+    def test_combined_bound(self):
+        g = complete_bipartite(2, 3)
+        assert kpebble_lower_bound(g) == 5
+
+    def test_bounds_sound_vs_bruteforce(self):
+        for g in (path_graph(4), complete_bipartite(2, 2), matching_graph(3)):
+            for k in (2, 3):
+                assert kpebble_lower_bound(g) <= optimal_kpebble_cost_bruteforce(g, k)
+
+    def test_empty(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert degree_lower_bound(BipartiteGraph()) == 0
+
+
+class TestTwoPebbleConsistency:
+    """The k=2 brute force must agree with the paper-model optimum pi_hat."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: path_graph(4),
+            lambda: complete_bipartite(2, 2),
+            lambda: matching_graph(3),
+            lambda: worst_case_family(3),
+        ],
+    )
+    def test_bruteforce_matches_pi_hat(self, maker):
+        g = maker()
+        pi_hat = solve_exact(g).scheme.cost()
+        assert optimal_kpebble_cost_bruteforce(g, 2) == pi_hat
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        g = random_bipartite_gnm(3, 3, 6, seed=seed).without_isolated_vertices()
+        if g.num_edges == 0:
+            return
+        assert optimal_kpebble_cost_bruteforce(g, 2) == solve_exact(g).scheme.cost()
+
+
+class TestMonotonicityAndGreedy:
+    def test_more_pebbles_never_hurt_exact(self):
+        g = complete_bipartite(2, 3)
+        costs = [optimal_kpebble_cost_bruteforce(g, k) for k in (2, 3, 4, 5)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_n_pebbles_reach_vertex_floor(self):
+        g = complete_bipartite(2, 3)
+        n = 5
+        assert optimal_kpebble_cost_bruteforce(g, n) == n
+
+    def test_greedy_always_wins(self):
+        # The scheduler terminates with a winning schedule on every
+        # instance and every pebble count (its length is the cost).
+        for seed in range(5):
+            g = random_bipartite_gnm(4, 4, 9, seed=seed).without_isolated_vertices()
+            if g.num_edges == 0:
+                continue
+            for k in (2, 3, 5):
+                schedule = greedy_kpebble_schedule(g, k)
+                assert len(schedule) == greedy_kpebble_cost(g, k)
+                assert len(schedule) >= kpebble_lower_bound(g)
+
+    def test_greedy_respects_lower_bound(self):
+        g = worst_case_family(4)
+        for k in (2, 3, 6):
+            assert greedy_kpebble_cost(g, k) >= kpebble_lower_bound(g)
+
+    def test_greedy_monotone_at_large_k(self):
+        g = worst_case_family(5)
+        big = greedy_kpebble_cost(g, g.num_vertices)
+        assert big == vertex_count_lower_bound(g)  # optimal at k >= n
+
+    def test_bruteforce_size_cap(self):
+        with pytest.raises(InstanceTooLargeError):
+            optimal_kpebble_cost_bruteforce(complete_bipartite(3, 3), 2)

@@ -1,0 +1,172 @@
+"""Tests for the executable L-reductions (Theorems 4.3 and 4.4)."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graphs.generators import random_tsp12_graph
+from repro.graphs.simple import Graph
+from repro.core.reductions import (
+    Tsp12Instance,
+    forward_tour,
+    measure_diamond_reduction,
+    measure_incidence_reduction,
+    pebble_scheme_to_tsp_tour,
+    reverse_tour,
+    tsp3_to_pebble,
+    tsp4_to_tsp3,
+    tsp_tour_to_pebble_tour,
+)
+from repro.core.scheme import PebblingScheme
+from repro.core.solvers.exact import solve_exact
+
+
+def _cycle(n: int) -> Graph:
+    return Graph(edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+class TestTsp12Instance:
+    def test_tour_cost(self):
+        inst = Tsp12Instance(_cycle(4))
+        assert inst.tour_cost([0, 1, 2, 3]) == 3
+        assert inst.tour_cost([0, 2, 1, 3]) == 5  # bad, good, bad
+
+    def test_tour_must_cover(self):
+        inst = Tsp12Instance(_cycle(4))
+        with pytest.raises(ReductionError):
+            inst.tour_cost([0, 1, 2])
+        with pytest.raises(ReductionError):
+            inst.tour_cost([0, 1, 2, 2])
+
+    def test_optimal_tour_on_cycle(self):
+        inst = Tsp12Instance(_cycle(5))
+        tour, cost = inst.optimal_tour()
+        assert cost == 4
+        assert inst.tour_cost(tour) == 4
+
+    def test_optimal_tour_on_disconnected(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        inst = Tsp12Instance(g)
+        _tour, cost = inst.optimal_tour()
+        assert cost == 3 + 1  # 3 steps, one of them bad
+
+
+class TestDiamondReduction:
+    def _degree4_instance(self) -> Tsp12Instance:
+        # A wheel-ish graph with one degree-4 hub.
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)])
+        assert g.degree(0) == 4
+        return Tsp12Instance(g)
+
+    def test_target_degree_bounded(self):
+        reduction = tsp4_to_tsp3(self._degree4_instance())
+        assert reduction.target.max_good_degree <= 3
+
+    def test_node_count_bound(self):
+        # |H| <= gadget_size * n (the paper's "at most 11n").
+        instance = self._degree4_instance()
+        reduction = tsp4_to_tsp3(instance)
+        gadget_size = reduction.gadget.num_nodes
+        assert reduction.target.num_nodes <= gadget_size * instance.num_nodes
+
+    def test_light_nodes_kept(self):
+        reduction = tsp4_to_tsp3(self._degree4_instance())
+        assert reduction.target.graph.has_vertex(1)
+        assert not reduction.target.graph.has_vertex(0)
+
+    def test_rejects_degree_5(self):
+        g = Graph(edges=[(0, i) for i in range(1, 6)])
+        with pytest.raises(ReductionError):
+            tsp4_to_tsp3(Tsp12Instance(g))
+
+    def test_forward_tour_visits_everything(self):
+        instance = self._degree4_instance()
+        reduction = tsp4_to_tsp3(instance)
+        src_tour, _ = instance.optimal_tour()
+        lifted = forward_tour(reduction, src_tour)
+        assert sorted(map(repr, lifted)) == sorted(
+            map(repr, reduction.target.graph.vertices)
+        )
+
+    def test_reverse_tour_round_trip(self):
+        instance = self._degree4_instance()
+        reduction = tsp4_to_tsp3(instance)
+        src_tour, _ = instance.optimal_tour()
+        lifted = forward_tour(reduction, src_tour)
+        back = reverse_tour(reduction, lifted)
+        assert set(back) == set(instance.graph.vertices)
+        # Recovering from the lifted optimum loses nothing.
+        src_cost = instance.tour_cost(src_tour)
+        assert instance.tour_cost(back) == src_cost
+
+    def test_measured_constants_within_bounds(self):
+        instance = self._degree4_instance()
+        reduction = tsp4_to_tsp3(instance)
+        report = measure_diamond_reduction(reduction)
+        gadget_size = reduction.gadget.num_nodes
+        assert report.alpha_observed <= gadget_size + 1
+        assert report.beta_observed <= 1.0 + 1e-9
+        assert report.satisfies(alpha=gadget_size + 1, beta=1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        g = random_tsp12_graph(5, max_degree=4, seed=seed, edge_factor=1.8)
+        reduction = tsp4_to_tsp3(Tsp12Instance(g))
+        assert reduction.target.max_good_degree <= 3
+        src_tour, src_cost = reduction.source.optimal_tour()
+        lifted = forward_tour(reduction, src_tour)
+        lifted_cost = reduction.target.tour_cost(lifted)
+        # The lift is a feasible target tour, so it bounds OPT(target).
+        _t, opt_target = reduction.target.optimal_tour()
+        assert opt_target <= lifted_cost
+
+
+class TestIncidenceReduction:
+    def test_join_graph_shape(self):
+        inst = Tsp12Instance(_cycle(4))
+        reduction = tsp3_to_pebble(inst)
+        b = reduction.join_graph
+        assert len(b.left) == 4  # vertices
+        assert len(b.right) == 4  # edges
+        assert b.num_edges == 8  # 2 incidences per edge
+
+    def test_rejects_degree_4(self):
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        with pytest.raises(ReductionError):
+            tsp3_to_pebble(Tsp12Instance(g))
+
+    def test_rejects_isolated_nodes(self):
+        g = Graph(vertices=["iso"], edges=[(0, 1)])
+        with pytest.raises(ReductionError):
+            tsp3_to_pebble(Tsp12Instance(g))
+
+    def test_tour_to_pebble_order_is_valid_scheme(self):
+        inst = Tsp12Instance(_cycle(5))
+        reduction = tsp3_to_pebble(inst)
+        tour, _cost = inst.optimal_tour()
+        order = tsp_tour_to_pebble_tour(reduction, tour)
+        scheme = PebblingScheme.from_edge_order(reduction.join_graph, order)
+        scheme.validate(reduction.join_graph)
+
+    def test_good_tour_gives_cheap_scheme(self):
+        # A zero-jump source tour lifts to a perfect or near-perfect scheme.
+        inst = Tsp12Instance(_cycle(6))
+        reduction = tsp3_to_pebble(inst)
+        tour, cost = inst.optimal_tour()
+        assert cost == 5  # Hamiltonian path along the cycle
+        order = tsp_tour_to_pebble_tour(reduction, tour)
+        scheme = PebblingScheme.from_edge_order(reduction.join_graph, order)
+        m = reduction.join_graph.num_edges
+        assert scheme.effective_cost(reduction.join_graph) <= m + 1
+
+    def test_scheme_to_tour_covers_vertices(self):
+        inst = Tsp12Instance(_cycle(5))
+        reduction = tsp3_to_pebble(inst)
+        scheme = solve_exact(reduction.join_graph).scheme
+        tour = pebble_scheme_to_tsp_tour(reduction, scheme)
+        assert set(tour) == set(inst.graph.vertices)
+
+    def test_measured_beta_at_most_one(self):
+        inst = Tsp12Instance(_cycle(5))
+        reduction = tsp3_to_pebble(inst)
+        report = measure_incidence_reduction(reduction)
+        assert report.beta_observed <= 1.0 + 1e-9

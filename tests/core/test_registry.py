@@ -1,0 +1,88 @@
+"""Tests for the solver registry and automatic method selection."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs.generators import (
+    complete_bipartite,
+    random_connected_bipartite,
+    union_of_bicliques,
+)
+from repro.core.families import worst_case_family
+from repro.core.solvers.registry import (
+    METHODS,
+    SolveResult,
+    optimal_effective_cost,
+    solve,
+)
+
+
+class TestAuto:
+    def test_equijoin_shape_routes_to_linear_solver(self):
+        g = union_of_bicliques([(2, 3), (1, 1)])
+        result = solve(g)
+        assert result.method == "equijoin"
+        assert result.optimal
+        assert result.effective_cost == g.num_edges
+
+    def test_small_hard_instance_routes_to_exact(self):
+        g = worst_case_family(4)
+        result = solve(g)
+        assert result.method == "exact"
+        assert result.optimal
+
+    def test_large_instance_routes_to_approximation(self):
+        g = worst_case_family(40)  # m = 80, beyond the exact limit
+        result = solve(g)
+        assert result.method == "dfs+polish"
+        assert not result.optimal
+        result.scheme.validate(g)
+
+    def test_exact_edge_limit_override(self):
+        g = worst_case_family(10)  # m = 20
+        result = solve(g, exact_edge_limit=25)
+        assert result.method == "exact"
+
+
+class TestExplicitMethods:
+    @pytest.mark.parametrize("method", [m for m in METHODS if m != "auto"])
+    def test_every_method_produces_valid_scheme(self, method):
+        g = complete_bipartite(2, 3)
+        if method == "equijoin":
+            result = solve(g, method)
+        else:
+            result = solve(g, method)
+        result.scheme.validate(g)
+        assert result.effective_cost >= g.num_edges
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError):
+            solve(complete_bipartite(1, 1), "magic")
+
+    def test_equijoin_method_on_wrong_shape_raises(self):
+        with pytest.raises(SolverError):
+            solve(worst_case_family(3), "equijoin")
+
+
+class TestResult:
+    def test_summary_format(self):
+        g = complete_bipartite(2, 2)
+        result = solve(g)
+        text = result.summary()
+        assert "pi=4" in text
+        assert "optimal" in text
+
+    def test_costs_consistent(self):
+        for seed in range(4):
+            g = random_connected_bipartite(4, 4, extra_edges=2, seed=seed)
+            result = solve(g, "dfs")
+            assert result.raw_cost == result.effective_cost + 1  # connected
+            assert result.jumps == result.scheme.jumps()
+
+    def test_optimal_effective_cost_shortcut(self):
+        g = union_of_bicliques([(3, 3), (2, 1)])
+        assert optimal_effective_cost(g) == g.num_edges
+
+    def test_optimal_effective_cost_exact_path(self):
+        g = worst_case_family(4)
+        assert optimal_effective_cost(g) == 9

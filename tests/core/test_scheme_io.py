@@ -1,0 +1,37 @@
+"""Tests for scheme serialization round trips."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.graphs.generators import complete_bipartite
+from repro.core.scheme import PebblingScheme
+from repro.core.scheme_io import dump_scheme, load_scheme
+from repro.core.solvers.equijoin import solve_equijoin
+
+
+class TestRoundTrip:
+    def test_basic(self, k23):
+        scheme = solve_equijoin(k23)
+        restored = load_scheme(dump_scheme(scheme))
+        assert restored == scheme
+        restored.validate(k23)
+        assert restored.cost() == scheme.cost()
+
+    def test_empty_scheme(self):
+        assert load_scheme(dump_scheme(PebblingScheme([]))) == PebblingScheme([])
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\nC u0 v0\n"
+        scheme = load_scheme(text)
+        assert len(scheme) == 1
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(SchemeError):
+            load_scheme("X u0 v0\n")
+        with pytest.raises(SchemeError):
+            load_scheme("C u0\n")
+
+    def test_spacey_names_rejected(self):
+        scheme = PebblingScheme([("a vertex", "b")])
+        with pytest.raises(SchemeError):
+            dump_scheme(scheme)

@@ -1,0 +1,84 @@
+"""The executable theorems: validate.py checkers over instance sweeps."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    path_graph,
+    random_bipartite_gnm,
+    random_connected_bipartite,
+    union_of_bicliques,
+)
+from repro.core import validate
+from repro.core.families import worst_case_family
+
+
+class TestCostBounds:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g = random_bipartite_gnm(4, 4, 8, seed=seed)
+        report = validate.check_cost_bounds(g)
+        assert report["m"] <= report["pi"] <= report["upper"]
+
+    def test_worst_case_family(self):
+        validate.check_cost_bounds(worst_case_family(5))
+
+    def test_empty(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert validate.check_cost_bounds(BipartiteGraph())["m"] == 0
+
+
+class TestAdditivity:
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (path_graph(3), cycle_graph(4)),
+            (complete_bipartite(2, 2), worst_case_family(3)),
+            (matching_graph(2), path_graph(2)),
+            (worst_case_family(2), worst_case_family(3)),
+        ],
+    )
+    def test_pairs(self, first, second):
+        report = validate.check_additivity(first, second)
+        assert report["pi_union"] == report["pi_G"] + report["pi_H"]
+
+
+class TestCorrespondence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_perfect_iff_hamiltonian(self, seed):
+        g = random_connected_bipartite(4, 4, extra_edges=seed % 3, seed=seed)
+        report = validate.check_perfect_iff_hamiltonian(g)
+        assert report["pi"] >= report["m"]
+
+    def test_worst_case_family_not_perfect(self):
+        report = validate.check_perfect_iff_hamiltonian(worst_case_family(4))
+        assert not report["hamiltonian"]
+        assert report["pi"] > report["m"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tsp_correspondence(self, seed):
+        g = random_connected_bipartite(4, 4, extra_edges=2, seed=seed)
+        report = validate.check_tsp_correspondence(g)
+        assert report["tour_cost"] == report["pi"] - 1
+
+    def test_requires_connected(self):
+        with pytest.raises(AssertionError):
+            validate.check_perfect_iff_hamiltonian(matching_graph(3))
+
+
+class TestStructuralFacts:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_line_graphs_claw_free(self, seed):
+        g = random_bipartite_gnm(5, 5, 11, seed=seed)
+        validate.check_line_graph_claw_free(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dfs_guarantee(self, seed):
+        g = random_bipartite_gnm(5, 5, 12, seed=seed)
+        validate.check_dfs_guarantee(g)
+
+    def test_equijoin_perfect(self):
+        validate.check_equijoin_perfect(union_of_bicliques([(3, 2), (1, 4)]))

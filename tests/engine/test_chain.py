@@ -1,0 +1,153 @@
+"""Tests for multi-way join chains."""
+
+import pytest
+
+from repro.errors import PredicateError, RelationError
+from repro.engine.chain import ChainQuery, execute_chain
+from repro.joins.predicates import Band, Equality, SetContainment
+from repro.relations.relation import Relation
+
+
+def _naive_chain(relations, predicates):
+    rows = [(v,) for v in relations[0].values]
+    for index, predicate in enumerate(predicates):
+        next_rows = []
+        for prefix in rows:
+            for value in relations[index + 1].values:
+                if predicate.matches(prefix[-1], value):
+                    next_rows.append(prefix + (value,))
+        rows = next_rows
+    return sorted(rows, key=repr)
+
+
+class TestChainQuery:
+    def test_needs_two_relations(self):
+        with pytest.raises(RelationError):
+            ChainQuery([Relation("A", [1])], [])
+
+    def test_predicate_count_checked(self):
+        with pytest.raises(PredicateError):
+            ChainQuery([Relation("A", [1]), Relation("B", [1])], [])
+
+    def test_stage_domains_checked(self):
+        with pytest.raises(PredicateError):
+            ChainQuery(
+                [Relation("A", [1]), Relation("B", [{1}])], [Equality()]
+            )
+
+    def test_describe(self):
+        chain = ChainQuery(
+            [Relation("A", [1]), Relation("B", [1]), Relation("C", [1])],
+            [Equality(), Equality()],
+        )
+        assert "A" in chain.describe() and "C" in chain.describe()
+
+
+class TestExecution:
+    def test_three_way_equijoin(self):
+        chain = ChainQuery(
+            [Relation("A", [1, 2]), Relation("B", [2, 3, 2]), Relation("C", [2])],
+            [Equality(), Equality()],
+        )
+        result = execute_chain(chain)
+        assert result.rows == [(2, 2, 2), (2, 2, 2)]
+        assert len(result.stages) == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_three_way(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        relations = [
+            Relation(name, [rng.randrange(4) for _ in range(8)])
+            for name in ("A", "B", "C")
+        ]
+        predicates = [Equality(), Equality()]
+        chain = ChainQuery(relations, predicates)
+        assert execute_chain(chain).rows == _naive_chain(relations, predicates)
+
+    def test_mixed_predicates(self):
+        relations = [
+            Relation("A", [1.0, 5.0]),
+            Relation("B", [1.2, 4.8, 9.0]),
+            Relation("C", [1.0, 5.0, 9.5]),
+        ]
+        predicates = [Band(0.5), Band(0.5)]
+        chain = ChainQuery(relations, predicates)
+        assert execute_chain(chain).rows == _naive_chain(relations, predicates)
+
+    def test_set_chain(self):
+        relations = [
+            Relation("A", [frozenset({1}), frozenset({9})]),
+            Relation("B", [frozenset({1, 2}), frozenset({3})]),
+            Relation("C", [frozenset({1, 2, 5})]),
+        ]
+        predicates = [SetContainment(), SetContainment()]
+        chain = ChainQuery(relations, predicates)
+        assert execute_chain(chain).rows == _naive_chain(relations, predicates)
+
+    def test_empty_result_short_circuits(self):
+        chain = ChainQuery(
+            [Relation("A", [1]), Relation("B", [2]), Relation("C", [2])],
+            [Equality(), Equality()],
+        )
+        result = execute_chain(chain)
+        assert result.rows == []
+        assert len(result.stages) == 1  # second stage never ran
+
+    def test_stage_traces_present(self):
+        chain = ChainQuery(
+            [Relation("A", [1, 1]), Relation("B", [1]), Relation("C", [1])],
+            [Equality(), Equality()],
+        )
+        result = execute_chain(chain)
+        assert all(stage.trace is not None for stage in result.stages)
+        text = result.explain_analyze()
+        assert "stage 0" in text and "final rows: 2" in text
+
+    def test_duplicates_preserved(self):
+        # Multiset semantics across stages: duplicate matches multiply.
+        chain = ChainQuery(
+            [Relation("A", [7, 7]), Relation("B", [7, 7]), Relation("C", [7])],
+            [Equality(), Equality()],
+        )
+        result = execute_chain(chain)
+        assert len(result.rows) == 4  # 2 x 2 x 1
+
+
+class TestChainProperties:
+    def test_hypothesis_three_way_matches_naive(self):
+        from hypothesis import given, settings, strategies as st
+
+        small = st.lists(st.integers(0, 3), min_size=1, max_size=6)
+
+        @settings(max_examples=40, deadline=None)
+        @given(small, small, small)
+        def check(a, b, c):
+            relations = [Relation("A", a), Relation("B", b), Relation("C", c)]
+            predicates = [Equality(), Equality()]
+            chain = ChainQuery(relations, predicates)
+            assert execute_chain(chain, with_trace=False).rows == _naive_chain(
+                relations, predicates
+            )
+
+        check()
+
+    def test_hypothesis_four_way_matches_naive(self):
+        from hypothesis import given, settings, strategies as st
+
+        small = st.lists(st.integers(0, 2), min_size=1, max_size=4)
+
+        @settings(max_examples=25, deadline=None)
+        @given(small, small, small, small)
+        def check(a, b, c, d):
+            relations = [
+                Relation("A", a), Relation("B", b), Relation("C", c), Relation("D", d)
+            ]
+            predicates = [Equality()] * 3
+            chain = ChainQuery(relations, predicates)
+            assert execute_chain(chain, with_trace=False).rows == _naive_chain(
+                relations, predicates
+            )
+
+        check()

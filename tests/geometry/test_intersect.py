@@ -1,0 +1,98 @@
+"""Tests for intersection predicates."""
+
+import pytest
+
+from repro.geometry.intersect import (
+    overlap,
+    point_on_segment,
+    polygons_overlap,
+    rectangles_overlap,
+    segments_intersect,
+)
+from repro.geometry.primitives import Point, Polygon, Rectangle
+
+
+class TestSegments:
+    def test_crossing(self):
+        assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(2, 0), Point(0, 1), Point(2, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0))
+
+    def test_point_on_segment(self):
+        assert point_on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+        assert not point_on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+        assert not point_on_segment(Point(1, 0), Point(0, 0), Point(2, 2))
+
+
+class TestPolygonOverlap:
+    def test_overlapping_squares(self):
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Polygon([(1, 1), (3, 1), (3, 3), (1, 3)])
+        assert polygons_overlap(a, b)
+
+    def test_disjoint_squares(self):
+        a = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = Polygon([(5, 5), (6, 5), (6, 6), (5, 6)])
+        assert not polygons_overlap(a, b)
+
+    def test_nested_polygons(self):
+        outer = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        inner = Polygon([(4, 4), (6, 4), (6, 6), (4, 6)])
+        assert polygons_overlap(outer, inner)
+        assert polygons_overlap(inner, outer)
+
+    def test_edge_touching(self):
+        a = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        b = Polygon([(2, 0), (4, 0), (4, 2), (2, 2)])
+        assert polygons_overlap(a, b)
+
+    def test_bounding_box_fast_reject(self):
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([(100, 100), (101, 100), (100, 101)])
+        assert not polygons_overlap(a, b)
+
+    def test_concave_interlock_no_overlap(self):
+        # A U-shape and a bar floating inside the notch without touching.
+        u_shape = Polygon(
+            [(0, 0), (6, 0), (6, 6), (4, 6), (4, 2), (2, 2), (2, 6), (0, 6)]
+        )
+        bar = Polygon([(2.5, 4), (3.5, 4), (3.5, 5), (2.5, 5)])
+        assert not polygons_overlap(u_shape, bar)
+
+
+class TestPolymorphicOverlap:
+    def test_rect_rect(self):
+        assert overlap(Rectangle(0, 0, 2, 2), Rectangle(1, 1, 3, 3))
+
+    def test_rect_polygon(self):
+        rect = Rectangle(0, 0, 2, 2)
+        poly = Polygon([(1, 1), (3, 1), (3, 3), (1, 3)])
+        assert overlap(rect, poly)
+        assert overlap(poly, rect)
+
+    def test_unsupported_pair(self):
+        with pytest.raises(TypeError):
+            overlap(Rectangle(0, 0, 1, 1), 7)
+
+    def test_agrees_with_rectangle_test(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(40):
+            a = Rectangle(rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(5, 9), rng.uniform(5, 9))
+            b = Rectangle(rng.uniform(0, 9), rng.uniform(0, 9), rng.uniform(9, 12), rng.uniform(9, 12))
+            as_poly = polygons_overlap(Polygon.from_rectangle(a), Polygon.from_rectangle(b))
+            assert as_poly == rectangles_overlap(a, b)

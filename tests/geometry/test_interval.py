@@ -1,0 +1,165 @@
+"""Tests for the interval substrate and its model-level observation."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.interval import (
+    Interval,
+    IntervalIndex,
+    realize_worst_case_intervals,
+    sweep_interval_pairs,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.joins.predicates import SpatialOverlap
+from repro.relations.domains import Domain
+from repro.relations.relation import Relation
+from repro.workloads.spatial import sessions_interval_workload
+
+
+def _random_intervals(rng, n, horizon=100.0, length=8.0):
+    out = []
+    for i in range(n):
+        lo = rng.uniform(0, horizon)
+        out.append((Interval(lo, lo + rng.uniform(0.1, length)), i))
+    return out
+
+
+class TestInterval:
+    def test_basic(self):
+        interval = Interval(1.0, 3.0)
+        assert interval.length == 2.0
+        assert interval.contains_point(2.0)
+        assert interval.contains_point(1.0)  # closed
+        assert not interval.contains_point(3.1)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(2.0, 1.0)
+
+    def test_overlap_closed(self):
+        assert Interval(0, 2).overlaps(Interval(2, 4))
+        assert not Interval(0, 2).overlaps(Interval(2.1, 4))
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 3))
+        assert not Interval(0, 10).contains(Interval(9, 11))
+
+    def test_domain_inference(self):
+        r = Relation("R", [Interval(0, 1)])
+        assert r.domain == Domain.INTERVAL
+
+
+class TestIndexAndSweep:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_index_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        entries = _random_intervals(rng, 40)
+        index = IntervalIndex(entries)
+        window = Interval(30.0, 50.0)
+        expected = {p for iv, p in entries if iv.overlaps(window)}
+        got = {p for _, p in index.query(window)}
+        assert got == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sweep_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        left = _random_intervals(rng, 30)
+        right = [(iv, p + 1000) for iv, p in _random_intervals(rng, 30)]
+        got = set(sweep_interval_pairs(left, right))
+        expected = {
+            (pa, pb)
+            for ia, pa in left
+            for ib, pb in right
+            if ia.overlaps(ib)
+        }
+        assert got == expected
+
+    def test_sweep_no_duplicates(self):
+        rng = random.Random(3)
+        left = _random_intervals(rng, 20)
+        right = [(iv, p + 1000) for iv, p in _random_intervals(rng, 20)]
+        pairs = sweep_interval_pairs(left, right)
+        assert len(pairs) == len(set(pairs))
+
+
+class TestIntervalJoins:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_accelerated_matches_naive(self, seed):
+        left, right = sessions_interval_workload(25, 25, seed=seed)
+        fast = build_join_graph(left, right, SpatialOverlap())
+        slow = build_join_graph(left, right, SpatialOverlap(), accelerate=False)
+        assert fast == slow
+
+    def test_pebbling_pipeline_end_to_end(self):
+        from repro.core.solvers.registry import solve
+
+        left, right = sessions_interval_workload(20, 20, seed=1)
+        graph = build_join_graph(left, right, SpatialOverlap())
+        if graph.num_edges == 0:
+            pytest.skip("degenerate draw")
+        result = solve(graph, "dfs+polish")
+        result.scheme.validate(graph.without_isolated_vertices())
+
+    def test_spatial_algorithms_work_on_intervals(self):
+        from repro.joins.algorithms import pbsm_join, plane_sweep_join, rtree_join
+
+        left, right = sessions_interval_workload(20, 20, seed=2)
+        graph = build_join_graph(left, right, SpatialOverlap(), accelerate=False)
+        expected = set(graph.edges())
+        assert set(plane_sweep_join(left, right)) == expected
+        assert set(rtree_join(left, right)) == expected
+        assert set(pbsm_join(left, right)) == expected
+
+    def test_engine_plans_interval_queries(self):
+        from repro.engine import JoinQuery, execute
+
+        left, right = sessions_interval_workload(15, 15, seed=3)
+        result = execute(JoinQuery(left, right, SpatialOverlap()))
+        assert result.plan.algorithm_name == "interval-merge"
+        assert result.trace is not None
+
+
+class TestWorstCaseRealization:
+    """Intervals realize the full worst-case family via nesting: pendants
+    overlap the star centre too, but same-relation overlaps create no join
+    edges — so temporal joins inherit the 1.25m − 1 lower bound."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_join_graph_is_g_n(self, n):
+        from repro.core.families import worst_case_family
+        from repro.relations.relation import TupleRef
+
+        left_values, right_values = realize_worst_case_intervals(n)
+        left = Relation("R", left_values)
+        right = Relation("S", right_values)
+        graph = build_join_graph(left, right, SpatialOverlap())
+        target = worst_case_family(n)
+        left_map = {TupleRef("R", i): v for i, v in enumerate(target.left)}
+        right_map = {TupleRef("S", j): v for j, v in enumerate(target.right)}
+        got = {(left_map[u], right_map[v]) for u, v in graph.edges()}
+        assert got == set(target.edges())
+
+    def test_rejects_zero(self):
+        with pytest.raises(GeometryError):
+            realize_worst_case_intervals(0)
+
+    def test_worst_case_cost_through_intervals(self):
+        # End to end: G_4 as a temporal join costs 1.25m − 1.
+        from repro.core.solvers.exact import solve_exact
+
+        left_values, right_values = realize_worst_case_intervals(4)
+        graph = build_join_graph(
+            Relation("R", left_values), Relation("S", right_values), SpatialOverlap()
+        )
+        assert solve_exact(graph).effective_cost == 9
+
+    def test_nesting_really_overlaps_centre(self):
+        # The observation's crux: every pendant DOES overlap the centre,
+        # yet the join graph has no such edge (same relation).
+        left_values, _right = realize_worst_case_intervals(3)
+        centre = left_values[0]
+        for pendant in left_values[1:]:
+            assert centre.overlaps(pendant)

@@ -1,0 +1,113 @@
+"""Tests for geometric primitives."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point, Polygon, Rectangle
+
+
+class TestRectangle:
+    def test_basic_properties(self):
+        r = Rectangle(0, 0, 4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+        assert r.center == Point(2, 1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Rectangle(2, 0, 1, 1)
+        with pytest.raises(GeometryError):
+            Rectangle(0, 2, 1, 1)
+
+    def test_degenerate_allowed(self):
+        r = Rectangle(1, 1, 1, 5)
+        assert r.width == 0
+        assert r.area == 0
+
+    def test_contains_point(self):
+        r = Rectangle(0, 0, 2, 2)
+        assert r.contains_point(Point(1, 1))
+        assert r.contains_point(Point(0, 0))  # boundary closed
+        assert not r.contains_point(Point(3, 1))
+
+    def test_intersects(self):
+        a = Rectangle(0, 0, 2, 2)
+        assert a.intersects(Rectangle(1, 1, 3, 3))
+        assert a.intersects(Rectangle(2, 0, 3, 1))  # edge contact
+        assert not a.intersects(Rectangle(2.1, 0, 3, 1))
+
+    def test_union_bounds(self):
+        a = Rectangle(0, 0, 1, 1)
+        b = Rectangle(2, 2, 3, 3)
+        u = a.union_bounds(b)
+        assert (u.x_min, u.y_min, u.x_max, u.y_max) == (0, 0, 3, 3)
+
+    def test_translated(self):
+        r = Rectangle(0, 0, 1, 1).translated(5, -1)
+        assert (r.x_min, r.y_min) == (5, -1)
+
+    def test_hashable(self):
+        assert len({Rectangle(0, 0, 1, 1), Rectangle(0, 0, 1, 1)}) == 1
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_repeated_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 0), (0, 0)])
+
+    def test_from_rectangle(self):
+        p = Polygon.from_rectangle(Rectangle(0, 0, 2, 1))
+        assert len(p.vertices) == 4
+        assert p.area() == 2
+
+    def test_from_degenerate_rectangle_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_rectangle(Rectangle(0, 0, 0, 1))
+
+    def test_area_triangle(self):
+        p = Polygon([(0, 0), (4, 0), (0, 3)])
+        assert p.area() == 6
+
+    def test_bounding_box(self):
+        p = Polygon([(0, 0), (4, 0), (2, 5)])
+        box = p.bounding_box()
+        assert (box.x_min, box.y_min, box.x_max, box.y_max) == (0, 0, 4, 5)
+
+    def test_contains_point(self):
+        p = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert p.contains_point(Point(2, 2))
+        assert p.contains_point(Point(0, 2))  # boundary
+        assert not p.contains_point(Point(5, 2))
+
+    def test_contains_point_concave(self):
+        # L-shape: the notch is outside.
+        p = Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+        assert p.contains_point(Point(1, 3))
+        assert not p.contains_point(Point(3, 3))
+
+    def test_is_simple(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert square.is_simple()
+        bowtie = Polygon([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert not bowtie.is_simple()
+
+    def test_edges_close_ring(self):
+        p = Polygon([(0, 0), (1, 0), (0, 1)])
+        edges = p.edges()
+        assert len(edges) == 3
+        assert edges[-1] == (Point(0, 1), Point(0, 0))
+
+    def test_translated(self):
+        p = Polygon([(0, 0), (1, 0), (0, 1)]).translated(10, 10)
+        assert p.vertices[0] == Point(10, 10)
+
+    def test_equality_and_hash(self):
+        a = Polygon([(0, 0), (1, 0), (0, 1)])
+        b = Polygon([(0, 0), (1, 0), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the geometric substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.intersect import polygons_overlap, rectangles_overlap
+from repro.geometry.interval import Interval
+from repro.geometry.primitives import Polygon, Rectangle
+
+COMMON = settings(max_examples=60, deadline=None)
+
+rectangles = st.tuples(
+    st.floats(-20, 20, allow_nan=False),
+    st.floats(-20, 20, allow_nan=False),
+    st.floats(0, 10, allow_nan=False),
+    st.floats(0, 10, allow_nan=False),
+).map(lambda t: Rectangle(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+intervals = st.tuples(
+    st.floats(-50, 50, allow_nan=False),
+    st.floats(0, 20, allow_nan=False),
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+
+@COMMON
+@given(rectangles, rectangles)
+def test_rectangle_overlap_symmetric(a, b):
+    assert rectangles_overlap(a, b) == rectangles_overlap(b, a)
+
+
+@COMMON
+@given(rectangles)
+def test_rectangle_overlap_reflexive(a):
+    assert rectangles_overlap(a, a)
+
+
+@COMMON
+@given(rectangles, rectangles)
+def test_rectangle_overlap_vs_union_extent(a, b):
+    # Overlap iff the bounding box of the pair is no larger than the two
+    # side lengths stacked in each dimension — checked as two tolerance-
+    # guarded implications (exact iff does not survive float rounding at
+    # boundary-contact cases).
+    union = a.union_bounds(b)
+    eps = 1e-9
+    if rectangles_overlap(a, b):
+        assert union.width <= a.width + b.width + eps
+        assert union.height <= a.height + b.height + eps
+    if (
+        union.width < a.width + b.width - eps
+        and union.height < a.height + b.height - eps
+    ):
+        assert rectangles_overlap(a, b)
+
+
+@COMMON
+@given(rectangles, rectangles)
+def test_polygon_overlap_agrees_with_rectangle_test(a, b):
+    if a.width == 0 or a.height == 0 or b.width == 0 or b.height == 0:
+        return  # degenerate rectangles cannot polygonize
+    assert polygons_overlap(
+        Polygon.from_rectangle(a), Polygon.from_rectangle(b)
+    ) == rectangles_overlap(a, b)
+
+
+@COMMON
+@given(intervals, intervals)
+def test_interval_overlap_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@COMMON
+@given(intervals, intervals)
+def test_interval_overlap_iff_gap_nonpositive(a, b):
+    gap = max(a.lo, b.lo) - min(a.hi, b.hi)
+    assert a.overlaps(b) == (gap <= 0)
+
+
+@COMMON
+@given(intervals, intervals)
+def test_interval_containment_implies_overlap(a, b):
+    if a.contains(b):
+        assert a.overlaps(b)
+
+
+@COMMON
+@given(st.lists(rectangles, min_size=1, max_size=12))
+def test_rtree_query_matches_brute_force(rects):
+    from repro.geometry.rtree import RTree
+
+    entries = [(r, i) for i, r in enumerate(rects)]
+    tree = RTree(entries, fanout=3)
+    window = Rectangle(-5, -5, 15, 15)
+    expected = {i for r, i in entries if r.intersects(window)}
+    assert {p for _, p in tree.query(window)} == expected
+
+
+@COMMON
+@given(st.data())
+def test_comb_realization_round_trip(data):
+    from repro.graphs.bipartite import BipartiteGraph
+    from repro.geometry.realize import realize_bipartite_with_combs
+    from repro.joins.join_graph import build_join_graph
+    from repro.joins.predicates import SpatialOverlap
+    from repro.relations.relation import TupleRef
+
+    n_left = data.draw(st.integers(1, 3))
+    n_right = data.draw(st.integers(1, 3))
+    cells = [(i, j) for i in range(n_left) for j in range(n_right)]
+    chosen = data.draw(st.lists(st.sampled_from(cells), max_size=len(cells)))
+    target = BipartiteGraph(
+        left=[f"u{i}" for i in range(n_left)],
+        right=[f"v{j}" for j in range(n_right)],
+    )
+    for i, j in set(chosen):
+        target.add_edge(f"u{i}", f"v{j}")
+    left, right = realize_bipartite_with_combs(target)
+    join_graph = build_join_graph(left, right, SpatialOverlap())
+    left_map = {TupleRef("R", i): v for i, v in enumerate(target.left)}
+    right_map = {TupleRef("S", j): v for j, v in enumerate(target.right)}
+    got = {(left_map[u], right_map[v]) for u, v in join_graph.edges()}
+    assert got == set(target.edges())

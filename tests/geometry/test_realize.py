@@ -1,0 +1,90 @@
+"""Tests for geometric realizations (Lemma 3.4 and comb universality)."""
+
+import pytest
+
+from repro.graphs.generators import random_bipartite_gnm
+from repro.geometry.realize import (
+    realize_bipartite_with_combs,
+    realize_union_of_bicliques,
+    realize_worst_case_family,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.joins.predicates import SpatialOverlap
+from repro.core.families import worst_case_family
+from repro.relations.relation import TupleRef
+
+
+def _positional_isomorphic(join_graph, target):
+    """Check the built join graph equals `target` under positional maps."""
+    left_map = {TupleRef("R", i): v for i, v in enumerate(target.left)}
+    right_map = {TupleRef("S", j): v for j, v in enumerate(target.right)}
+    got = {
+        (left_map[u], right_map[v])
+        for u, v in join_graph.edges()
+    }
+    want = set(target.edges())
+    return got == want
+
+
+class TestWorstCaseRealization:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_join_graph_is_g_n(self, n):
+        left, right = realize_worst_case_family(n)
+        join_graph = build_join_graph(left, right, SpatialOverlap())
+        target = worst_case_family(n)
+        assert join_graph.num_edges == target.num_edges == 2 * n
+        assert _positional_isomorphic(join_graph, target)
+
+    def test_rejects_zero(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            realize_worst_case_family(0)
+
+
+class TestBicliqueRealization:
+    def test_blocks_realized(self):
+        left, right = realize_union_of_bicliques([(2, 3), (1, 2)])
+        join_graph = build_join_graph(left, right, SpatialOverlap())
+        assert join_graph.num_edges == 2 * 3 + 1 * 2
+        from repro.core.solvers.equijoin import is_union_of_bicliques
+
+        assert is_union_of_bicliques(join_graph)
+
+
+class TestCombUniversality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_arbitrary_graphs_realized(self, seed):
+        target = random_bipartite_gnm(3, 4, 7, seed=seed)
+        left, right = realize_bipartite_with_combs(target)
+        join_graph = build_join_graph(left, right, SpatialOverlap())
+        assert _positional_isomorphic(join_graph, target)
+
+    def test_worst_case_family_via_combs(self):
+        target = worst_case_family(4)
+        left, right = realize_bipartite_with_combs(target)
+        join_graph = build_join_graph(left, right, SpatialOverlap())
+        assert _positional_isomorphic(join_graph, target)
+
+    def test_polygons_are_simple(self):
+        target = random_bipartite_gnm(3, 3, 5, seed=2)
+        left, right = realize_bipartite_with_combs(target)
+        for polygon in list(left) + list(right):
+            assert polygon.is_simple()
+
+    def test_isolated_vertices_have_plain_spines(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        target = BipartiteGraph(left=["u0", "u1"], right=["v0"])
+        target.add_edge("u0", "v0")
+        left, right = realize_bipartite_with_combs(target)
+        # u1 has no edges: its polygon is the bare 4-vertex spine.
+        assert len(left.values[1].vertices) == 4
+
+    def test_empty_edge_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        target = BipartiteGraph(left=["u0"], right=["v0"])
+        left, right = realize_bipartite_with_combs(target)
+        join_graph = build_join_graph(left, right, SpatialOverlap())
+        assert join_graph.num_edges == 0

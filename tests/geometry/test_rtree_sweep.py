@@ -1,0 +1,95 @@
+"""Tests for the R-tree and the plane sweep, cross-checked by brute force."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Rectangle
+from repro.geometry.rtree import RTree
+from repro.geometry.sweep import sweep_rectangle_pairs
+
+
+def _random_rects(rng, n, extent=20.0, side=3.0):
+    out = []
+    for i in range(n):
+        x = rng.uniform(0, extent)
+        y = rng.uniform(0, extent)
+        out.append((Rectangle(x, y, x + rng.uniform(0.1, side), y + rng.uniform(0.1, side)), i))
+    return out
+
+
+def _brute_pairs(left, right):
+    return {
+        (pa, pb)
+        for ra, pa in left
+        for rb, pb in right
+        if ra.intersects(rb)
+    }
+
+
+class TestRTree:
+    def test_empty(self):
+        tree = RTree([])
+        assert tree.query(Rectangle(0, 0, 1, 1)) == []
+        assert tree.height() == 0
+
+    def test_invalid_fanout(self):
+        with pytest.raises(GeometryError):
+            RTree([], fanout=1)
+
+    def test_query_matches_brute_force(self):
+        rng = random.Random(11)
+        entries = _random_rects(rng, 60)
+        tree = RTree(entries, fanout=4)
+        window = Rectangle(5, 5, 12, 12)
+        expected = {p for r, p in entries if r.intersects(window)}
+        got = {p for _, p in tree.query(window)}
+        assert got == expected
+
+    def test_query_all(self):
+        rng = random.Random(3)
+        entries = _random_rects(rng, 30)
+        tree = RTree(entries)
+        got = {p for _, p in tree.query(Rectangle(-1, -1, 100, 100))}
+        assert got == set(range(30))
+
+    def test_height_grows_with_size(self):
+        rng = random.Random(1)
+        small = RTree(_random_rects(rng, 5), fanout=4)
+        large = RTree(_random_rects(rng, 200), fanout=4)
+        assert large.height() > small.height()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_join_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        left = _random_rects(rng, 25)
+        right = [(r, p + 1000) for r, p in _random_rects(rng, 25)]
+        got = set(RTree(left, fanout=4).join(RTree(right, fanout=4)))
+        assert got == _brute_pairs(left, right)
+
+
+class TestSweep:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        left = _random_rects(rng, 30)
+        right = [(r, p + 1000) for r, p in _random_rects(rng, 30)]
+        got = set(sweep_rectangle_pairs(left, right))
+        assert got == _brute_pairs(left, right)
+
+    def test_no_duplicates(self):
+        rng = random.Random(9)
+        left = _random_rects(rng, 20)
+        right = [(r, p + 1000) for r, p in _random_rects(rng, 20)]
+        pairs = sweep_rectangle_pairs(left, right)
+        assert len(pairs) == len(set(pairs))
+
+    def test_touching_rectangles_reported(self):
+        left = [(Rectangle(0, 0, 1, 1), "a")]
+        right = [(Rectangle(1, 1, 2, 2), "b")]
+        assert sweep_rectangle_pairs(left, right) == [("a", "b")]
+
+    def test_empty_inputs(self):
+        assert sweep_rectangle_pairs([], []) == []
+        assert sweep_rectangle_pairs([(Rectangle(0, 0, 1, 1), "a")], []) == []

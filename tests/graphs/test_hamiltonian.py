@@ -1,0 +1,114 @@
+"""Tests for Hamiltonian-path search (DP and enumeration engines)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import InstanceTooLargeError
+from repro.graphs.generators import complete_bipartite, path_graph, star_graph
+from repro.graphs.line_graph import line_graph
+from repro.graphs.hamiltonian import (
+    enumerate_hamiltonian_paths,
+    find_hamiltonian_path,
+    hamiltonian_path_endpoints,
+    has_hamiltonian_path,
+)
+from repro.graphs.simple import Graph
+
+
+def _assert_valid_ham_path(graph: Graph, path):
+    assert path is not None
+    assert len(path) == graph.num_vertices
+    assert len(set(path)) == len(path)
+    for a, b in zip(path, path[1:]):
+        assert graph.has_edge(a, b)
+
+
+class TestFindHamiltonianPath:
+    def test_path_graph(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        _assert_valid_ham_path(g, find_hamiltonian_path(g))
+
+    def test_star_has_no_ham_path(self):
+        g = star_graph(3).to_graph()  # K_{1,3}
+        assert find_hamiltonian_path(g) is None
+        assert not has_hamiltonian_path(g)
+
+    def test_clique(self):
+        g = Graph(edges=itertools.combinations(range(5), 2))
+        _assert_valid_ham_path(g, find_hamiltonian_path(g))
+
+    def test_pinned_start(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        path = find_hamiltonian_path(g, start="a")
+        assert path == ["a", "b", "c"]
+
+    def test_pinned_both_ends(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        assert find_hamiltonian_path(g, start="a", end="c") is not None
+        assert find_hamiltonian_path(g, start="a", end="b") is None
+
+    def test_pinned_unknown_vertex(self):
+        g = Graph(edges=[("a", "b")])
+        assert find_hamiltonian_path(g, start="ghost") is None
+
+    def test_empty_and_singleton(self):
+        assert find_hamiltonian_path(Graph()) == []
+        g = Graph(vertices=["x"])
+        assert find_hamiltonian_path(g) == ["x"]
+        assert find_hamiltonian_path(g, start="x", end="x") == ["x"]
+
+    def test_disconnected_has_none(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        assert find_hamiltonian_path(g) is None
+
+    def test_size_limit(self):
+        g = Graph(edges=[(i, i + 1) for i in range(25)])
+        with pytest.raises(InstanceTooLargeError):
+            find_hamiltonian_path(g)
+
+    def test_line_graph_of_biclique_traceable(self):
+        # Lemma 3.2: bicliques pebble perfectly, so L(K_{k,l}) is traceable.
+        lg = line_graph(complete_bipartite(3, 3))
+        _assert_valid_ham_path(lg, find_hamiltonian_path(lg))
+
+
+class TestEndpoints:
+    def test_path_graph_endpoints(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert hamiltonian_path_endpoints(g) == {"a", "d"}
+
+    def test_cycle_every_vertex_is_endpoint(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert hamiltonian_path_endpoints(g) == {0, 1, 2, 3}
+
+    def test_no_ham_path_empty_endpoints(self):
+        assert hamiltonian_path_endpoints(star_graph(3).to_graph()) == set()
+
+    def test_endpoints_consistent_with_enumeration(self):
+        g = line_graph(path_graph(5))
+        from_dp = hamiltonian_path_endpoints(g)
+        from_enum = set()
+        for path in enumerate_hamiltonian_paths(g):
+            from_enum.add(path[0])
+            from_enum.add(path[-1])
+        assert from_dp == from_enum
+
+
+class TestEnumeration:
+    def test_counts_paths_on_k4(self):
+        g = Graph(edges=itertools.combinations(range(4), 2))
+        paths = list(enumerate_hamiltonian_paths(g))
+        # K4 has 4!/2 = 12 undirected Hamiltonian paths.
+        assert len(paths) == 12
+
+    def test_each_enumerated_path_valid(self):
+        g = line_graph(complete_bipartite(2, 2))
+        for path in enumerate_hamiltonian_paths(g):
+            _assert_valid_ham_path(g, path)
+
+    def test_pinned_start_enumeration(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        paths = list(enumerate_hamiltonian_paths(g, start="a"))
+        assert all(p[0] == "a" for p in paths)
+        assert len(paths) == 2

@@ -1,0 +1,64 @@
+"""Tests for graph serialization round trips."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import complete_bipartite, random_bipartite_gnm
+from repro.graphs.io import dump_bipartite, dump_graph, load_bipartite, load_graph
+from repro.graphs.simple import Graph
+
+
+class TestBipartiteRoundTrip:
+    def test_round_trip(self):
+        g = complete_bipartite(2, 3)
+        restored = load_bipartite(dump_bipartite(g))
+        assert set(restored.left) == set(g.left)
+        assert set(restored.right) == set(g.right)
+        assert set(restored.edges()) == set(g.edges())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip_random(self, seed):
+        g = random_bipartite_gnm(4, 4, 8, seed=seed)
+        restored = load_bipartite(dump_bipartite(g))
+        assert restored == g
+
+    def test_isolated_vertices_survive(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        g = BipartiteGraph(left=["u", "iso"], right=["v"])
+        g.add_edge("u", "v")
+        restored = load_bipartite(dump_bipartite(g))
+        assert restored.has_vertex("iso")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# hi\n\nL u\nR v\nE u v\n"
+        g = load_bipartite(text)
+        assert g.num_edges == 1
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(GraphError):
+            load_bipartite("X u v\n")
+
+    def test_bad_edge_arity_raises(self):
+        with pytest.raises(GraphError):
+            load_bipartite("E u\n")
+
+    def test_whitespace_names_rejected(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        g = BipartiteGraph(left=[(0, "u0")], right=["v0"])
+        g.add_edge((0, "u0"), "v0")
+        with pytest.raises(GraphError):
+            dump_bipartite(g)
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self):
+        g = Graph(vertices=["iso"], edges=[("a", "b"), ("b", "c")])
+        restored = load_graph(dump_graph(g))
+        assert set(restored.vertices) == {"iso", "a", "b", "c"}
+        assert restored.num_edges == 2
+
+    def test_bad_tag(self):
+        with pytest.raises(GraphError):
+            load_graph("Q a\n")

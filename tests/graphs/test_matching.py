@@ -1,0 +1,99 @@
+"""Tests for matchings: Hopcroft–Karp (vs networkx oracle) and greedy."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite,
+    cycle_graph,
+    matching_graph,
+    path_graph,
+    random_bipartite_gnm,
+)
+from repro.graphs.line_graph import line_graph
+from repro.graphs.matching import (
+    greedy_maximal_matching,
+    hopcroft_karp,
+    improve_matching,
+    maximum_matching_size,
+)
+from repro.graphs.simple import Graph
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_on_matching_graph(self):
+        g = matching_graph(5)
+        assert maximum_matching_size(g) == 5
+
+    def test_complete_bipartite(self):
+        assert maximum_matching_size(complete_bipartite(3, 5)) == 3
+
+    def test_symmetric_result(self):
+        g = complete_bipartite(2, 2)
+        matching = hopcroft_karp(g)
+        for u, v in matching.items():
+            assert matching[v] == u
+
+    def test_matching_edges_exist(self):
+        g = random_bipartite_gnm(5, 5, 12, seed=1)
+        matching = hopcroft_karp(g)
+        for u, v in matching.items():
+            assert g.has_edge(u, v)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_size_matches_networkx(self, seed):
+        g = random_bipartite_gnm(5, 6, 14, seed=seed)
+        ours = maximum_matching_size(g)
+        nx_graph = nx.Graph(g.edges())
+        nx_graph.add_nodes_from(g.left + g.right)
+        theirs = len(
+            nx.bipartite.maximum_matching(nx_graph, top_nodes=g.left)
+        ) // 2
+        assert ours == theirs
+
+    def test_empty_graph(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert hopcroft_karp(BipartiteGraph()) == {}
+
+
+class TestGreedyMatching:
+    def test_greedy_is_matching(self):
+        g = line_graph(cycle_graph(8))
+        matching = greedy_maximal_matching(g)
+        used = [v for pair in matching for v in pair]
+        assert len(used) == len(set(used))
+
+    def test_greedy_is_maximal(self):
+        g = line_graph(complete_bipartite(3, 3))
+        matching = greedy_maximal_matching(g)
+        matched = {v for pair in matching for v in pair}
+        for u, v in g.edges():
+            assert u in matched or v in matched
+
+    def test_greedy_on_edgeless_graph(self):
+        assert greedy_maximal_matching(Graph(vertices=["a", "b"])) == []
+
+
+class TestImproveMatching:
+    def test_never_shrinks(self):
+        g = line_graph(path_graph(6))
+        greedy = greedy_maximal_matching(g)
+        improved = improve_matching(g, greedy)
+        assert len(improved) >= len(greedy)
+
+    def test_improved_still_a_matching(self):
+        g = line_graph(random_bipartite_gnm(4, 4, 9, seed=3))
+        improved = improve_matching(g, greedy_maximal_matching(g))
+        used = [v for pair in improved for v in pair]
+        assert len(used) == len(set(used))
+        for u, v in improved:
+            assert g.has_edge(u, v)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reaches_maximum_on_bipartite(self, seed):
+        # Without blossoms the augmenting search is exact on bipartite graphs.
+        g = random_bipartite_gnm(5, 5, 11, seed=seed)
+        plain = g.to_graph()
+        improved = improve_matching(plain, greedy_maximal_matching(plain))
+        assert len(improved) == maximum_matching_size(g)

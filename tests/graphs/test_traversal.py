@@ -1,0 +1,143 @@
+"""Tests for traversal, DFS trees, and bipartiteness checks."""
+
+import pytest
+
+from repro.errors import GraphError, NotBipartiteError, VertexError
+from repro.graphs.generators import complete_bipartite, path_graph
+from repro.graphs.simple import Graph
+from repro.graphs.traversal import (
+    RootedTree,
+    as_bipartite,
+    bfs_order,
+    dfs_order,
+    dfs_tree,
+    two_coloring,
+)
+
+
+class TestOrders:
+    def test_bfs_covers_component(self, path4):
+        order = bfs_order(path4, "u0")
+        assert len(order) == 5
+        assert order[0] == "u0"
+
+    def test_dfs_covers_component(self, path4):
+        order = dfs_order(path4, "u0")
+        assert len(order) == 5
+
+    def test_bfs_respects_distance(self):
+        g = Graph(edges=[("r", "a"), ("r", "b"), ("a", "x")])
+        order = bfs_order(g, "r")
+        assert order.index("x") > order.index("a")
+        assert order.index("x") > order.index("b")
+
+    def test_missing_start_raises(self):
+        with pytest.raises(VertexError):
+            bfs_order(Graph(), "ghost")
+        with pytest.raises(VertexError):
+            dfs_order(Graph(), "ghost")
+
+    def test_only_reachable_vertices(self):
+        g = Graph(edges=[("a", "b"), ("c", "d")])
+        assert set(bfs_order(g, "a")) == {"a", "b"}
+
+
+class TestDfsTree:
+    def test_tree_spans_component(self, k23):
+        tree = dfs_tree(k23, "u0")
+        assert len(tree) == 5
+        assert tree.root == "u0"
+
+    def test_parent_child_consistency(self, k23):
+        tree = dfs_tree(k23, "u0")
+        for node in tree.nodes():
+            for child in tree.children(node):
+                assert tree.parent(child) == node
+
+    def test_tree_edges_are_graph_edges(self, cycle6):
+        tree = dfs_tree(cycle6, "u0")
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent is not None:
+                assert cycle6.has_edge(parent, node)
+
+    def test_subtree_sizes(self):
+        g = path_graph(3)
+        tree = dfs_tree(g, "u0")
+        sizes = tree.subtree_sizes()
+        assert sizes[tree.root] == 4
+        assert min(sizes.values()) == 1
+
+    def test_depth(self):
+        g = path_graph(3)
+        tree = dfs_tree(g, "u0")
+        depths = sorted(tree.depth(n) for n in tree.nodes())
+        assert depths == [0, 1, 2, 3]
+
+
+class TestRootedTreeSurgery:
+    def _chain(self) -> RootedTree:
+        tree = RootedTree("r")
+        tree.add_child("r", "a")
+        tree.add_child("a", "b")
+        tree.add_child("r", "c")
+        return tree
+
+    def test_add_duplicate_child_raises(self):
+        tree = self._chain()
+        with pytest.raises(GraphError):
+            tree.add_child("r", "a")
+
+    def test_leaves(self):
+        tree = self._chain()
+        assert set(tree.leaves()) == {"b", "c"}
+
+    def test_reattach_moves_subtree(self):
+        tree = self._chain()
+        tree.reattach("a", "c")
+        assert tree.parent("a") == "c"
+        assert set(tree.subtree_nodes("c")) == {"c", "a", "b"}
+
+    def test_reattach_into_own_subtree_rejected(self):
+        tree = self._chain()
+        with pytest.raises(GraphError):
+            tree.reattach("a", "b")
+
+    def test_reattach_root_rejected(self):
+        tree = self._chain()
+        with pytest.raises(GraphError):
+            tree.reattach("r", "a")
+
+    def test_remove_subtree(self):
+        tree = self._chain()
+        removed = tree.remove_subtree("a")
+        assert set(removed) == {"a", "b"}
+        assert set(tree.nodes()) == {"r", "c"}
+
+    def test_remove_root_clears(self):
+        tree = self._chain()
+        tree.remove_subtree("r")
+        assert len(tree) == 0
+
+    def test_max_children(self):
+        assert self._chain().max_children() == 2
+
+
+class TestTwoColoring:
+    def test_bipartite_graph(self):
+        g = complete_bipartite(2, 3).to_graph()
+        left, right = two_coloring(g)
+        assert len(left) + len(right) == 5
+        for u, v in g.edges():
+            assert (u in left) != (v in left)
+
+    def test_odd_cycle_rejected(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(NotBipartiteError):
+            two_coloring(g)
+
+    def test_as_bipartite_round_trip(self):
+        original = complete_bipartite(2, 2)
+        recovered = as_bipartite(original.to_graph())
+        assert recovered.num_edges == original.num_edges
+        assert recovered.num_vertices == original.num_vertices

@@ -1,0 +1,166 @@
+"""Tests for the join algorithms: correctness and pebbling-trace shape."""
+
+import random
+
+import pytest
+
+from repro.geometry.primitives import Polygon
+from repro.joins.algorithms import (
+    block_nested_loops,
+    hash_join,
+    index_nested_loops,
+    inverted_index_join,
+    pbsm_join,
+    plane_sweep_join,
+    rtree_join,
+    signature_nested_loops,
+    sort_merge_join,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.joins.predicates import Equality, SetContainment, SpatialOverlap
+from repro.joins.trace import scheme_from_output, trace_report
+from repro.relations.relation import Relation
+from repro.workloads.equijoin import zipf_equijoin_workload
+from repro.workloads.sets import market_basket_workload, zipf_sets_workload
+from repro.workloads.spatial import uniform_rectangles_workload
+
+
+def _result_set(output):
+    return set(output)
+
+
+def _expected_pairs(graph):
+    return set(graph.edges())
+
+
+class TestEquijoinAlgorithms:
+    @pytest.fixture
+    def workload(self):
+        return zipf_equijoin_workload(25, 25, key_universe=8, skew=0.7, seed=5)
+
+    def test_all_algorithms_agree(self, workload):
+        left, right = workload
+        graph = build_join_graph(left, right, Equality())
+        expected = _expected_pairs(graph)
+        assert _result_set(hash_join(left, right)) == expected
+        assert _result_set(sort_merge_join(left, right)) == expected
+        assert _result_set(index_nested_loops(left, right)) == expected
+        assert (
+            _result_set(block_nested_loops(left, right, Equality(), block_size=7))
+            == expected
+        )
+
+    def test_each_pair_emitted_once(self, workload):
+        left, right = workload
+        for algo in (hash_join, sort_merge_join, index_nested_loops):
+            output = algo(left, right)
+            assert len(output) == len(set(output))
+
+    def test_sort_merge_pebbles_perfectly(self, workload):
+        # Theorem 3.2 realized by an actual algorithm.
+        left, right = workload
+        graph = build_join_graph(left, right, Equality())
+        report = trace_report(graph, sort_merge_join(left, right), "sm")
+        assert report.cost_ratio == 1.0
+
+    def test_index_nested_loops_pays_jumps(self):
+        # A single key group 3x3: INL re-scans the bucket per outer tuple.
+        left = Relation("R", [1, 1, 1])
+        right = Relation("S", [1, 1, 1])
+        graph = build_join_graph(left, right, Equality())
+        report = trace_report(graph, index_nested_loops(left, right), "inl")
+        assert report.effective_cost > report.output_size
+        sm_report = trace_report(graph, sort_merge_join(left, right), "sm")
+        assert sm_report.effective_cost == report.output_size
+
+    def test_hash_join_build_side_choice(self):
+        small = Relation("R", [1])
+        large = Relation("S", [1] * 5)
+        output = hash_join(small, large)
+        # Pairs always reported (left, right) regardless of build side.
+        assert all(ref.relation == "R" for ref, _ in output)
+        output2 = hash_join(large, small)
+        assert all(ref.relation == "S" for ref, _ in output2)
+
+    def test_sort_merge_on_strings(self):
+        left = Relation("R", ["b", "a", "b"])
+        right = Relation("S", ["b", "c"])
+        graph = build_join_graph(left, right, Equality())
+        assert _result_set(sort_merge_join(left, right)) == _expected_pairs(graph)
+
+
+class TestSpatialAlgorithms:
+    @pytest.fixture
+    def workload(self):
+        return uniform_rectangles_workload(25, 25, seed=8)
+
+    def test_all_algorithms_agree(self, workload):
+        left, right = workload
+        graph = build_join_graph(left, right, SpatialOverlap())
+        expected = _expected_pairs(graph)
+        assert _result_set(plane_sweep_join(left, right)) == expected
+        assert _result_set(rtree_join(left, right)) == expected
+        assert _result_set(pbsm_join(left, right)) == expected
+
+    def test_pbsm_reports_replication(self, workload):
+        left, right = workload
+        output, stats = pbsm_join(left, right, grid=3, report_stats=True)
+        assert stats["replication_factor"] >= 1.0
+        assert stats["duplicates_suppressed"] >= 0
+        assert len(output) == len(set(output))
+
+    def test_polygon_join(self):
+        def tri(x, y):
+            return Polygon([(x, y), (x + 3, y), (x + 1.5, y + 3)])
+
+        rng = random.Random(4)
+        left = Relation("R", [tri(rng.uniform(0, 12), rng.uniform(0, 12)) for _ in range(10)])
+        right = Relation("S", [tri(rng.uniform(0, 12), rng.uniform(0, 12)) for _ in range(10)])
+        graph = build_join_graph(left, right, SpatialOverlap(), accelerate=False)
+        expected = _expected_pairs(graph)
+        assert _result_set(plane_sweep_join(left, right)) == expected
+        assert _result_set(rtree_join(left, right)) == expected
+        assert _result_set(pbsm_join(left, right)) == expected
+
+    def test_traces_are_valid_schemes(self, workload):
+        left, right = workload
+        graph = build_join_graph(left, right, SpatialOverlap())
+        if graph.num_edges == 0:
+            pytest.skip("degenerate workload")
+        for algo in (plane_sweep_join, rtree_join, pbsm_join):
+            scheme = scheme_from_output(graph, algo(left, right))
+            scheme.validate(graph.without_isolated_vertices())
+
+
+class TestSetAlgorithms:
+    @pytest.fixture
+    def workload(self):
+        return zipf_sets_workload(20, 20, universe=12, left_size=2, right_size=6, seed=3)
+
+    def test_algorithms_agree(self, workload):
+        left, right = workload
+        graph = build_join_graph(left, right, SetContainment())
+        expected = _expected_pairs(graph)
+        assert _result_set(signature_nested_loops(left, right)) == expected
+        assert _result_set(inverted_index_join(left, right)) == expected
+
+    def test_signature_stats(self, workload):
+        left, right = workload
+        output, stats = signature_nested_loops(left, right, report_stats=True)
+        assert stats["candidates"] >= len(output)
+        assert stats["false_positives"] == stats["candidates"] - len(output)
+
+    def test_market_basket(self):
+        patterns, baskets = market_basket_workload(
+            10, 15, catalog=30, hit_fraction=1.0, seed=2
+        )
+        output = inverted_index_join(patterns, baskets)
+        # Every pattern was sampled from some basket: all patterns match.
+        matched_patterns = {ref for ref, _ in output}
+        assert len(matched_patterns) == 10
+
+    def test_requires_set_columns(self):
+        from repro.errors import PredicateError
+
+        with pytest.raises(PredicateError):
+            inverted_index_join(Relation("R", [1]), Relation("S", [{1}]))

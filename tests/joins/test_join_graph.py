@@ -1,0 +1,146 @@
+"""Tests for join-graph extraction: accelerated paths vs the naive oracle."""
+
+import random
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.geometry.primitives import Polygon, Rectangle
+from repro.joins.join_graph import build_join_graph, join_output_size
+from repro.joins.predicates import (
+    Band,
+    Equality,
+    SetContainment,
+    SetOverlap,
+    SpatialOverlap,
+)
+from repro.relations.relation import Relation, TupleRef
+from repro.workloads.sets import zipf_sets_workload
+from repro.workloads.spatial import uniform_rectangles_workload
+
+
+class TestEquijoinGraph:
+    def test_basic(self):
+        r = Relation("R", [1, 1, 2])
+        s = Relation("S", [1, 3])
+        graph = build_join_graph(r, s, Equality())
+        assert graph.num_edges == 2
+        assert graph.has_edge(TupleRef("R", 0), TupleRef("S", 0))
+        assert graph.has_edge(TupleRef("R", 1), TupleRef("S", 0))
+
+    def test_equijoin_graph_is_union_of_bicliques(self):
+        from repro.core.solvers.equijoin import is_union_of_bicliques
+
+        rng = random.Random(0)
+        r = Relation("R", [rng.randrange(6) for _ in range(30)])
+        s = Relation("S", [rng.randrange(6) for _ in range(30)])
+        graph = build_join_graph(r, s, Equality())
+        assert is_union_of_bicliques(graph)
+
+    def test_accelerated_matches_naive(self):
+        rng = random.Random(1)
+        r = Relation("R", [rng.randrange(8) for _ in range(25)])
+        s = Relation("S", [rng.randrange(8) for _ in range(25)])
+        fast = build_join_graph(r, s, Equality())
+        slow = build_join_graph(r, s, Equality(), accelerate=False)
+        assert fast == slow
+
+    def test_domain_mismatch_rejected(self):
+        r = Relation("R", [1])
+        s = Relation("S", ["a"])
+        with pytest.raises(PredicateError):
+            build_join_graph(r, s, Equality())
+
+    def test_all_vertices_present_even_dangling(self):
+        r = Relation("R", [1, 99])
+        s = Relation("S", [1])
+        graph = build_join_graph(r, s, Equality())
+        assert graph.has_vertex(TupleRef("R", 1))
+        assert graph.num_edges == 1
+
+
+class TestSpatialGraph:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rectangle_sweep_matches_naive(self, seed):
+        r, s = uniform_rectangles_workload(20, 20, seed=seed)
+        fast = build_join_graph(r, s, SpatialOverlap())
+        slow = build_join_graph(r, s, SpatialOverlap(), accelerate=False)
+        assert fast == slow
+
+    def test_polygon_filter_verify_matches_naive(self):
+        def tri(x, y):
+            return Polygon([(x, y), (x + 2, y), (x + 1, y + 2)])
+
+        rng = random.Random(2)
+        r = Relation("R", [tri(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)])
+        s = Relation("S", [tri(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)])
+        fast = build_join_graph(r, s, SpatialOverlap())
+        slow = build_join_graph(r, s, SpatialOverlap(), accelerate=False)
+        assert fast == slow
+
+
+class TestContainmentGraph:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_inverted_index_matches_naive(self, seed):
+        r, s = zipf_sets_workload(15, 15, universe=10, left_size=2, right_size=5, seed=seed)
+        fast = build_join_graph(r, s, SetContainment())
+        slow = build_join_graph(r, s, SetContainment(), accelerate=False)
+        assert fast == slow
+
+    def test_set_overlap_basic(self):
+        r = Relation("R", [frozenset({1, 2})])
+        s = Relation("S", [frozenset({2, 3}), frozenset({4})])
+        graph = build_join_graph(r, s, SetOverlap())
+        assert graph.num_edges == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_set_overlap_accelerated_matches_naive(self, seed):
+        r, s = zipf_sets_workload(15, 15, universe=10, left_size=3, right_size=4, seed=seed)
+        fast = build_join_graph(r, s, SetOverlap())
+        slow = build_join_graph(r, s, SetOverlap(), accelerate=False)
+        assert fast == slow
+
+    def test_empty_left_set_overlaps_nothing(self):
+        r = Relation("R", [frozenset()])
+        s = Relation("S", [frozenset({1})])
+        graph = build_join_graph(r, s, SetOverlap())
+        assert graph.num_edges == 0
+
+
+class TestBandGraph:
+    def test_band_join(self):
+        r = Relation("R", [1.0, 5.0])
+        s = Relation("S", [1.4, 10.0])
+        graph = build_join_graph(r, s, Band(0.5))
+        assert graph.num_edges == 1
+
+    def test_band_zero_equals_equality(self):
+        rng = random.Random(3)
+        r = Relation("R", [rng.randrange(5) for _ in range(15)])
+        s = Relation("S", [rng.randrange(5) for _ in range(15)])
+        band = build_join_graph(r, s, Band(0))
+        eq = build_join_graph(r, s, Equality())
+        assert band == eq
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_band_sorted_window_matches_naive(self, seed):
+        rng = random.Random(seed)
+        r = Relation("R", [rng.uniform(0, 20) for _ in range(25)])
+        s = Relation("S", [rng.uniform(0, 20) for _ in range(25)])
+        fast = build_join_graph(r, s, Band(1.5))
+        slow = build_join_graph(r, s, Band(1.5), accelerate=False)
+        assert fast == slow
+
+    def test_band_boundary_inclusive(self):
+        r = Relation("R", [0.0])
+        s = Relation("S", [2.0, 2.0001])
+        graph = build_join_graph(r, s, Band(2.0))
+        assert graph.num_edges == 1
+
+
+class TestOutputSize:
+    def test_output_size_is_m(self):
+        r = Relation("R", [1, 1])
+        s = Relation("S", [1, 1])
+        graph = build_join_graph(r, s, Equality())
+        assert join_output_size(graph) == 4

@@ -1,0 +1,138 @@
+"""Tests for the partitioned-join open problem (paper §5)."""
+
+import pytest
+
+from repro.errors import InstanceTooLargeError, SchemeError
+from repro.graphs.generators import (
+    random_bipartite_gnm,
+    union_of_bicliques,
+)
+from repro.joins.partitioning import (
+    Partitioning,
+    cell_capacity_lower_bound,
+    greedy_partitioning,
+    hash_partitioning,
+    left_capacity,
+    optimal_partitioning_bruteforce,
+    replication_grid_partitioning,
+    right_capacity,
+    round_robin_partitioning,
+)
+
+
+class TestPartitioningBasics:
+    def test_capacities(self):
+        g = union_of_bicliques([(2, 2), (1, 1)])  # |L|=3, |R|=3
+        assert left_capacity(g, 2) == 2
+        assert right_capacity(g, 3) == 1
+
+    def test_validate_rejects_unassigned(self):
+        g = union_of_bicliques([(1, 1)])
+        part = Partitioning(1, 1, {}, {})
+        with pytest.raises(SchemeError):
+            part.validate(g)
+
+    def test_validate_rejects_overflow(self):
+        g = union_of_bicliques([(2, 1)])  # 2 left tuples, capacity 1 at p=2
+        part = Partitioning(
+            2, 1, {v: 0 for v in g.left}, {v: 0 for v in g.right}
+        )
+        with pytest.raises(SchemeError):
+            part.validate(g)
+
+    def test_cost_counts_active_cells(self):
+        g = union_of_bicliques([(1, 1), (1, 1)])
+        part = round_robin_partitioning(g, 2, 2)
+        part.validate(g)
+        assert part.cost(g) == len(part.active_cells(g))
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_strategies_valid(self, seed):
+        g = random_bipartite_gnm(4, 4, 8, seed=seed)
+        for strategy in (hash_partitioning, round_robin_partitioning, greedy_partitioning):
+            part = strategy(g, 2, 2)
+            part.validate(g)
+
+    def test_hash_colocates_key_groups(self):
+        # 4 small key groups fit in 2 of the 4 cells.
+        g = union_of_bicliques([(2, 2), (1, 2), (2, 1), (1, 1)])
+        part = hash_partitioning(g, 2, 2)
+        part.validate(g)
+        assert part.cost(g) == 2
+
+    def test_greedy_never_worse_than_hash(self):
+        for seed in range(5):
+            g = random_bipartite_gnm(4, 4, 9, seed=seed)
+            assert (
+                greedy_partitioning(g, 2, 2).cost(g)
+                <= hash_partitioning(g, 2, 2).cost(g)
+            )
+
+    def test_replication_bounds_subjoins_by_p(self):
+        g = random_bipartite_gnm(6, 6, 14, seed=2)
+        report = replication_grid_partitioning(g, 3, 3)
+        assert report.active_subjoins <= 3
+        assert report.replicas >= 0
+        # Every join edge is covered by some replica.
+        for u, v in g.edges():
+            assert report.left_of[u] in report.copies_of[v]
+
+
+class TestOptimality:
+    def test_bruteforce_respects_capacity(self):
+        g = union_of_bicliques([(2, 1), (1, 1)])
+        part = optimal_partitioning_bruteforce(g, 2, 2)
+        part.validate(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bruteforce_beats_or_ties_heuristics(self, seed):
+        g = random_bipartite_gnm(3, 3, 6, seed=seed)
+        opt = optimal_partitioning_bruteforce(g, 2, 2).cost(g)
+        assert opt <= hash_partitioning(g, 2, 2).cost(g)
+        assert opt <= round_robin_partitioning(g, 2, 2).cost(g)
+        assert opt <= greedy_partitioning(g, 2, 2).cost(g)
+        assert opt >= cell_capacity_lower_bound(g, 2, 2)
+
+    def test_hash_is_optimal_on_equijoin_shapes(self):
+        # The paper's conjecture, empirically: on every tested equijoin
+        # (union-of-bicliques) instance hash partitioning is optimal.
+        import random
+
+        rng = random.Random(1)
+        for _ in range(10):
+            sizes = [(rng.randint(1, 2), rng.randint(1, 2)) for _ in range(rng.randint(2, 4))]
+            g = union_of_bicliques(sizes)
+            try:
+                opt = optimal_partitioning_bruteforce(g, 2, 2).cost(g)
+            except InstanceTooLargeError:
+                continue
+            assert hash_partitioning(g, 2, 2).cost(g) == opt
+
+    def test_round_robin_suboptimal_on_skew(self):
+        # One big key group + singles: round-robin shreds the group.
+        g = union_of_bicliques([(2, 2), (1, 1)])
+        rr = round_robin_partitioning(g, 2, 2).cost(g)
+        hp = hash_partitioning(g, 2, 2).cost(g)
+        assert hp <= rr
+
+    def test_bruteforce_size_cap(self):
+        g = random_bipartite_gnm(8, 8, 20, seed=0)
+        with pytest.raises(InstanceTooLargeError):
+            optimal_partitioning_bruteforce(g, 4, 4)
+
+
+class TestLowerBound:
+    def test_dense_graph_needs_many_cells(self):
+        from repro.graphs.generators import complete_bipartite
+
+        g = complete_bipartite(4, 4)  # m=16; caps 2x2 -> >= 4 cells
+        assert cell_capacity_lower_bound(g, 2, 2) == 4
+        opt = optimal_partitioning_bruteforce(g, 2, 2).cost(g)
+        assert opt == 4  # complete graph: every cell is active
+
+    def test_empty(self):
+        from repro.graphs.bipartite import BipartiteGraph
+
+        assert cell_capacity_lower_bound(BipartiteGraph(), 2, 2) == 0

@@ -1,0 +1,92 @@
+"""Tests for join predicate classes."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.geometry.primitives import Polygon, Rectangle
+from repro.joins.predicates import (
+    Band,
+    Equality,
+    SetContainment,
+    SetOverlap,
+    SpatialOverlap,
+)
+from repro.relations.domains import Domain
+
+
+class TestEquality:
+    def test_matches(self):
+        p = Equality()
+        assert p.matches(3, 3)
+        assert not p.matches(3, 4)
+        assert p.matches("a", "a")
+        assert p.matches(frozenset([1]), frozenset([1]))
+
+    def test_accepts_same_domain(self):
+        p = Equality()
+        assert p.accepts(Domain.NUMERIC, Domain.NUMERIC)
+        assert p.accepts(Domain.SET, Domain.SET)
+        assert not p.accepts(Domain.NUMERIC, Domain.STRING)
+
+    def test_check_domains_raises(self):
+        with pytest.raises(PredicateError):
+            Equality().check_domains(Domain.NUMERIC, Domain.SET)
+
+
+class TestSpatialOverlap:
+    def test_matches_rectangles(self):
+        p = SpatialOverlap()
+        assert p.matches(Rectangle(0, 0, 2, 2), Rectangle(1, 1, 3, 3))
+        assert not p.matches(Rectangle(0, 0, 1, 1), Rectangle(5, 5, 6, 6))
+
+    def test_matches_polygons(self):
+        p = SpatialOverlap()
+        a = Polygon([(0, 0), (2, 0), (1, 2)])
+        b = Polygon([(1, 1), (3, 1), (2, 3)])
+        assert p.matches(a, b)
+
+    def test_accepts_only_spatial(self):
+        p = SpatialOverlap()
+        assert p.accepts(Domain.RECTANGLE, Domain.RECTANGLE)
+        assert p.accepts(Domain.POLYGON, Domain.POLYGON)
+        assert not p.accepts(Domain.NUMERIC, Domain.RECTANGLE)
+
+
+class TestSetPredicates:
+    def test_containment_direction(self):
+        p = SetContainment()
+        assert p.matches({1}, {1, 2})
+        assert not p.matches({1, 2}, {1})
+
+    def test_overlap(self):
+        p = SetOverlap()
+        assert p.matches({1, 5}, {5, 9})
+        assert not p.matches({1}, {2})
+
+    def test_accepts(self):
+        assert SetContainment().accepts(Domain.SET, Domain.SET)
+        assert not SetContainment().accepts(Domain.SET, Domain.NUMERIC)
+
+
+class TestBand:
+    def test_matches(self):
+        p = Band(2.0)
+        assert p.matches(5, 6.5)
+        assert not p.matches(5, 8)
+
+    def test_zero_width_is_equality(self):
+        p = Band(0)
+        assert p.matches(5, 5)
+        assert not p.matches(5, 5.01)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(PredicateError):
+            Band(-1)
+
+    def test_accepts_numeric_only(self):
+        p = Band(1)
+        assert p.accepts(Domain.NUMERIC, Domain.NUMERIC)
+        assert not p.accepts(Domain.STRING, Domain.STRING)
+
+    def test_repr_shows_width(self):
+        assert "0.5" in repr(Band(0.5))

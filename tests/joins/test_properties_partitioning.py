@@ -1,0 +1,106 @@
+"""Property-based tests for partitioned joins and the k-pebble game."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.bipartite import BipartiteGraph
+
+COMMON = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def small_bipartite(draw, max_side=4):
+    n_left = draw(st.integers(1, max_side))
+    n_right = draw(st.integers(1, max_side))
+    cells = [(i, j) for i in range(n_left) for j in range(n_right)]
+    chosen = draw(st.lists(st.sampled_from(cells), min_size=1, max_size=len(cells)))
+    graph = BipartiteGraph(
+        left=[f"u{i}" for i in range(n_left)],
+        right=[f"v{j}" for j in range(n_right)],
+    )
+    for i, j in set(chosen):
+        graph.add_edge(f"u{i}", f"v{j}")
+    return graph
+
+
+@COMMON
+@given(small_bipartite(), st.integers(1, 3), st.integers(1, 3))
+def test_all_strategies_produce_valid_partitionings(graph, p, q):
+    from repro.joins.partitioning import (
+        greedy_partitioning,
+        hash_partitioning,
+        round_robin_partitioning,
+    )
+
+    for strategy in (hash_partitioning, round_robin_partitioning, greedy_partitioning):
+        part = strategy(graph, p, q)
+        part.validate(graph)
+        assert 0 <= part.cost(graph) <= p * q
+
+
+@COMMON
+@given(small_bipartite(max_side=3), st.integers(1, 2), st.integers(1, 2))
+def test_bruteforce_optimum_bounds_heuristics(graph, p, q):
+    from repro.errors import InstanceTooLargeError
+    from repro.joins.partitioning import (
+        cell_capacity_lower_bound,
+        greedy_partitioning,
+        hash_partitioning,
+        optimal_partitioning_bruteforce,
+    )
+
+    try:
+        opt = optimal_partitioning_bruteforce(graph, p, q).cost(graph)
+    except InstanceTooLargeError:
+        return
+    assert cell_capacity_lower_bound(graph, p, q) <= opt
+    assert opt <= hash_partitioning(graph, p, q).cost(graph)
+    assert opt <= greedy_partitioning(graph, p, q).cost(graph)
+
+
+@COMMON
+@given(small_bipartite(max_side=3))
+def test_kpebble_greedy_wins_and_respects_bounds(graph):
+    from repro.core.kpebble import (
+        greedy_kpebble_cost,
+        kpebble_lower_bound,
+    )
+
+    working = graph.without_isolated_vertices()
+    if working.num_edges == 0:
+        return
+    for k in (2, 3):
+        cost = greedy_kpebble_cost(working, k)
+        assert cost >= kpebble_lower_bound(working)
+
+
+@COMMON
+@given(small_bipartite(max_side=3))
+def test_kpebble_bruteforce_monotone_in_k(graph):
+    from repro.errors import InstanceTooLargeError
+    from repro.core.kpebble import optimal_kpebble_cost_bruteforce
+
+    working = graph.without_isolated_vertices()
+    if working.num_edges == 0:
+        return
+    try:
+        costs = [optimal_kpebble_cost_bruteforce(working, k) for k in (2, 3, 4)]
+    except InstanceTooLargeError:
+        return
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+
+@COMMON
+@given(small_bipartite(max_side=3))
+def test_kpebble_two_matches_paper_model(graph):
+    from repro.errors import InstanceTooLargeError
+    from repro.core.kpebble import optimal_kpebble_cost_bruteforce
+    from repro.core.solvers.exact import solve_exact
+
+    working = graph.without_isolated_vertices()
+    if working.num_edges == 0:
+        return
+    try:
+        two_pebble = optimal_kpebble_cost_bruteforce(working, 2)
+    except InstanceTooLargeError:
+        return
+    assert two_pebble == solve_exact(working).scheme.cost()

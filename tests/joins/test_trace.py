@@ -1,0 +1,78 @@
+"""Tests for the trace bridge (join executions → pebbling schemes)."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.joins.algorithms import sort_merge_join
+from repro.joins.join_graph import build_join_graph
+from repro.joins.predicates import Equality
+from repro.joins.trace import TraceReport, scheme_from_output, trace_report
+from repro.relations.relation import Relation
+
+
+@pytest.fixture
+def simple_join():
+    left = Relation("R", [1, 1, 2])
+    right = Relation("S", [1, 2, 2])
+    graph = build_join_graph(left, right, Equality())
+    return left, right, graph
+
+
+class TestSchemeFromOutput:
+    def test_valid_output(self, simple_join):
+        left, right, graph = simple_join
+        output = sort_merge_join(left, right)
+        scheme = scheme_from_output(graph, output)
+        scheme.validate(graph.without_isolated_vertices())
+
+    def test_incomplete_output_rejected(self, simple_join):
+        # Failure injection: an algorithm that forgets a result pair.
+        left, right, graph = simple_join
+        output = sort_merge_join(left, right)[:-1]
+        with pytest.raises(SchemeError):
+            scheme_from_output(graph, output)
+
+    def test_duplicated_output_rejected(self, simple_join):
+        left, right, graph = simple_join
+        output = sort_merge_join(left, right)
+        with pytest.raises(SchemeError):
+            scheme_from_output(graph, output + [output[0]])
+
+    def test_phantom_pair_rejected(self, simple_join):
+        # Failure injection: an algorithm emitting a non-joining pair.
+        from repro.relations.relation import TupleRef
+
+        left, right, graph = simple_join
+        output = sort_merge_join(left, right)
+        phantom = (TupleRef("R", 2), TupleRef("S", 0))  # 2 != 1
+        with pytest.raises(SchemeError):
+            scheme_from_output(graph, [phantom] + output)
+
+
+class TestTraceReport:
+    def test_report_fields(self, simple_join):
+        left, right, graph = simple_join
+        report = trace_report(graph, sort_merge_join(left, right), "sm")
+        assert report.algorithm == "sm"
+        assert report.output_size == graph.num_edges
+        assert report.lower_bound == graph.num_edges
+        assert report.effective_cost >= report.lower_bound
+        assert report.cost_ratio >= 1.0
+        assert len(report.row()) == 5
+
+    def test_empty_join(self):
+        left = Relation("R", [1])
+        right = Relation("S", [2])
+        graph = build_join_graph(left, right, Equality())
+        report = trace_report(graph, [], "none")
+        assert report.output_size == 0
+        assert report.cost_ratio == 1.0
+
+    def test_empty_join_with_spurious_output_rejected(self):
+        from repro.relations.relation import TupleRef
+
+        left = Relation("R", [1])
+        right = Relation("S", [2])
+        graph = build_join_graph(left, right, Equality())
+        with pytest.raises(SchemeError):
+            trace_report(graph, [(TupleRef("R", 0), TupleRef("S", 0))], "bad")

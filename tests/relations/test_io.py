@@ -1,0 +1,120 @@
+"""Tests for relation file parsing/serialization."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.geometry.interval import Interval
+from repro.geometry.primitives import Rectangle
+from repro.relations.domains import Domain
+from repro.relations.io import dump_relation, format_value, load_relation, parse_value
+from repro.relations.relation import Relation
+
+
+class TestParseValue:
+    def test_integers_and_floats(self):
+        assert parse_value("42") == 42
+        assert isinstance(parse_value("42"), int)
+        assert parse_value("3.5") == 3.5
+        assert parse_value("-7") == -7
+
+    def test_interval(self):
+        assert parse_value("1.5..4") == Interval(1.5, 4.0)
+        assert parse_value("-2..3") == Interval(-2.0, 3.0)
+
+    def test_rectangle(self):
+        assert parse_value("0,0..4,2.5") == Rectangle(0, 0, 4, 2.5)
+
+    def test_set(self):
+        assert parse_value("{a|b|c}") == frozenset({"a", "b", "c"})
+        assert parse_value("{}") == frozenset()
+        assert parse_value("{ x | y }") == frozenset({"x", "y"})
+
+    def test_string_fallback(self):
+        assert parse_value("hello world") == "hello world"
+
+    def test_quoted_string_stays_string(self):
+        assert parse_value('"42"') == "42"
+        assert parse_value('"1..2"') == "1..2"
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            42,
+            -3.25,
+            "plain text",
+            "42",  # numeric-looking string must survive
+            Interval(0.0, 2.5),
+            Rectangle(0.0, 1.0, 3.0, 4.0),
+            frozenset({"a", "b"}),
+            frozenset(),
+        ],
+    )
+    def test_value_round_trip(self, value):
+        assert parse_value(format_value(value)) == value
+
+
+class TestRelationFiles:
+    def test_load_numeric(self):
+        relation = load_relation("R", "# comment\n1\n2\n\n3\n")
+        assert relation.values == [1, 2, 3]
+        assert relation.domain == Domain.NUMERIC
+
+    def test_load_sets(self):
+        relation = load_relation("R", "{1|2}\n{2}\n")
+        assert relation.domain == Domain.SET
+
+    def test_domain_mismatch_reports_line(self):
+        with pytest.raises(RelationError) as excinfo:
+            load_relation("R", "1\n{a}\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_dump_load_round_trip(self):
+        relation = Relation("R", [Interval(0, 1), Interval(2, 3.5)])
+        restored = load_relation("R", dump_relation(relation))
+        assert restored.values == relation.values
+
+    def test_dump_header_mentions_domain(self):
+        text = dump_relation(Relation("R", [{1, 2}]))
+        assert "(set)" in text.splitlines()[0]
+
+
+class TestCliJoin:
+    def test_join_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "r.txt"
+        right = tmp_path / "s.txt"
+        left.write_text("1\n2\n2\n")
+        right.write_text("2\n3\n")
+        assert main(["join", str(left), str(right)]) == 0
+        out = capsys.readouterr().out
+        assert "pebbling pi" in out
+        assert out.count("2\t2") == 2
+
+    def test_join_intervals(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "r.txt"
+        right = tmp_path / "s.txt"
+        left.write_text("0..5\n10..12\n")
+        right.write_text("4..6\n")
+        assert main(["join", str(left), str(right), "--predicate", "overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "interval-merge" in out
+        assert "0.0..5.0\t4.0..6.0" in out
+
+    def test_join_band_with_limit(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "r.txt"
+        right = tmp_path / "s.txt"
+        left.write_text("1\n2\n3\n")
+        right.write_text("1.2\n2.2\n3.2\n")
+        assert main(
+            ["join", str(left), str(right), "--predicate", "band",
+             "--band-width", "0.5", "--limit", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out

@@ -1,0 +1,59 @@
+"""Tests for Lemma 3.3: set-containment universality."""
+
+import pytest
+
+from repro.graphs.generators import (
+    all_small_bipartite_graphs,
+    random_bipartite_gnm,
+)
+from repro.joins.join_graph import build_join_graph
+from repro.joins.predicates import SetContainment
+from repro.core.families import worst_case_family
+from repro.relations.relation import TupleRef
+from repro.sets.realize import (
+    realize_bipartite_as_containment,
+    realize_worst_case_containment,
+)
+
+
+def _matches_target(join_graph, target) -> bool:
+    left_map = {TupleRef("R", i): v for i, v in enumerate(target.left)}
+    right_map = {TupleRef("S", j): v for j, v in enumerate(target.right)}
+    got = {(left_map[u], right_map[v]) for u, v in join_graph.edges()}
+    return got == set(target.edges())
+
+
+class TestLemma33:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_realized_exactly(self, seed):
+        target = random_bipartite_gnm(4, 4, 8, seed=seed)
+        left, right = realize_bipartite_as_containment(target)
+        join_graph = build_join_graph(left, right, SetContainment())
+        assert _matches_target(join_graph, target)
+
+    def test_exhaustive_small_graphs(self):
+        # Universality verified over every bipartite graph on 2x2 sides.
+        for target in all_small_bipartite_graphs(2, 2, min_edges=0):
+            left, right = realize_bipartite_as_containment(target)
+            join_graph = build_join_graph(left, right, SetContainment())
+            assert _matches_target(join_graph, target)
+
+    def test_left_values_are_singletons(self):
+        target = random_bipartite_gnm(3, 3, 5, seed=0)
+        left, _right = realize_bipartite_as_containment(target)
+        assert all(len(v) == 1 for v in left.values)
+
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_worst_case_containment(self, n):
+        left, right = realize_worst_case_containment(n)
+        join_graph = build_join_graph(left, right, SetContainment())
+        assert _matches_target(join_graph, worst_case_family(n))
+
+    def test_worst_case_cost_through_realization(self):
+        # End to end: realize G_4 as sets, extract join graph, solve, and
+        # observe pi = 1.25m − 1 (Thm 3.3 through the Lemma 3.3 pipeline).
+        from repro.core.solvers.exact import solve_exact
+
+        left, right = realize_worst_case_containment(4)
+        join_graph = build_join_graph(left, right, SetContainment())
+        assert solve_exact(join_graph).effective_cost == 9  # 1.25*8 - 1

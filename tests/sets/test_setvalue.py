@@ -1,0 +1,133 @@
+"""Tests for set-value predicates, signatures, and the inverted index."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.sets.inverted import InvertedIndex
+from repro.sets.setvalue import containment_stats, contains, overlaps, universe_of
+from repro.sets.signatures import SignatureScheme
+
+
+class TestPredicates:
+    def test_contains(self):
+        assert contains({1}, {1, 2})
+        assert contains(set(), {1})
+        assert contains({1, 2}, {1, 2})
+        assert not contains({1, 3}, {1, 2})
+
+    def test_contains_type_checked(self):
+        with pytest.raises(PredicateError):
+            contains([1], {1})
+        with pytest.raises(PredicateError):
+            contains({1}, "12")
+
+    def test_overlaps(self):
+        assert overlaps({1, 2}, {2, 3})
+        assert not overlaps({1}, {2})
+        assert not overlaps(set(), {1})
+
+    def test_universe(self):
+        assert universe_of([{1, 2}, {2, 3}]) == frozenset({1, 2, 3})
+        assert universe_of([]) == frozenset()
+
+    def test_containment_stats(self):
+        stats = containment_stats([{1}, {9}], [{1, 2}, {3}])
+        assert stats["pairs"] == 4
+        assert stats["matches"] == 1
+        assert stats["selectivity"] == 0.25
+
+
+class TestSignatures:
+    def test_no_false_negatives(self):
+        # The defining property: A ⊆ B implies the signature test passes.
+        scheme = SignatureScheme(width=32, probes=2)
+        import random
+
+        rng = random.Random(4)
+        for _ in range(100):
+            b = frozenset(rng.sample(range(40), 8))
+            a = frozenset(rng.sample(sorted(b), 3))
+            assert scheme.may_contain(scheme.signature(a), scheme.signature(b))
+
+    def test_definitive_negatives_are_correct(self):
+        scheme = SignatureScheme(width=64, probes=2)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(100):
+            a = frozenset(rng.sample(range(60), 4))
+            b = frozenset(rng.sample(range(60), 6))
+            if not scheme.may_contain(scheme.signature(a), scheme.signature(b)):
+                assert not a <= b
+
+    def test_deterministic(self):
+        s1 = SignatureScheme(width=64, probes=2).signature({1, 2, 3})
+        s2 = SignatureScheme(width=64, probes=2).signature({3, 2, 1})
+        assert s1 == s2
+
+    def test_width_mismatch_rejected(self):
+        a = SignatureScheme(width=32).signature({1})
+        b = SignatureScheme(width=64).signature({1})
+        with pytest.raises(PredicateError):
+            SignatureScheme(width=32).may_contain(a, b)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PredicateError):
+            SignatureScheme(width=0)
+        with pytest.raises(PredicateError):
+            SignatureScheme(probes=0)
+
+    def test_non_set_rejected(self):
+        with pytest.raises(PredicateError):
+            SignatureScheme().signature([1, 2])
+
+    def test_fp_probability_monotone(self):
+        scheme = SignatureScheme(width=64, probes=2)
+        # Bigger left sets are harder to spuriously contain.
+        assert scheme.false_positive_probability(1, 8) > scheme.false_positive_probability(4, 8)
+        # Bigger right sets are easier to spuriously contain into.
+        assert scheme.false_positive_probability(2, 16) > scheme.false_positive_probability(2, 4)
+
+    def test_covers_relation(self):
+        scheme = SignatureScheme(width=64, probes=2)
+        small = scheme.signature({1})
+        big = scheme.signature({1, 2, 3})
+        assert big.covers(small)
+
+
+class TestInvertedIndex:
+    def test_basic_candidates(self):
+        idx = InvertedIndex([("s0", {1, 2}), ("s1", {2, 3}), ("s2", {1, 2, 3})])
+        assert set(idx.superset_candidates({2})) == {"s0", "s1", "s2"}
+        assert set(idx.superset_candidates({1, 3})) == {"s2"}
+        assert idx.superset_candidates({9}) == []
+
+    def test_empty_query_matches_all(self):
+        idx = InvertedIndex([("a", {1}), ("b", set())])
+        assert set(idx.superset_candidates(set())) == {"a", "b"}
+
+    def test_exactness_vs_brute_force(self):
+        import random
+
+        rng = random.Random(13)
+        entries = [
+            (f"s{i}", frozenset(rng.sample(range(12), rng.randint(1, 6))))
+            for i in range(30)
+        ]
+        idx = InvertedIndex(entries)
+        for _ in range(25):
+            query = frozenset(rng.sample(range(12), rng.randint(0, 3)))
+            expected = {p for p, v in entries if query <= v}
+            assert set(idx.superset_candidates(query)) == expected
+
+    def test_counts(self):
+        idx = InvertedIndex([("a", {1, 2}), ("b", {2})])
+        assert idx.num_entries == 2
+        assert idx.num_elements == 2
+        assert idx.postings(2) == {"a", "b"}
+
+    def test_type_checks(self):
+        with pytest.raises(PredicateError):
+            InvertedIndex([("a", [1])])
+        with pytest.raises(PredicateError):
+            InvertedIndex().superset_candidates([1])

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.generators import complete_bipartite
+from repro.graphs.io import dump_bipartite
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pebble_args(self):
+        args = build_parser().parse_args(["pebble", "file.g", "--method", "exact"])
+        assert args.graph_file == "file.g"
+        assert args.method == "exact"
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Equijoin" in out
+        assert "Set containment" in out
+
+    def test_family(self, capsys):
+        assert main(["family", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "G_4" in out
+        assert "pi=9" in out
+
+    def test_pebble_file(self, tmp_path, capsys):
+        graph = complete_bipartite(2, 3)
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["pebble", str(path), "--show-scheme"]) == 0
+        out = capsys.readouterr().out
+        assert "pi=6" in out
+        assert "pebbles on" in out
+
+    def test_pebble_method_selection(self, tmp_path, capsys):
+        graph = complete_bipartite(2, 2)
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["pebble", str(path), "--method", "greedy"]) == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_decide(self, tmp_path, capsys):
+        from repro.graphs.generators import spider_graph
+
+        graph = spider_graph(3)  # pi = 7, m = 6
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["decide", str(path), "7"]) == 0
+        assert "YES" in capsys.readouterr().out
+        assert main(["decide", str(path), "6"]) == 0
+        out = capsys.readouterr().out
+        assert "NO" in out
+        assert "pi(G) >= 7" in out
+
+    def test_svg_family(self, tmp_path, capsys):
+        out_path = tmp_path / "fam.svg"
+        assert main(["svg", "--family", "3", "-o", str(out_path)]) == 0
+        assert out_path.exists()
+        assert (tmp_path / "fam-graph.svg").exists()
+
+    def test_render(self, tmp_path, capsys):
+        graph = complete_bipartite(2, 2)
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["render", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "pi_hat=" in out
+
+    def test_partition(self, tmp_path, capsys):
+        from repro.graphs.generators import union_of_bicliques
+
+        graph = union_of_bicliques([(2, 2), (1, 1)])
+        # Tuple vertex labels are not serializable; flatten them.
+        mapping = {v: f"l{i}" for i, v in enumerate(graph.left)}
+        mapping.update({v: f"r{j}" for j, v in enumerate(graph.right)})
+        graph = graph.relabeled(mapping)
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["partition", str(path), "-p", "2", "-q", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hash:" in out
+        assert "active cells:" in out

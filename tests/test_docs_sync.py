@@ -1,0 +1,75 @@
+"""Documentation consistency checks.
+
+- the generated API index is in sync with the code;
+- README and DESIGN reference files that actually exist;
+- every example script is listed in the README.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestApiDocSync:
+    def test_generated_api_doc_matches_code(self):
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            import gen_api_docs
+
+            expected = gen_api_docs.generate()
+        finally:
+            sys.path.pop(0)
+        current = (ROOT / "docs" / "API.md").read_text()
+        assert current == expected, (
+            "docs/API.md is stale; run `python tools/gen_api_docs.py`"
+        )
+
+
+class TestReadme:
+    def test_examples_listed(self):
+        readme = (ROOT / "README.md").read_text()
+        for script in sorted((ROOT / "examples").glob("*.py")):
+            assert script.name in readme, f"{script.name} missing from README"
+
+    def test_top_level_docs_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/MODEL.md", "docs/API.md"):
+            assert (ROOT / name).exists(), name
+
+
+class TestDesignInventory:
+    def test_design_mentions_every_subpackage(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        src = ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir() if p.is_dir() and not p.name.startswith("_")):
+            assert package in design, f"subpackage {package} missing from DESIGN.md"
+
+    def test_experiments_covers_benchmarks(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            stem = bench.stem.replace("bench_", "")
+            # Every bench file's topic appears in EXPERIMENTS.md (by a
+            # keyword derived from its name).
+            keyword = {
+                "bounds": "E-L2.1",
+                "tsp_correspondence": "E-P2.1",
+                "dfs_approx": "E-T3.1",
+                "equijoin_perfect": "E-T3.2",
+                "worst_case_family": "E-T3.3",
+                "universality": "E-L3.3",
+                "hardness_scaling": "E-T4.2",
+                "reductions": "E-T4.3",
+                "approx_quality": "E-APPROX",
+                "join_algorithms": "E-JOINS",
+                "phase_transition": "E-PHASE",
+                "extensions": "E-S5",
+                "ablations": "Ablations",
+                "engine": "engine",
+            }.get(stem)
+            if keyword is None:
+                continue
+            assert keyword.lower() in experiments.lower(), (
+                f"EXPERIMENTS.md lacks coverage for {bench.name}"
+            )

@@ -1,0 +1,52 @@
+"""Run the library's docstring examples as tests.
+
+Every ``>>>`` example in a public docstring must actually work — stale
+examples are documentation bugs.  Modules with examples are listed
+explicitly so a new example's module must be registered here (cheap, and
+keeps collection fast).
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.render
+import repro.analysis.report
+import repro.engine
+import repro.engine.chain
+import repro.graphs.bipartite
+import repro.graphs.simple
+import repro.relations.catalog
+import repro.relations.relation
+import repro.sets.inverted
+import repro.sets.signatures
+import repro.core.game
+import repro.core.kpebble
+import repro.core.scheme
+import repro.geometry.rtree
+
+MODULES = [
+    repro,
+    repro.analysis.render,
+    repro.analysis.report,
+    repro.engine,
+    repro.engine.chain,
+    repro.graphs.bipartite,
+    repro.graphs.simple,
+    repro.relations.catalog,
+    repro.relations.relation,
+    repro.sets.inverted,
+    repro.sets.signatures,
+    repro.core.game,
+    repro.core.kpebble,
+    repro.core.scheme,
+    repro.geometry.rtree,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests; unregister it"
+    assert results.failed == 0

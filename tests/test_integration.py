@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test runs relation construction → join-graph extraction → pebbling →
+validation, mirroring how a downstream user would consume the library and
+how the paper's claims compose across modules.
+"""
+
+import pytest
+
+import repro
+from repro import (
+    Equality,
+    PebbleGame,
+    Relation,
+    SetContainment,
+    SpatialOverlap,
+    build_join_graph,
+    solve,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestEquijoinPipeline:
+    def test_end_to_end_perfect_pebbling(self):
+        r = Relation("orders", [10, 10, 20, 30, 30, 30])
+        s = Relation("customers", [10, 20, 20, 40])
+        graph = build_join_graph(r, s, Equality())
+        result = solve(graph)
+        assert result.optimal
+        assert result.effective_cost == graph.num_edges
+        game = PebbleGame(graph.without_isolated_vertices())
+        game.replay(result.scheme)
+        assert game.is_won()
+
+    def test_paper_headline_separation(self):
+        """The paper's central claim, end to end: an equijoin instance
+        always pebbles at ratio 1.0 while a containment instance built on
+        the worst-case family cannot beat ~1.25."""
+        from repro.sets.realize import realize_worst_case_containment
+
+        r = Relation("R", [1, 1, 2, 2, 3])
+        s = Relation("S", [1, 2, 2, 3, 3])
+        equi_graph = build_join_graph(r, s, Equality())
+        equi = solve(equi_graph)
+        assert equi.effective_cost / equi_graph.num_edges == 1.0
+
+        cl, cr = realize_worst_case_containment(6)
+        cont_graph = build_join_graph(cl, cr, SetContainment())
+        cont = solve(cont_graph)
+        assert cont.optimal
+        ratio = cont.effective_cost / cont_graph.num_edges
+        assert ratio > 1.15  # 14/12 for n=6
+
+
+class TestSpatialPipeline:
+    def test_spatial_realization_round_trip(self):
+        from repro.geometry.realize import realize_worst_case_family
+
+        left, right = realize_worst_case_family(5)
+        graph = build_join_graph(left, right, SpatialOverlap())
+        result = solve(graph)
+        from repro.core.families import worst_case_effective_cost
+
+        assert result.effective_cost == worst_case_effective_cost(5)
+
+    def test_map_overlay_to_pebbling(self):
+        from repro.workloads.spatial import map_overlay_workload
+
+        r, s = map_overlay_workload(tiles_left=3, tiles_right=3, seed=0)
+        graph = build_join_graph(r, s, SpatialOverlap())
+        result = solve(graph, "dfs+polish")
+        result.scheme.validate(graph.without_isolated_vertices())
+        m = graph.num_edges
+        assert m <= result.effective_cost <= 1.25 * m
+
+
+class TestJoinAlgorithmBridge:
+    def test_three_predicates_one_model(self):
+        """Compute the same abstract pebbling quantity through all three
+        predicate classes on instances realizing the same join graph."""
+        from repro.geometry.realize import realize_bipartite_with_combs
+        from repro.sets.realize import realize_bipartite_as_containment
+        from repro.graphs.generators import random_connected_bipartite
+        from repro.core.solvers.exact import solve_exact
+
+        target = random_connected_bipartite(3, 3, extra_edges=2, seed=9)
+        expected = solve_exact(target).effective_cost
+
+        sl, sr = realize_bipartite_as_containment(target)
+        set_graph = build_join_graph(sl, sr, SetContainment())
+        assert solve_exact(set_graph).effective_cost == expected
+
+        gl, gr = realize_bipartite_with_combs(target)
+        geo_graph = build_join_graph(gl, gr, SpatialOverlap())
+        assert solve_exact(geo_graph).effective_cost == expected
+
+    def test_trace_reports_rank_algorithms(self):
+        from repro.joins.algorithms import (
+            index_nested_loops,
+            sort_merge_join,
+        )
+        from repro.joins.trace import trace_report
+        from repro.workloads.equijoin import zipf_equijoin_workload
+
+        left, right = zipf_equijoin_workload(30, 30, key_universe=6, skew=1.0, seed=11)
+        graph = build_join_graph(left, right, Equality())
+        sm = trace_report(graph, sort_merge_join(left, right), "sm")
+        inl = trace_report(graph, index_nested_loops(left, right), "inl")
+        assert sm.effective_cost <= inl.effective_cost
+        assert sm.cost_ratio == 1.0

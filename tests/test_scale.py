@@ -1,0 +1,81 @@
+"""Moderate-scale smoke tests: the library at realistic sizes.
+
+Not micro-benchmarks (those live in benchmarks/) — these assert that the
+production paths stay correct and tractable at sizes an adopter would
+actually run, with loose wall-clock guards so regressions that change
+complexity class get caught.
+"""
+
+import time
+
+import pytest
+
+from repro import Equality, SetContainment, SpatialOverlap, build_join_graph, solve
+from repro.engine import JoinQuery, execute
+from repro.graphs.generators import random_connected_bipartite, union_of_bicliques
+from repro.workloads.equijoin import zipf_equijoin_workload
+from repro.workloads.sets import zipf_sets_workload
+from repro.workloads.spatial import sessions_interval_workload, uniform_rectangles_workload
+
+
+def _timed(fn, limit_seconds: float):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    assert elapsed < limit_seconds, f"{elapsed:.1f}s exceeded {limit_seconds}s guard"
+    return result
+
+
+class TestSolverScale:
+    def test_equijoin_solver_at_10k_edges(self):
+        graph = union_of_bicliques([(5, 5)] * 400)  # m = 10000
+        result = _timed(lambda: solve(graph), 10.0)
+        assert result.optimal
+        assert result.effective_cost == 10_000
+
+    def test_dfs_approx_at_1k_edges(self):
+        graph = random_connected_bipartite(220, 220, extra_edges=560, seed=1)
+        assert graph.num_edges >= 990
+        result = _timed(lambda: solve(graph, "dfs"), 20.0)
+        result.scheme.validate(graph)
+        assert result.effective_cost <= 1.25 * graph.num_edges
+
+    def test_greedy_at_1k_edges(self):
+        graph = random_connected_bipartite(220, 220, extra_edges=560, seed=2)
+        result = _timed(lambda: solve(graph, "greedy"), 20.0)
+        result.scheme.validate(graph)
+
+
+class TestJoinScale:
+    def test_equijoin_pipeline_500x500(self):
+        left, right = zipf_equijoin_workload(500, 500, key_universe=120, seed=1)
+        result = _timed(
+            lambda: execute(JoinQuery(left, right, Equality()), with_trace=False), 10.0
+        )
+        naive_count = sum(
+            1 for a in left.values for b in right.values if a == b
+        )
+        assert result.output_size == naive_count
+
+    def test_spatial_pipeline_300x300(self):
+        left, right = uniform_rectangles_workload(300, 300, extent=300.0, seed=1)
+        graph = _timed(lambda: build_join_graph(left, right, SpatialOverlap()), 10.0)
+        assert graph.num_edges >= 0
+
+    def test_interval_pipeline_500x500(self):
+        left, right = sessions_interval_workload(500, 500, horizon=5000.0, seed=1)
+        result = _timed(
+            lambda: execute(JoinQuery(left, right, SpatialOverlap()), with_trace=False),
+            10.0,
+        )
+        assert result.plan.algorithm_name == "interval-merge"
+
+    def test_containment_pipeline_200x200(self):
+        left, right = zipf_sets_workload(
+            200, 200, universe=60, left_size=2, right_size=8, seed=1
+        )
+        result = _timed(
+            lambda: execute(JoinQuery(left, right, SetContainment()), with_trace=False),
+            10.0,
+        )
+        assert result.rows is not None

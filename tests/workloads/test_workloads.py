@@ -1,0 +1,138 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.relations.domains import Domain
+from repro.workloads.equijoin import fk_pk_workload, zipf_equijoin_workload
+from repro.workloads.sets import market_basket_workload, zipf_sets_workload
+from repro.workloads.spatial import (
+    clustered_rectangles_workload,
+    map_overlay_workload,
+    uniform_rectangles_workload,
+)
+
+
+class TestEquijoinWorkloads:
+    def test_sizes_and_domain(self):
+        r, s = zipf_equijoin_workload(20, 30, key_universe=10, seed=1)
+        assert len(r) == 20 and len(s) == 30
+        assert r.domain == Domain.NUMERIC
+
+    def test_deterministic(self):
+        a = zipf_equijoin_workload(10, 10, seed=7)[0].values
+        b = zipf_equijoin_workload(10, 10, seed=7)[0].values
+        assert a == b
+
+    def test_skew_concentrates_keys(self):
+        flat, _ = zipf_equijoin_workload(400, 1, key_universe=20, skew=0.0, seed=3)
+        skewed, _ = zipf_equijoin_workload(400, 1, key_universe=20, skew=2.0, seed=3)
+        top_flat = max(flat.multiplicity(k) for k in range(20))
+        top_skewed = max(skewed.multiplicity(k) for k in range(20))
+        assert top_skewed > top_flat
+
+    def test_fk_pk_shape(self):
+        fact, dim = fk_pk_workload(50, 8, seed=2)
+        assert sorted(dim.values) == list(range(8))
+        assert all(0 <= v < 8 for v in fact.values)
+
+    def test_fk_pk_join_graph_is_stars(self):
+        from repro.joins.join_graph import build_join_graph
+        from repro.joins.predicates import Equality
+        from repro.core.solvers.equijoin import is_union_of_bicliques
+
+        fact, dim = fk_pk_workload(30, 5, seed=4)
+        graph = build_join_graph(fact, dim, Equality())
+        assert is_union_of_bicliques(graph)
+        assert graph.num_edges == 30  # every FK matches exactly one PK
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            zipf_equijoin_workload(0, 5)
+        with pytest.raises(WorkloadError):
+            zipf_equijoin_workload(5, 5, skew=-1)
+        with pytest.raises(WorkloadError):
+            fk_pk_workload(0, 1)
+
+
+class TestSpatialWorkloads:
+    def test_uniform(self):
+        r, s = uniform_rectangles_workload(15, 20, seed=0)
+        assert len(r) == 15 and len(s) == 20
+        assert r.domain == Domain.RECTANGLE
+
+    def test_uniform_extent_respected(self):
+        r, _ = uniform_rectangles_workload(30, 1, extent=50.0, seed=1)
+        for rect in r.values:
+            assert 0 <= rect.x_min and rect.x_max <= 50
+
+    def test_clustered_denser_than_uniform(self):
+        from repro.joins.join_graph import build_join_graph
+        from repro.joins.predicates import SpatialOverlap
+
+        uni = build_join_graph(*uniform_rectangles_workload(40, 40, seed=5), SpatialOverlap())
+        clu = build_join_graph(
+            *clustered_rectangles_workload(40, 40, clusters=3, seed=5), SpatialOverlap()
+        )
+        assert clu.num_edges > uni.num_edges
+
+    def test_map_overlay_tile_counts(self):
+        r, s = map_overlay_workload(tiles_left=4, tiles_right=6, seed=2)
+        assert len(r) == 16 and len(s) == 36
+
+    def test_map_overlay_joins_are_dense(self):
+        from repro.joins.join_graph import build_join_graph
+        from repro.joins.predicates import SpatialOverlap
+
+        r, s = map_overlay_workload(tiles_left=3, tiles_right=4, seed=1)
+        graph = build_join_graph(r, s, SpatialOverlap())
+        # Each R-cell overlaps at least one S-cell (tilings cover the extent).
+        assert all(graph.degree(v) >= 1 for v in graph.left)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            uniform_rectangles_workload(0, 1)
+        with pytest.raises(WorkloadError):
+            clustered_rectangles_workload(5, 5, clusters=0)
+        with pytest.raises(WorkloadError):
+            map_overlay_workload(tiles_left=0)
+
+
+class TestSetWorkloads:
+    def test_zipf_sets_shapes(self):
+        r, s = zipf_sets_workload(10, 12, universe=15, left_size=2, right_size=5, seed=0)
+        assert len(r) == 10 and len(s) == 12
+        assert r.domain == Domain.SET
+        assert all(len(v) <= 2 for v in r.values)
+
+    def test_market_basket_hits(self):
+        patterns, baskets = market_basket_workload(
+            20, 10, catalog=40, hit_fraction=1.0, seed=1
+        )
+        hits = sum(
+            1
+            for p in patterns.values
+            if any(p <= b for b in baskets.values)
+        )
+        assert hits == 20
+
+    def test_market_basket_no_hits_fraction(self):
+        patterns, baskets = market_basket_workload(
+            30, 10, catalog=200, basket_size=5, pattern_size=4,
+            hit_fraction=0.0, seed=2,
+        )
+        hits = sum(
+            1
+            for p in patterns.values
+            if any(p <= b for b in baskets.values)
+        )
+        # Random 4-of-200 patterns almost never fit a 5-item basket.
+        assert hits <= 2
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            zipf_sets_workload(0, 1)
+        with pytest.raises(WorkloadError):
+            zipf_sets_workload(1, 1, universe=3, right_size=5)
+        with pytest.raises(WorkloadError):
+            market_basket_workload(1, 1, hit_fraction=2.0)
