@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples docs check clean
+.PHONY: install test bench bench-smoke examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke
+	$(PYTHON) tools/check_bench_json.py BENCH_*.json
 
 examples:
 	@for script in examples/*.py; do \

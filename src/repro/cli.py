@@ -29,6 +29,11 @@ Commands
 ``svg [<graph-file>] [--family N] [-o OUT]``
     Write an SVG of a join graph (with scheme order) or of the spatial
     realization of the worst-case family ``G_N``.
+``bench [--smoke] [--scenario S ...] [--seed N]``
+    Run the observability bench harness (:mod:`repro.obs.bench`): every
+    scenario is timed under spans/metrics, a run-manifest directory is
+    written to ``runs/{run_id}/``, and a top-level ``BENCH_<date>.json``
+    extends the perf trajectory.
 """
 
 from __future__ import annotations
@@ -249,6 +254,33 @@ def _cmd_svg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import SCENARIOS, run_bench
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name}: {SCENARIOS[name].description}")
+        return 0
+    try:
+        report, run_dir, bench_path = run_bench(
+            smoke=args.smoke,
+            seed=args.seed,
+            names=args.scenario or None,
+            repeats=args.repeat,
+            runs_dir=args.runs_dir,
+            out_dir=None if args.no_bench_file else args.out_dir,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(report.table().render())
+    print(f"\nrun artifacts: {run_dir}/")
+    if bench_path is not None:
+        print(f"perf trajectory point: {bench_path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -309,6 +341,37 @@ def build_parser() -> argparse.ArgumentParser:
     svg.add_argument("--family", type=int, help="render the spatial G_n instance")
     svg.add_argument("-o", "--output", default="out.svg")
     svg.set_defaults(func=_cmd_svg)
+
+    bench = commands.add_parser(
+        "bench", help="run the observability bench harness"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="CI-sized inputs, one repeat"
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeat", type=int, help="timing repeats per scenario (default 3, smoke 1)"
+    )
+    bench.add_argument(
+        "--runs-dir", default="runs", help="where run manifests are written"
+    )
+    bench.add_argument(
+        "--out-dir", default=".", help="where BENCH_<date>.json is written"
+    )
+    bench.add_argument(
+        "--no-bench-file",
+        action="store_true",
+        help="skip the top-level BENCH_<date>.json",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

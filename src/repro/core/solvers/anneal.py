@@ -23,6 +23,8 @@ from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
 from repro.core.solvers.dfs_approx import component_tour_dfs
 from repro.core.tsp import edges_share_endpoint, tour_cost
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -89,12 +91,16 @@ def solve_anneal(
     rng = random.Random(seed)
     flat: list = []
     accepted_total = 0
-    for vertex_set in component_vertex_sets(working):
-        component = working.subgraph(vertex_set)
-        start, _chunks = component_tour_dfs(component)
-        tour, accepted = anneal_component_tour(start, rng, steps=steps)
-        flat.extend(tour)
-        accepted_total += accepted
+    with obs_trace.span("solver.anneal"):
+        for vertex_set in component_vertex_sets(working):
+            component = working.subgraph(vertex_set)
+            start, _chunks = component_tour_dfs(component)
+            tour, accepted = anneal_component_tour(start, rng, steps=steps)
+            flat.extend(tour)
+            accepted_total += accepted
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.anneal.solves")
+        obs_metrics.inc("solver.anneal.moves_accepted", accepted_total)
     scheme = PebblingScheme.from_edge_order(working, flat)
     return AnnealResult(
         scheme=scheme,

@@ -44,6 +44,8 @@ from repro.graphs.simple import Graph
 from repro.graphs.traversal import RootedTree, dfs_tree
 from repro.core.scheme import PebblingScheme
 from repro.core.tsp import reorder_paths_greedily, tour_from_paths
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -184,13 +186,17 @@ def solve_dfs_approx(graph: AnyGraph) -> DfsApproxResult:
     tours: list[list] = []
     chunk_total = 0
     guarantee = 0
-    for vertex_set in component_vertex_sets(working):
-        component = working.subgraph(vertex_set)
-        tour, chunks = component_tour_dfs(component)
-        tours.append(tour)
-        chunk_total += chunks
-        mc = component.num_edges
-        guarantee += mc + mc // 4
+    with obs_trace.span("solver.dfs_approx"):
+        for vertex_set in component_vertex_sets(working):
+            component = working.subgraph(vertex_set)
+            tour, chunks = component_tour_dfs(component)
+            tours.append(tour)
+            chunk_total += chunks
+            mc = component.num_edges
+            guarantee += mc + mc // 4
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.dfs_approx.solves")
+        obs_metrics.inc("solver.dfs_approx.chunks", chunk_total)
     flat = [edge for tour in tours for edge in tour]
     scheme = PebblingScheme.from_edge_order(working, flat)
     return DfsApproxResult(

@@ -34,6 +34,8 @@ from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
 from repro.core.solvers.equijoin import biclique_tour
 from repro.core.tsp import tour_cost, tour_from_paths
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -83,6 +85,7 @@ class _PathPartitionSearch:
             self.adjacency[iv] |= 1 << iu
         self.node_budget = node_budget
         self.nodes_expanded = 0
+        self.pruned = 0
         self.full = (1 << self.n) - 1
         # Ablation switch: with use_ordering=False, pivots and extensions
         # are taken in raw index order instead of most-constrained-first
@@ -146,6 +149,7 @@ class _PathPartitionSearch:
         # about to open counts toward the budget.
         lb = self._partition_lb(unvisited)
         if lb > budget:
+            self.pruned += 1
             return None
         # Pivot on the most constrained unvisited node; the next path is the
         # (unique, by two-sided growth) path containing it.
@@ -169,6 +173,7 @@ class _PathPartitionSearch:
     ) -> list[list[int]] | None:
         self._charge()
         if self._partition_lb(unvisited) - 2 > future:
+            self.pruned += 1
             return None
         tail = path[-1]
         extensions = self.adjacency[tail] & unvisited
@@ -187,6 +192,7 @@ class _PathPartitionSearch:
     ) -> list[list[int]] | None:
         self._charge()
         if self._partition_lb(unvisited) - 1 > future:
+            self.pruned += 1
             return None
         head = path[0]
         extensions = self.adjacency[head] & unvisited
@@ -245,6 +251,9 @@ def optimal_component_tour(
     for p in range(lower, max(search.n, 1) + 1):
         partition = search.solve(p)
         if partition is not None:
+            if obs_metrics.METRICS.enabled:
+                obs_metrics.inc("solver.exact.search_nodes", search.nodes_expanded)
+                obs_metrics.inc("solver.exact.pruned_branches", search.pruned)
             paths = [[search.order[i] for i in path] for path in partition]
             return tour_from_paths(paths), search.nodes_expanded
     raise AssertionError("unreachable: singleton partition always works")
@@ -262,11 +271,14 @@ def solve_exact(
     working = graph.without_isolated_vertices()
     tours: list[list] = []
     total_nodes = 0
-    for vertex_set in component_vertex_sets(working):
-        component = working.subgraph(vertex_set)
-        tour, nodes = optimal_component_tour(component, node_budget)
-        tours.append(tour)
-        total_nodes += nodes
+    with obs_trace.span("solver.exact"):
+        for vertex_set in component_vertex_sets(working):
+            component = working.subgraph(vertex_set)
+            tour, nodes = optimal_component_tour(component, node_budget)
+            tours.append(tour)
+            total_nodes += nodes
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.exact.solves")
     flat = [edge for tour in tours for edge in tour]
     scheme = PebblingScheme.from_edge_order(working, flat)
     effective_cost = scheme.effective_cost(working)

@@ -19,6 +19,8 @@ from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import betti_number
 from repro.graphs.line_graph import line_graph
 from repro.graphs.simple import Graph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -80,5 +82,12 @@ def held_karp_effective_cost(graph: AnyGraph) -> int:
     if m == 0:
         return 0
     line = line_graph(working)
-    j_min = held_karp_min_jumps(line)
+    with obs_trace.span("solver.held_karp"):
+        j_min = held_karp_min_jumps(line)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.held_karp.solves")
+        # 2^n * n DP cells relaxed — the TSP-relaxation work counter.
+        obs_metrics.inc(
+            "solver.held_karp.relaxations", (1 << line.num_vertices) * line.num_vertices
+        )
     return m + 1 + j_min - betti_number(working)

@@ -23,6 +23,8 @@ from repro.graphs.components import component_vertex_sets
 from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
 from repro.core.tsp import edges_share_endpoint, tour_cost
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -125,9 +127,15 @@ def polish_scheme(graph: AnyGraph, scheme: PebblingScheme) -> PolishResult:
             else (a, b)
         )
     flat: list = []
-    for index in sorted(by_component):
-        flat.extend(improve_tour(by_component[index]))
+    with obs_trace.span("solver.polish"):
+        for index in sorted(by_component):
+            flat.extend(improve_tour(by_component[index]))
     improved = PebblingScheme.from_edge_order(working, flat)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.polish.passes")
+        obs_metrics.inc(
+            "solver.polish.jumps_removed", scheme.jumps() - improved.jumps()
+        )
     return PolishResult(
         scheme=improved,
         effective_cost=improved.effective_cost(working),

@@ -28,6 +28,8 @@ from repro.core.solvers.equijoin import is_union_of_bicliques, solve_equijoin
 from repro.core.solvers.greedy import solve_greedy
 from repro.core.solvers.local_search import polish_scheme
 from repro.core.solvers.matching_stitch import solve_matching_stitch
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -101,6 +103,13 @@ def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; choose from {METHODS}")
 
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc(f"solver.method.{method}")
+    with obs_trace.span("solver.solve", method=method):
+        return _solve(graph, method, **options)
+
+
+def _solve(graph: AnyGraph, method: str, **options) -> SolveResult:
     if method == "auto":
         if isinstance(graph, BipartiteGraph) and is_union_of_bicliques(graph):
             return solve(graph, "equijoin")

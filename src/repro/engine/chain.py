@@ -25,6 +25,8 @@ from repro.engine.executor import QueryResult, execute
 from repro.engine.query import JoinQuery
 from repro.errors import PredicateError, RelationError
 from repro.joins.predicates import JoinPredicate
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relations.relation import Relation
 
 
@@ -97,22 +99,26 @@ def execute_chain(chain: ChainQuery, with_trace: bool = True) -> ChainResult:
         prefix_rows_by_value.setdefault(value, []).append((value,))
 
     stages: list[QueryResult] = []
-    for index, predicate in enumerate(chain.predicates):
-        probe = Relation(
-            f"stage{index}", list(prefix_rows_by_value.keys())
-        )
-        stage_query = JoinQuery(probe, relations[index + 1], predicate)
-        stage_result = execute(stage_query, with_trace=with_trace)
-        stages.append(stage_result)
-        next_prefixes: dict = {}
-        for left_value, right_value in stage_result.rows:
-            for prefix in prefix_rows_by_value[left_value]:
-                next_prefixes.setdefault(right_value, []).append(
-                    prefix + (right_value,)
-                )
-        prefix_rows_by_value = next_prefixes
-        if not prefix_rows_by_value:
-            break
+    with obs_trace.span("engine.execute_chain"):
+        for index, predicate in enumerate(chain.predicates):
+            probe = Relation(
+                f"stage{index}", list(prefix_rows_by_value.keys())
+            )
+            stage_query = JoinQuery(probe, relations[index + 1], predicate)
+            stage_result = execute(stage_query, with_trace=with_trace)
+            stages.append(stage_result)
+            next_prefixes: dict = {}
+            for left_value, right_value in stage_result.rows:
+                for prefix in prefix_rows_by_value[left_value]:
+                    next_prefixes.setdefault(right_value, []).append(
+                        prefix + (right_value,)
+                    )
+            prefix_rows_by_value = next_prefixes
+            if not prefix_rows_by_value:
+                break
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("executor.chains")
+        obs_metrics.inc("executor.chain_stages", len(stages))
 
     rows = [
         row

@@ -13,9 +13,12 @@ from typing import Any
 from repro.engine.planner import Plan, algorithm_by_name, plan as make_plan
 from repro.engine.query import JoinQuery
 from repro.errors import SolverError
+from repro.graphs.bipartite import BipartiteGraph
 from repro.joins.algorithms import block_nested_loops
-from repro.joins.join_graph import build_join_graph
+from repro.joins.join_graph import build_join_graph_cached
 from repro.joins.trace import TraceReport, trace_report
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -46,30 +49,46 @@ def execute(
     query: JoinQuery,
     chosen_plan: Plan | None = None,
     with_trace: bool = True,
+    join_graph: BipartiteGraph | None = None,
 ) -> QueryResult:
     """Plan (unless a plan is supplied) and execute ``query``.
 
     With ``with_trace=True`` (default) the join graph is also built and
     the execution's pebbling costs reported; pass False to skip that
-    overhead for large joins.
+    overhead for large joins.  A caller that already materialized the
+    query's join graph can thread it through ``join_graph`` to skip the
+    rebuild (otherwise the memoized builder covers repeated executions).
     """
-    the_plan = chosen_plan or make_plan(query)
-    if the_plan.query is not query and the_plan.query != query:
-        raise SolverError("plan does not belong to this query")
-    name = the_plan.algorithm_name
-    if name == "block-NL":
-        pairs = block_nested_loops(query.left, query.right, query.predicate)
-    else:
-        algorithm = algorithm_by_name(name)
-        if algorithm is None:
-            raise SolverError(f"unknown algorithm {name!r}")
-        pairs = algorithm(query.left, query.right)
-    rows = [
-        (query.left.value(l_ref), query.right.value(r_ref))
-        for l_ref, r_ref in pairs
-    ]
-    trace = None
-    if with_trace:
-        graph = build_join_graph(query.left, query.right, query.predicate)
-        trace = trace_report(graph, pairs, name)
-    return QueryResult(plan=the_plan, pairs=pairs, rows=rows, trace=trace)
+    with obs_trace.span("engine.execute"):
+        the_plan = chosen_plan or make_plan(query)
+        if the_plan.query is not query and the_plan.query != query:
+            raise SolverError("plan does not belong to this query")
+        name = the_plan.algorithm_name
+        with obs_trace.span("engine.join", algorithm=name):
+            if name == "block-NL":
+                pairs = block_nested_loops(
+                    query.left, query.right, query.predicate
+                )
+            else:
+                algorithm = algorithm_by_name(name)
+                if algorithm is None:
+                    raise SolverError(f"unknown algorithm {name!r}")
+                pairs = algorithm(query.left, query.right)
+        rows = [
+            (query.left.value(l_ref), query.right.value(r_ref))
+            for l_ref, r_ref in pairs
+        ]
+        trace = None
+        if with_trace:
+            with obs_trace.span("engine.trace"):
+                graph = join_graph if join_graph is not None else (
+                    build_join_graph_cached(
+                        query.left, query.right, query.predicate
+                    )
+                )
+                trace = trace_report(graph, pairs, name)
+        if obs_metrics.METRICS.enabled:
+            obs_metrics.inc("executor.queries")
+            obs_metrics.inc("executor.rows_emitted", len(rows))
+            obs_metrics.observe("executor.output_size", len(pairs))
+        return QueryResult(plan=the_plan, pairs=pairs, rows=rows, trace=trace)

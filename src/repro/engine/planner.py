@@ -35,6 +35,8 @@ from repro.joins.algorithms import (
     sort_merge_join,
 )
 from repro.joins.predicates import Equality, SetContainment, SpatialOverlap
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relations.domains import Domain
 
 Algorithm = Callable[..., list]
@@ -80,6 +82,15 @@ def algorithm_by_name(name: str) -> Algorithm | None:
 
 def plan(query: JoinQuery) -> Plan:
     """Choose an algorithm for ``query`` (see module docstring)."""
+    with obs_trace.span("engine.plan"):
+        chosen = _choose(query)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("planner.plans")
+        obs_metrics.inc(f"planner.algorithm.{chosen.algorithm_name}")
+    return chosen
+
+
+def _choose(query: JoinQuery) -> Plan:
     predicate = query.predicate
     estimated = estimate_output_size(query.left, query.right, predicate)
 

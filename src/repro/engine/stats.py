@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.joins.predicates import JoinPredicate
+from repro.obs import metrics as obs_metrics
 from repro.relations.domains import Domain
 from repro.relations.relation import Relation
 
@@ -55,20 +56,40 @@ def estimate_selectivity(
 
     Returns 0.0 for empty inputs.  The estimate drives the planner's
     expected-output-size computation; it is *not* used for correctness.
+
+    When the whole cross product fits inside the sample budget
+    (``n_left * n_right <= sample_size``) it is enumerated exactly: on
+    tiny inputs with-replacement sampling both biased the estimate (pairs
+    drawn more than once carry extra weight) and made it look
+    nondeterministic across sample sizes, for more work than the exact
+    count.  The chosen mode is surfaced through the
+    ``planner.selectivity.{exact,sampled}`` metrics counters.
     """
     n_left, n_right = len(left), len(right)
     if n_left == 0 or n_right == 0:
         return 0.0
-    rng = random.Random(seed)
-    pairs = min(sample_size, n_left * n_right)
-    hits = 0
     left_values = left.values
     right_values = right.values
+    cross = n_left * n_right
+    if cross <= sample_size:
+        hits = sum(
+            1 for a in left_values for b in right_values if predicate.matches(a, b)
+        )
+        if obs_metrics.METRICS.enabled:
+            obs_metrics.inc("planner.selectivity.exact")
+            obs_metrics.inc("planner.selectivity.pairs_evaluated", cross)
+        return hits / cross
+    rng = random.Random(seed)
+    pairs = sample_size
+    hits = 0
     for _ in range(pairs):
         a = left_values[rng.randrange(n_left)]
         b = right_values[rng.randrange(n_right)]
         if predicate.matches(a, b):
             hits += 1
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("planner.selectivity.sampled")
+        obs_metrics.inc("planner.selectivity.pairs_evaluated", pairs)
     return hits / pairs
 
 

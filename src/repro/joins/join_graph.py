@@ -21,10 +21,13 @@ tests assert they agree with the naive path on random instances.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.graphs.bipartite import BipartiteGraph
 from repro.geometry.primitives import Polygon, Rectangle
 from repro.geometry.sweep import sweep_rectangle_pairs
 from repro.joins.predicates import Equality, JoinPredicate, SetContainment
+from repro.obs import metrics as obs_metrics
 from repro.relations.domains import Domain
 from repro.relations.relation import Relation
 from repro.sets.inverted import InvertedIndex
@@ -122,10 +125,14 @@ def _sorted_band(left: Relation, right: Relation, width: float) -> BipartiteGrap
     right_sorted = sorted(right.items(), key=lambda item: item[1])
     low = 0
     for r_ref, r_val in left_sorted:
-        while low < len(right_sorted) and right_sorted[low][1] < r_val - width:
+        # Window bounds compare the *difference* against the width, exactly
+        # as Band.matches computes |a - b| <= width; the algebraically equal
+        # forms `right < r_val - width` / `right <= r_val + width` round
+        # differently near the boundary and disagree with the predicate.
+        while low < len(right_sorted) and r_val - right_sorted[low][1] > width:
             low += 1
         probe = low
-        while probe < len(right_sorted) and right_sorted[probe][1] <= r_val + width:
+        while probe < len(right_sorted) and right_sorted[probe][1] - r_val <= width:
             graph.add_edge(r_ref, right_sorted[probe][0])
             probe += 1
     return graph
@@ -165,6 +172,59 @@ def build_join_graph(
     if predicate.name == "band":
         return _sorted_band(left, right, predicate.width)
     return _naive(left, right, predicate)
+
+
+# A small LRU of recently built join graphs.  Keys combine object identity
+# with the (append-only) relation lengths, so a relation that grows after
+# caching can never alias a stale graph; holding strong references to the
+# relations in the value pins their ids for the entry's lifetime.
+_GRAPH_CACHE: OrderedDict = OrderedDict()
+_GRAPH_CACHE_LIMIT = 16
+
+
+def _predicate_cache_key(predicate: JoinPredicate) -> tuple:
+    return (type(predicate).__name__, tuple(sorted(vars(predicate).items())))
+
+
+def clear_join_graph_cache() -> None:
+    """Drop every memoized join graph (tests and long-lived processes)."""
+    _GRAPH_CACHE.clear()
+
+
+def build_join_graph_cached(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    accelerate: bool = True,
+) -> BipartiteGraph:
+    """Memoized :func:`build_join_graph`.
+
+    Re-planning and re-executing the same query (the executor's trace
+    path, repeated benchmark rounds) previously rebuilt the identical
+    join graph each time; this front-end returns the cached graph
+    instead and records the saved work under the
+    ``joins.join_graph_cache.*`` metrics counters.  The returned graph is
+    **shared** — callers must treat it as read-only.
+    """
+    key = (
+        id(left),
+        len(left),
+        id(right),
+        len(right),
+        _predicate_cache_key(predicate),
+        accelerate,
+    )
+    entry = _GRAPH_CACHE.get(key)
+    if entry is not None and entry[0] is left and entry[1] is right:
+        _GRAPH_CACHE.move_to_end(key)
+        obs_metrics.inc("joins.join_graph_cache.hits")
+        return entry[2]
+    graph = build_join_graph(left, right, predicate, accelerate)
+    obs_metrics.inc("joins.join_graph_cache.misses")
+    _GRAPH_CACHE[key] = (left, right, graph)
+    while len(_GRAPH_CACHE) > _GRAPH_CACHE_LIMIT:
+        _GRAPH_CACHE.popitem(last=False)
+    return graph
 
 
 def join_output_size(graph: BipartiteGraph) -> int:

@@ -17,6 +17,8 @@ from dataclasses import dataclass
 from repro.errors import SchemeError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import betti_number
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relations.relation import TupleRef
 from repro.core.costs import effective_cost_bounds
 from repro.core.scheme import PebblingScheme
@@ -76,8 +78,12 @@ def trace_report(
         if output:
             raise SchemeError("join emitted pairs but the join graph is empty")
         return TraceReport(algorithm, 0, 0, 0, 0, 0, 0)
-    scheme = scheme_from_output(working, output)
-    lower, upper = effective_cost_bounds(working)
+    with obs_trace.span("joins.trace_report", algorithm=algorithm):
+        scheme = scheme_from_output(working, output)
+        lower, upper = effective_cost_bounds(working)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("joins.trace_reports")
+        obs_metrics.inc("joins.trace.jumps", scheme.jumps())
     return TraceReport(
         algorithm=algorithm,
         output_size=working.num_edges,

@@ -1,0 +1,83 @@
+"""Observability: spans, metrics, run manifests, and the bench harness.
+
+The measurement layer the perf roadmap hangs off.  Four pieces:
+
+- :mod:`repro.obs.trace` — hierarchical spans (context-manager API,
+  ``perf_counter_ns`` durations, process-global collector);
+- :mod:`repro.obs.metrics` — named counters/gauges/histogram summaries
+  with deterministic, byte-stable JSON snapshots;
+- :mod:`repro.obs.manifest` — per-run artifact directories
+  (``runs/{run_id}/manifest.json`` + ``metrics.json`` + ``report.md``)
+  carrying git SHA, seed, and python version;
+- :mod:`repro.obs.bench` — the ``repro bench`` harness that feeds the
+  top-level ``BENCH_<date>.json`` perf trajectory.
+
+Both collectors are **off by default**, and every instrumentation hook in
+the solvers, engine, joins, and storage layers is behaviour-neutral: with
+observability disabled the hooks cost one attribute check, and with it
+enabled they record without perturbing any result (property-tested).
+
+>>> from repro import obs
+>>> obs.enable()
+>>> with obs.span("example"):
+...     obs.inc("example.calls")
+>>> obs.counter("example.calls")
+1
+>>> obs.disable(); obs.reset()
+"""
+
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    counter,
+    inc,
+    observe,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.trace import TRACER, Span, Tracer, span, spans
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+
+def enable() -> None:
+    """Turn on both span and metric collection (process-global)."""
+    _trace.enable()
+    _metrics.enable()
+
+
+def disable() -> None:
+    """Turn off both span and metric collection."""
+    _trace.disable()
+    _metrics.disable()
+
+
+def is_enabled() -> bool:
+    """True if either collector is currently recording."""
+    return _trace.is_enabled() or _metrics.is_enabled()
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (flags are unchanged)."""
+    _trace.reset()
+    _metrics.reset()
+
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "counter",
+    "disable",
+    "enable",
+    "inc",
+    "is_enabled",
+    "observe",
+    "reset",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "spans",
+]

@@ -1,0 +1,422 @@
+"""The benchmark harness behind ``repro bench``: the perf trajectory's feeder.
+
+Each *scenario* re-runs one of the repo's benchmark workloads (the same
+shapes as ``benchmarks/bench_*.py``) through the span/metrics layer and
+returns a small dict of result scalars.  The harness times every scenario
+with ``perf_counter_ns`` over a configurable number of repeats, snapshots
+the metrics it generated, writes a run-manifest directory
+(``runs/{run_id}/``) and emits a top-level ``BENCH_<date>.json`` — the
+file the perf trajectory accumulates, one per benchmarked commit.
+
+Two sizes per scenario: ``--smoke`` runs CI-sized inputs in a few
+seconds; the default size is what perf PRs should compare against.
+Everything is seeded, so scenario *results* (not timings) are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.report import Table
+from repro.obs import manifest as obs_manifest
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by every scenario invocation."""
+
+    smoke: bool = False
+    seed: int = 0
+
+    def size(self, full: int, smoke: int) -> int:
+        """Pick the full-size or smoke-size parameter."""
+        return smoke if self.smoke else full
+
+
+ScenarioFn = Callable[[BenchConfig], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark scenario."""
+
+    name: str
+    description: str
+    run: ScenarioFn
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a scenario function under ``name``."""
+
+    def register(fn: ScenarioFn) -> ScenarioFn:
+        SCENARIOS[name] = Scenario(name=name, description=description, run=fn)
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Scenario definitions (mirroring benchmarks/bench_*.py workload shapes).
+# ---------------------------------------------------------------------------
+
+
+@scenario("engine-planner", "planner choices + execution pebbling (bench_engine)")
+def _engine_planner(config: BenchConfig) -> dict[str, Any]:
+    from repro.engine import JoinQuery, execute
+    from repro.joins.predicates import Equality, SetContainment, SpatialOverlap
+    from repro.workloads.equijoin import fk_pk_workload, zipf_equijoin_workload
+    from repro.workloads.sets import zipf_sets_workload
+    from repro.workloads.spatial import uniform_rectangles_workload
+
+    n = config.size(40, 12)
+    seed = config.seed + 1
+    cases = [
+        JoinQuery(
+            *zipf_equijoin_workload(n, n, key_universe=8, seed=seed), Equality()
+        ),
+        JoinQuery(*fk_pk_workload(n + n // 2, n, seed=seed), Equality()),
+        JoinQuery(
+            *uniform_rectangles_workload(n, n, seed=seed), SpatialOverlap()
+        ),
+        JoinQuery(
+            *zipf_sets_workload(n // 2, n // 2, universe=30, seed=seed),
+            SetContainment(),
+        ),
+    ]
+    total_m = 0
+    worst_ratio = 1.0
+    for query in cases:
+        result = execute(query)
+        total_m += result.output_size
+        if result.trace is not None:
+            worst_ratio = max(worst_ratio, result.trace.cost_ratio)
+    return {"queries": len(cases), "total_m": total_m, "worst_ratio": worst_ratio}
+
+
+@scenario("engine-equijoin", "equijoin query throughput (bench_engine)")
+def _engine_equijoin(config: BenchConfig) -> dict[str, Any]:
+    from repro.engine import JoinQuery, execute
+    from repro.joins.predicates import Equality
+    from repro.workloads.equijoin import zipf_equijoin_workload
+
+    n = config.size(200, 40)
+    query = JoinQuery(
+        *zipf_equijoin_workload(n, n, key_universe=max(8, n // 5), seed=config.seed + 3),
+        Equality(),
+    )
+    result = execute(query, None, False)
+    return {"n": n, "m": result.output_size, "plan": result.plan.algorithm_name}
+
+
+@scenario("engine-spatial", "spatial query throughput (bench_engine)")
+def _engine_spatial(config: BenchConfig) -> dict[str, Any]:
+    from repro.engine import JoinQuery, execute
+    from repro.joins.predicates import SpatialOverlap
+    from repro.workloads.spatial import uniform_rectangles_workload
+
+    n = config.size(150, 30)
+    query = JoinQuery(
+        *uniform_rectangles_workload(
+            n, n, mean_side=6.0 if config.smoke else 3.0, seed=config.seed + 3
+        ),
+        SpatialOverlap(),
+    )
+    result = execute(query, None, False)
+    return {"n": n, "m": result.output_size, "plan": result.plan.algorithm_name}
+
+
+@scenario("engine-chain", "three-way chain throughput (bench_engine)")
+def _engine_chain(config: BenchConfig) -> dict[str, Any]:
+    from repro.engine import ChainQuery, execute_chain
+    from repro.joins.predicates import Equality
+    from repro.workloads.equijoin import zipf_equijoin_workload
+
+    n = config.size(80, 20)
+    a, b = zipf_equijoin_workload(n, n, key_universe=20, seed=config.seed + 4)
+    _, c = zipf_equijoin_workload(1, n, key_universe=20, seed=config.seed + 5)
+    chain = ChainQuery([a, b, c], [Equality(), Equality()])
+    result = execute_chain(chain, False)
+    return {"n": n, "rows": result.output_size, "stages": len(result.stages)}
+
+
+@scenario("solver-exact", "exact search on the worst-case family (bench_hardness_scaling)")
+def _solver_exact(config: BenchConfig) -> dict[str, Any]:
+    from repro.core.families import worst_case_family
+    from repro.core.solvers.registry import solve
+
+    n = config.size(6, 4)
+    family = worst_case_family(n)
+    result = solve(family, "exact")
+    return {"n": n, "m": family.num_edges, "pi": result.effective_cost}
+
+
+@scenario("solver-dfs-approx", "1.25-approximation on random graphs (bench_dfs_approx)")
+def _solver_dfs(config: BenchConfig) -> dict[str, Any]:
+    from repro.core.solvers.registry import solve
+    from repro.graphs.generators import random_connected_bipartite
+
+    edges = config.size(120, 30)
+    graph = random_connected_bipartite(
+        edges // 4, edges // 4, edges, seed=config.seed + 7
+    )
+    result = solve(graph, "dfs+polish")
+    return {
+        "m": graph.num_edges,
+        "pi": result.effective_cost,
+        "jumps": result.jumps,
+    }
+
+
+@scenario("solver-anneal", "annealing polish on random graphs (bench_approx_quality)")
+def _solver_anneal(config: BenchConfig) -> dict[str, Any]:
+    from repro.core.solvers.registry import solve
+    from repro.graphs.generators import random_connected_bipartite
+
+    edges = config.size(60, 20)
+    graph = random_connected_bipartite(
+        edges // 4, edges // 4, edges, seed=config.seed + 11
+    )
+    result = solve(
+        graph, "anneal", seed=config.seed, steps=config.size(2000, 300)
+    )
+    return {"m": graph.num_edges, "pi": result.effective_cost}
+
+
+@scenario("join-algorithms", "join algorithms traced in the model (bench_join_algorithms)")
+def _join_algorithms(config: BenchConfig) -> dict[str, Any]:
+    from repro.joins.algorithms import (
+        hash_join,
+        plane_sweep_join,
+        sort_merge_join,
+    )
+    from repro.joins.join_graph import build_join_graph
+    from repro.joins.predicates import Equality, SpatialOverlap
+    from repro.joins.trace import trace_report
+    from repro.workloads.equijoin import zipf_equijoin_workload
+    from repro.workloads.spatial import uniform_rectangles_workload
+
+    n = config.size(60, 15)
+    eq_left, eq_right = zipf_equijoin_workload(
+        n, n, key_universe=max(6, n // 5), seed=config.seed + 13
+    )
+    eq_graph = build_join_graph(eq_left, eq_right, Equality())
+    sp_left, sp_right = uniform_rectangles_workload(
+        n, n, mean_side=6.0, seed=config.seed + 13
+    )
+    sp_graph = build_join_graph(sp_left, sp_right, SpatialOverlap())
+    reports = [
+        trace_report(eq_graph, sort_merge_join(eq_left, eq_right), "sort-merge"),
+        trace_report(eq_graph, hash_join(eq_left, eq_right), "hash"),
+        trace_report(sp_graph, plane_sweep_join(sp_left, sp_right), "plane-sweep"),
+    ]
+    return {
+        "algorithms": len(reports),
+        "total_m": sum(r.output_size for r in reports),
+        "worst_ratio": max(r.cost_ratio for r in reports),
+    }
+
+
+@scenario("storage-paging", "page-fetch scheduling on paged relations (storage)")
+def _storage_paging(config: BenchConfig) -> dict[str, Any]:
+    from repro.core.solvers.registry import solve
+    from repro.relations.storage import (
+        PagedRelation,
+        page_connection_graph,
+        schedule_report,
+    )
+    from repro.workloads.equijoin import zipf_equijoin_workload
+
+    n = config.size(80, 24)
+    left, right = zipf_equijoin_workload(
+        n, n, key_universe=max(6, n // 8), seed=config.seed + 17
+    )
+    paged_left = PagedRelation(left, page_size=4)
+    paged_right = PagedRelation(right, page_size=4)
+    graph = page_connection_graph(paged_left, paged_right, lambda a, b: a == b)
+    result = solve(graph, "dfs+polish")
+    report = schedule_report(graph, result.scheme)
+    return {
+        "pages": paged_left.num_pages + paged_right.num_pages,
+        "page_pairs": report.page_pairs,
+        "fetches": report.fetches,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """Timing + results + metrics delta for one scenario."""
+
+    name: str
+    repeats: int
+    wall_ns: list[int]
+    results: dict[str, Any]
+    counters: dict[str, int]
+
+    @property
+    def best_ns(self) -> int:
+        return min(self.wall_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.wall_ns) / len(self.wall_ns)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "wall_ns": {
+                "best": self.best_ns,
+                "mean": self.mean_ns,
+                "all": list(self.wall_ns),
+            },
+            "results": self.results,
+            "counters": self.counters,
+        }
+
+
+@dataclass
+class BenchReport:
+    """The full outcome of one ``repro bench`` invocation."""
+
+    run_id: str
+    mode: str  # "smoke" | "full"
+    seed: int
+    scenarios: list[ScenarioResult] = field(default_factory=list)
+
+    def table(self) -> Table:
+        table = Table(
+            ["scenario", "best ms", "mean ms", "repeats", "results"],
+            title=f"repro bench ({self.mode}, seed={self.seed})",
+        )
+        for s in self.scenarios:
+            summary = " ".join(f"{k}={v}" for k, v in sorted(s.results.items()))
+            table.add_row(
+                [
+                    s.name,
+                    round(s.best_ns / 1e6, 3),
+                    round(s.mean_ns / 1e6, 3),
+                    s.repeats,
+                    summary,
+                ]
+            )
+        return table
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "run_id": self.run_id,
+            "mode": self.mode,
+            "seed": self.seed,
+            "git_sha": obs_manifest.git_sha(),
+            "created_unix": time.time(),
+            "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "scenarios": [s.as_dict() for s in self.scenarios],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _run_one(name: str, config: BenchConfig, repeats: int) -> ScenarioResult:
+    """Time one scenario; its metrics delta is read from the global registry."""
+    entry = SCENARIOS[name]
+    before = dict(obs_metrics.snapshot()["counters"])
+    wall: list[int] = []
+    results: dict[str, Any] = {}
+    for _ in range(repeats):
+        with obs_trace.span(f"bench.{name}", smoke=config.smoke):
+            start = time.perf_counter_ns()
+            results = entry.run(config)
+            wall.append(time.perf_counter_ns() - start)
+    after = obs_metrics.snapshot()["counters"]
+    delta = {
+        key: after[key] - before.get(key, 0)
+        for key in sorted(after)
+        if after[key] != before.get(key, 0)
+    }
+    return ScenarioResult(
+        name=name, repeats=repeats, wall_ns=wall, results=results, counters=delta
+    )
+
+
+def run_bench(
+    smoke: bool = False,
+    seed: int = 0,
+    names: list[str] | None = None,
+    repeats: int | None = None,
+    runs_dir: str | Path = obs_manifest.DEFAULT_RUNS_DIR,
+    out_dir: str | Path | None = ".",
+    run_id: str | None = None,
+) -> tuple[BenchReport, Path, Path | None]:
+    """Run the harness end to end.
+
+    Enables span/metric collection for the duration, runs the selected
+    scenarios, writes ``runs/{run_id}/`` artifacts, and — unless
+    ``out_dir`` is None — a top-level ``BENCH_<date>.json``.  Returns
+    ``(report, run_dir, bench_path)``.
+    """
+    chosen = list(names or SCENARIOS)
+    for name in chosen:
+        if name not in SCENARIOS:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+            )
+    config = BenchConfig(smoke=smoke, seed=seed)
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    mode = "smoke" if smoke else "full"
+    the_run_id = run_id or obs_manifest.make_run_id("bench", seed)
+    report = BenchReport(run_id=the_run_id, mode=mode, seed=seed)
+
+    was_trace = obs_trace.is_enabled()
+    was_metrics = obs_metrics.is_enabled()
+    obs_trace.reset()
+    obs_metrics.reset()
+    obs_trace.enable()
+    obs_metrics.enable()
+    try:
+        for name in chosen:
+            report.scenarios.append(_run_one(name, config, repeats))
+    finally:
+        if not was_trace:
+            obs_trace.disable()
+        if not was_metrics:
+            obs_metrics.disable()
+
+    run_dir = obs_manifest.write_run(
+        the_run_id,
+        runs_dir=runs_dir,
+        seed=seed,
+        args={
+            "smoke": smoke,
+            "scenarios": chosen,
+            "repeats": repeats,
+        },
+        tables=[report.table()],
+        extra={"mode": mode},
+    )
+    bench_path: Path | None = None
+    if out_dir is not None:
+        payload = report.as_dict()
+        bench_path = Path(out_dir) / f"BENCH_{payload['date']}.json"
+        bench_path.write_text(report.to_json())
+    return report, run_dir, bench_path

@@ -1,0 +1,194 @@
+"""Named counters, gauges, and histogram summaries.
+
+The numeric half of the observability layer: a process-global registry of
+
+- **counters** — monotonically increasing integers (solver search nodes,
+  pruned branches, planner sample pairs, page fetches, cache hits);
+- **gauges** — last-written scalar values (current instance size, chosen
+  thresholds);
+- **histograms** — streaming summaries (count / total / min / max) of a
+  value distribution, e.g. per-query output sizes.
+
+Everything is deterministic: snapshots hold no timestamps and serialize
+with sorted keys, so two runs of the same seeded workload produce
+**byte-identical** ``metrics.json`` files — a property the test-suite
+asserts.  Durations therefore never go through this module; they belong
+to :mod:`repro.obs.trace` and the benchmark harness.
+
+Like tracing, the registry starts disabled and every recording call
+returns after one attribute check, so hooks are safe to leave in hot
+paths permanently.
+
+>>> from repro.obs import metrics
+>>> metrics.reset(); metrics.enable()
+>>> metrics.inc("solver.calls")
+>>> metrics.inc("solver.search_nodes", 41)
+>>> metrics.observe("engine.output_size", 7)
+>>> metrics.snapshot()["counters"]["solver.search_nodes"]
+41
+>>> metrics.disable(); metrics.reset()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class HistogramSummary:
+    """A streaming count/total/min/max summary of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A registry of named metrics with an on/off switch.
+
+    Normal use goes through the module-level singleton ``METRICS`` and
+    the helper functions below; tests may instantiate private registries.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramSummary] = {}
+
+    # -- control -------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (does not change the enabled flag)."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- recording -----------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at 0)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the named histogram summary."""
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = HistogramSummary()
+        histogram.observe(value)
+
+    # -- inspection ----------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> HistogramSummary | None:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view with deterministically sorted keys."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].as_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        """The snapshot as canonical JSON (sorted keys, 2-space indent).
+
+        Given identical seeded work, two runs produce byte-identical
+        output — the reproducibility contract of run manifests.
+        """
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
+
+
+METRICS = MetricsRegistry()
+
+
+def enable() -> None:
+    """Turn metric recording on (module-level singleton)."""
+    METRICS.enable()
+
+
+def disable() -> None:
+    """Turn metric recording off; recorded values are kept."""
+    METRICS.disable()
+
+
+def is_enabled() -> bool:
+    return METRICS.enabled
+
+
+def reset() -> None:
+    """Drop all metrics recorded so far."""
+    METRICS.reset()
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Increment a counter on the global registry (no-op when disabled)."""
+    METRICS.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the global registry (no-op when disabled)."""
+    METRICS.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the global registry."""
+    METRICS.observe(name, value)
+
+
+def counter(name: str) -> int:
+    """Current value of a counter on the global registry (0 if unset)."""
+    return METRICS.counter(name)
+
+
+def snapshot() -> dict[str, Any]:
+    """Deterministic plain-dict view of the global registry."""
+    return METRICS.snapshot()
+
+
+def to_json() -> str:
+    """Canonical JSON rendering of the global registry's snapshot."""
+    return METRICS.to_json()

@@ -1,0 +1,241 @@
+"""Lightweight hierarchical spans: the tracing half of the observability layer.
+
+A *span* is one timed region of execution — a solver call, a planning
+decision, one benchmark scenario — identified by a dotted name and
+optional attributes.  Spans nest: entering a span while another is open
+records the parent/child relationship, so a completed trace is a forest
+ordered by start time.
+
+Design constraints (mirrored by :mod:`repro.obs.metrics`):
+
+- **zero dependencies** — standard library only, like the rest of the repo;
+- **off by default, near-zero overhead when off** — the process-global
+  tracer starts disabled and :func:`span` then returns a shared no-op
+  context manager after a single attribute check, so instrumentation can
+  stay in hot paths permanently;
+- **behaviour-neutral** — recording never touches random state or the
+  objects under measurement (a property test asserts solver outputs are
+  identical with tracing on and off).
+
+Timing uses ``time.perf_counter_ns`` for durations (monotonic, ns
+resolution) and ``time.time`` for the wall-clock start of each span (so
+manifests can be correlated with external logs).
+
+>>> from repro.obs import trace
+>>> trace.reset(); trace.enable()
+>>> with trace.span("solve", method="exact"):
+...     with trace.span("solve.component"):
+...         pass
+>>> [(s.name, s.depth) for s in trace.spans()]
+[('solve', 0), ('solve.component', 1)]
+>>> trace.disable(); trace.reset()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed region."""
+
+    name: str
+    index: int  # position in the collector's completed-span order
+    parent_index: int | None  # index of the enclosing span, None at top level
+    depth: int  # nesting depth (0 = top level)
+    start_unix: float  # wall-clock start, seconds since the epoch
+    start_ns: int  # perf_counter_ns at entry
+    end_ns: int | None = None  # perf_counter_ns at exit (None while open)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view (used by run manifests)."""
+        return {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent_index,
+            "depth": self.depth,
+            "start_unix": self.start_unix,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing context manager handed out while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that records one span into the tracer."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.span = Span(
+            name=name,
+            index=-1,  # assigned on entry
+            parent_index=None,
+            depth=0,
+            start_unix=0.0,
+            start_ns=0,
+            attrs=attrs,
+        )
+
+    def __enter__(self) -> Span:
+        self.tracer._open(self.span)
+        return self.span
+
+    def __exit__(self, *exc_info) -> bool:
+        self.tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """A process-global collector of hierarchical spans.
+
+    All state lives on the instance so tests can build private tracers,
+    but normal use goes through the module-level singleton ``TRACER`` and
+    the :func:`span` / :func:`enable` / :func:`disable` helpers.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._completed: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_index = 0
+
+    # -- control -------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (does not change the enabled flag)."""
+        self._completed = []
+        self._stack = []
+        self._next_index = 0
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """A context manager timing the ``with`` body as one span.
+
+        While the tracer is disabled this returns a shared no-op object,
+        so the cost of a disabled hook is one attribute check plus the
+        (empty) keyword dict.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def _open(self, span: Span) -> None:
+        span.index = self._next_index
+        self._next_index += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_index = parent.index
+            span.depth = parent.depth + 1
+        span.start_unix = time.time()
+        span.start_ns = time.perf_counter_ns()
+        self._stack.append(span)
+        self._completed.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        # Tolerate mismatched exits (a span closed out of order) rather
+        # than corrupting the stack: pop through the target.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- inspection ----------------------------------------------------
+    def spans(self) -> list[Span]:
+        """All recorded spans in start order."""
+        return list(self._completed)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [s.as_dict() for s in self._completed]
+
+    def total_ns(self, name: str) -> int:
+        """Summed duration of every span with the given name."""
+        return sum(s.duration_ns for s in self._completed if s.name == name)
+
+    def render_tree(self) -> str:
+        """An indented text rendering of the span forest."""
+        lines = []
+        for s in self._completed:
+            lines.append(f"{'  ' * s.depth}{s.name}  {s.duration_ms:.3f} ms")
+        return "\n".join(lines)
+
+
+TRACER = Tracer()
+
+
+def enable() -> None:
+    """Turn span recording on (module-level singleton)."""
+    TRACER.enable()
+
+
+def disable() -> None:
+    """Turn span recording off; already-recorded spans are kept."""
+    TRACER.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled
+
+
+def reset() -> None:
+    """Drop all spans recorded so far."""
+    TRACER.reset()
+
+
+def span(name: str, **attrs: Any):
+    """Time the ``with`` body as a span on the global tracer.
+
+    The instrumentation hooks throughout the repo call this; when tracing
+    is disabled (the default) it is a near-free no-op.
+    """
+    return TRACER.span(name, **attrs)
+
+
+def spans() -> list[Span]:
+    """All spans recorded on the global tracer, in start order."""
+    return TRACER.spans()
+
+
+def as_dicts() -> list[dict[str, Any]]:
+    """JSON-ready span dicts from the global tracer."""
+    return TRACER.as_dicts()
+
+
+def render_tree() -> str:
+    """Indented text view of the global tracer's span forest."""
+    return TRACER.render_tree()

@@ -21,6 +21,8 @@ from typing import Any
 
 from repro.errors import RelationError
 from repro.graphs.bipartite import BipartiteGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.relations.relation import Relation, TupleRef
 from repro.core.scheme import PebblingScheme
 
@@ -77,12 +79,20 @@ def page_connection_graph(
     the pebble game on it with two memory frames counts page fetches.
     """
     graph = BipartiteGraph(left=left.pages(), right=right.pages())
-    for p in left.pages():
-        left_values = [left.relation.value(t) for t in left.tuples_on(p)]
-        for q in right.pages():
-            right_values = [right.relation.value(t) for t in right.tuples_on(q)]
-            if any(joins(a, b) for a in left_values for b in right_values):
-                graph.add_edge(p, q)
+    with obs_trace.span("storage.page_graph"):
+        for p in left.pages():
+            left_values = [left.relation.value(t) for t in left.tuples_on(p)]
+            for q in right.pages():
+                right_values = [
+                    right.relation.value(t) for t in right.tuples_on(q)
+                ]
+                if any(joins(a, b) for a in left_values for b in right_values):
+                    graph.add_edge(p, q)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("storage.page_graphs")
+        obs_metrics.inc(
+            "storage.page_pairs_checked", left.num_pages * right.num_pages
+        )
     return graph
 
 
@@ -115,8 +125,12 @@ def schedule_report(graph: BipartiteGraph, scheme: PebblingScheme) -> FetchRepor
     """Summarize a page-fetch schedule for the page graph ``graph``."""
     scheme.validate(graph.without_isolated_vertices())
     m = graph.num_edges
+    fetches = page_fetches_of_scheme(scheme)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("storage.schedules")
+        obs_metrics.inc("storage.page_fetches", fetches)
     return FetchReport(
         page_pairs=m,
-        fetches=page_fetches_of_scheme(scheme),
+        fetches=fetches,
         lower_bound=m + 1 if m else 0,
     )

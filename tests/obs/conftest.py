@@ -1,0 +1,29 @@
+"""Shared fixtures for the observability tests.
+
+Every test in this package runs against clean, disabled global
+collectors; state is restored afterwards so observability tests cannot
+leak spans/counters into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.joins.join_graph import clear_join_graph_cache
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs_trace.disable()
+    obs_metrics.disable()
+    obs_trace.reset()
+    obs_metrics.reset()
+    clear_join_graph_cache()
+    yield
+    obs_trace.disable()
+    obs_metrics.disable()
+    obs_trace.reset()
+    obs_metrics.reset()
+    clear_join_graph_cache()

@@ -1,0 +1,96 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+from repro.obs import metrics
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not metrics.is_enabled()
+
+    def test_disabled_recording_is_noop(self):
+        metrics.inc("c")
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 2.0)
+        snap = metrics.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        metrics.enable()
+        metrics.inc("solver.calls")
+        metrics.inc("solver.calls")
+        assert metrics.counter("solver.calls") == 2
+
+    def test_inc_amount(self):
+        metrics.enable()
+        metrics.inc("nodes", 41)
+        metrics.inc("nodes", 1)
+        assert metrics.counter("nodes") == 42
+
+    def test_unset_counter_reads_zero(self):
+        assert metrics.counter("nope") == 0
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self):
+        metrics.enable()
+        metrics.set_gauge("size", 10)
+        metrics.set_gauge("size", 3)
+        assert metrics.METRICS.gauge("size") == 3
+
+    def test_histogram_summary(self):
+        metrics.enable()
+        for value in (1, 2, 9):
+            metrics.observe("m", value)
+        h = metrics.METRICS.histogram("m")
+        assert h.count == 3
+        assert h.total == 12
+        assert h.min == 1
+        assert h.max == 9
+        assert h.mean == 4
+
+    def test_empty_histogram_mean_zero(self):
+        from repro.obs.metrics import HistogramSummary
+
+        assert HistogramSummary().mean == 0.0
+
+
+class TestSnapshotDeterminism:
+    def _record(self):
+        metrics.inc("b.second")
+        metrics.inc("a.first", 3)
+        metrics.set_gauge("z", 1.5)
+        metrics.observe("h", 2)
+        metrics.observe("h", 4)
+
+    def test_snapshot_keys_sorted(self):
+        metrics.enable()
+        self._record()
+        snap = metrics.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+
+    def test_to_json_byte_identical_across_identical_runs(self):
+        metrics.enable()
+        self._record()
+        first = metrics.to_json()
+        metrics.reset()
+        self._record()
+        second = metrics.to_json()
+        assert first == second
+
+    def test_to_json_parses_and_round_trips(self):
+        metrics.enable()
+        self._record()
+        payload = json.loads(metrics.to_json())
+        assert payload["counters"]["a.first"] == 3
+        assert payload["histograms"]["h"]["count"] == 2
+
+    def test_reset_drops_values_keeps_flag(self):
+        metrics.enable()
+        metrics.inc("x")
+        metrics.reset()
+        assert metrics.counter("x") == 0
+        assert metrics.is_enabled()

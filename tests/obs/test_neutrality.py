@@ -1,0 +1,180 @@
+"""Behaviour-neutrality of the observability hooks.
+
+The whole point of the obs subsystem is that it observes without
+perturbing: every solver must return the identical scheme and cost with
+collection enabled as with it disabled, the engine must emit the same
+rows, and two same-seed runs must write byte-identical metrics.json.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solvers.registry import METHODS, solve
+from repro.engine import JoinQuery, execute
+from repro.graphs.generators import random_connected_bipartite
+from repro.joins.join_graph import build_join_graph_cached, clear_join_graph_cache
+from repro.joins.predicates import Equality
+from repro.obs import metrics, trace
+from repro.workloads.equijoin import zipf_equijoin_workload
+
+import pytest
+
+
+def _solve_fingerprint(graph, method):
+    result = solve(graph, method)
+    return (
+        result.scheme,
+        result.effective_cost,
+        result.raw_cost,
+        result.jumps,
+        result.optimal,
+        result.method,
+    )
+
+
+def _graph_for(method, seed):
+    if method == "equijoin":
+        # The equijoin fast path only accepts union-of-biclique graphs.
+        left, right = zipf_equijoin_workload(8, 8, key_universe=3, seed=seed)
+        from repro.joins.join_graph import build_join_graph
+
+        return build_join_graph(left, right, Equality())
+    return random_connected_bipartite(4, 4, 10, seed=seed)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_solver_identical_with_and_without_collection(method, seed):
+    graph = _graph_for(method, seed)
+
+    trace.disable()
+    metrics.disable()
+    baseline = _solve_fingerprint(graph, method)
+
+    trace.reset()
+    metrics.reset()
+    trace.enable()
+    metrics.enable()
+    try:
+        observed = _solve_fingerprint(graph, method)
+    finally:
+        trace.disable()
+        metrics.disable()
+
+    assert observed == baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engine_output_identical_with_and_without_collection(seed):
+    left, right = zipf_equijoin_workload(15, 15, key_universe=5, seed=seed)
+    query = JoinQuery(left, right, Equality())
+
+    def fingerprint():
+        clear_join_graph_cache()
+        result = execute(query)
+        return (
+            sorted(result.rows),
+            result.plan.algorithm_name,
+            None if result.trace is None else result.trace.effective_cost,
+        )
+
+    baseline = fingerprint()
+    trace.reset()
+    metrics.reset()
+    trace.enable()
+    metrics.enable()
+    try:
+        observed = fingerprint()
+    finally:
+        trace.disable()
+        metrics.disable()
+    assert observed == baseline
+
+
+def _seeded_run(tmp_path, run_id, seed):
+    """One 'experiment' whose metrics depend only on the seed."""
+    from repro.obs.manifest import write_run
+
+    metrics.reset()
+    trace.reset()
+    metrics.enable()
+    trace.enable()
+    left, right = zipf_equijoin_workload(12, 12, key_universe=4, seed=seed)
+    clear_join_graph_cache()
+    execute(JoinQuery(left, right, Equality()))
+    graph = random_connected_bipartite(3, 3, 8, seed=seed)
+    solve(graph, "dfs+polish")
+    run_dir = write_run(run_id, runs_dir=tmp_path, seed=seed)
+    metrics.disable()
+    trace.disable()
+    return (run_dir / "metrics.json").read_bytes()
+
+
+def test_same_seed_runs_write_byte_identical_metrics(tmp_path):
+    first = _seeded_run(tmp_path, "run-a", seed=123)
+    second = _seeded_run(tmp_path, "run-b", seed=123)
+    assert first == second
+
+
+def test_different_seed_runs_usually_differ(tmp_path):
+    # Sanity check that the byte-identical test above is not vacuous.
+    first = _seeded_run(tmp_path, "run-a", seed=1)
+    second = _seeded_run(tmp_path, "run-c", seed=2)
+    assert first != second
+
+
+class TestSelectivityModes:
+    def test_small_inputs_use_exact_enumeration(self):
+        from repro.engine.stats import estimate_selectivity
+
+        left, right = zipf_equijoin_workload(5, 5, key_universe=3, seed=0)
+        metrics.enable()
+        estimate_selectivity(left, right, Equality(), sample_size=100, seed=0)
+        assert metrics.counter("planner.selectivity.exact") == 1
+        assert metrics.counter("planner.selectivity.sampled") == 0
+        assert metrics.counter("planner.selectivity.pairs_evaluated") == 25
+
+    def test_exact_mode_independent_of_sampling_seed(self):
+        from repro.engine.stats import estimate_selectivity
+
+        left, right = zipf_equijoin_workload(6, 6, key_universe=3, seed=0)
+        values = {
+            estimate_selectivity(left, right, Equality(), sample_size=200, seed=s)
+            for s in range(5)
+        }
+        assert len(values) == 1
+
+    def test_large_inputs_fall_back_to_sampling(self):
+        from repro.engine.stats import estimate_selectivity
+
+        left, right = zipf_equijoin_workload(40, 40, key_universe=8, seed=0)
+        metrics.enable()
+        estimate_selectivity(left, right, Equality(), sample_size=50, seed=0)
+        assert metrics.counter("planner.selectivity.sampled") == 1
+        assert metrics.counter("planner.selectivity.exact") == 0
+
+
+class TestJoinGraphCache:
+    def test_repeated_execute_hits_cache(self):
+        left, right = zipf_equijoin_workload(10, 10, key_universe=4, seed=0)
+        query = JoinQuery(left, right, Equality())
+        metrics.enable()
+        execute(query)
+        execute(query)
+        assert metrics.counter("joins.join_graph_cache.hits") >= 1
+
+    def test_cached_graph_is_same_object(self):
+        left, right = zipf_equijoin_workload(8, 8, key_universe=4, seed=0)
+        first = build_join_graph_cached(left, right, Equality())
+        second = build_join_graph_cached(left, right, Equality())
+        assert first is second
+
+    def test_mutating_relation_invalidates(self):
+        left, right = zipf_equijoin_workload(8, 8, key_universe=4, seed=0)
+        first = build_join_graph_cached(left, right, Equality())
+        left.append(left.values[0])
+        second = build_join_graph_cached(left, right, Equality())
+        assert first is not second
+        assert second.num_edges >= first.num_edges

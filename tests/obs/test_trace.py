@@ -1,0 +1,122 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+from repro.obs import trace
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not trace.is_enabled()
+
+    def test_disabled_span_records_nothing(self):
+        with trace.span("nothing"):
+            pass
+        assert trace.spans() == []
+
+    def test_disabled_span_yields_none(self):
+        with trace.span("nothing") as handle:
+            assert handle is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert trace.span("a") is trace.span("b")
+
+
+class TestRecording:
+    def test_flat_spans(self):
+        trace.enable()
+        with trace.span("one"):
+            pass
+        with trace.span("two"):
+            pass
+        names = [s.name for s in trace.spans()]
+        assert names == ["one", "two"]
+        assert all(s.depth == 0 for s in trace.spans())
+
+    def test_nesting_depth_and_parent(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                with trace.span("leaf"):
+                    pass
+        outer, inner, leaf = trace.spans()
+        assert (outer.depth, inner.depth, leaf.depth) == (0, 1, 2)
+        assert inner.parent_index == outer.index
+        assert leaf.parent_index == inner.index
+        assert outer.parent_index is None
+
+    def test_durations_nonnegative_and_nested_within_parent(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                sum(range(1000))
+        outer, inner = trace.spans()
+        assert inner.duration_ns >= 0
+        assert outer.duration_ns >= inner.duration_ns
+
+    def test_attrs_recorded(self):
+        trace.enable()
+        with trace.span("solve", method="exact", m=7) as s:
+            pass
+        assert s.attrs == {"method": "exact", "m": 7}
+
+    def test_span_yields_span_object(self):
+        trace.enable()
+        with trace.span("x") as s:
+            assert s.name == "x"
+
+    def test_exception_still_closes_span(self):
+        trace.enable()
+        try:
+            with trace.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (s,) = trace.spans()
+        assert s.end_ns is not None
+
+    def test_total_ns_sums_by_name(self):
+        trace.enable()
+        for _ in range(3):
+            with trace.span("repeated"):
+                pass
+        assert trace.TRACER.total_ns("repeated") == sum(
+            s.duration_ns for s in trace.spans()
+        )
+
+    def test_reset_drops_spans_keeps_flag(self):
+        trace.enable()
+        with trace.span("x"):
+            pass
+        trace.reset()
+        assert trace.spans() == []
+        assert trace.is_enabled()
+
+    def test_as_dicts_shape(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner", k=1):
+                pass
+        dicts = trace.as_dicts()
+        assert [d["name"] for d in dicts] == ["outer", "inner"]
+        assert dicts[1]["parent"] == dicts[0]["index"]
+        assert dicts[1]["attrs"] == {"k": 1}
+        assert all(d["duration_ns"] >= 0 for d in dicts)
+
+    def test_render_tree_indents_children(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        rendered = trace.render_tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+
+class TestPrivateTracer:
+    def test_independent_of_global(self):
+        private = trace.Tracer()
+        private.enable()
+        with private.span("mine"):
+            pass
+        assert [s.name for s in private.spans()] == ["mine"]
+        assert trace.spans() == []

@@ -1,0 +1,124 @@
+"""Validate BENCH_*.json files against the repro-bench/v1 schema.
+
+A hand-rolled structural check (the repo is dependency-free, so no
+``jsonschema``): every perf-trajectory point must carry provenance
+(git SHA, seed, mode) and per-scenario timings with positive repeat
+counts, or CI rejects it before upload.
+
+    python tools/check_bench_json.py BENCH_*.json
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+EXPECTED_SCHEMA = "repro-bench/v1"
+
+TOP_LEVEL_FIELDS = {
+    "schema": str,
+    "run_id": str,
+    "mode": str,
+    "seed": int,
+    "git_sha": str,
+    "created_unix": (int, float),
+    "date": str,
+    "scenarios": list,
+}
+
+SCENARIO_FIELDS = {
+    "name": str,
+    "repeats": int,
+    "wall_ns": dict,
+    "results": dict,
+    "counters": dict,
+}
+
+WALL_FIELDS = {
+    "best": (int, float),
+    "mean": (int, float),
+    "all": list,
+}
+
+
+def _check_fields(obj: dict, spec: dict, context: str, problems: list[str]) -> None:
+    for field, expected in spec.items():
+        if field not in obj:
+            problems.append(f"{context}: missing field {field!r}")
+        elif not isinstance(obj[field], expected):
+            problems.append(
+                f"{context}: field {field!r} has type "
+                f"{type(obj[field]).__name__}, expected {expected}"
+            )
+
+
+def validate_bench_payload(payload: object, context: str = "BENCH") -> list[str]:
+    """All schema problems found in one parsed payload (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"{context}: top level must be an object"]
+    _check_fields(payload, TOP_LEVEL_FIELDS, context, problems)
+    if payload.get("schema") not in (None, EXPECTED_SCHEMA):
+        problems.append(
+            f"{context}: schema is {payload['schema']!r}, expected {EXPECTED_SCHEMA!r}"
+        )
+    if payload.get("mode") not in (None, "smoke", "full"):
+        problems.append(f"{context}: mode must be 'smoke' or 'full'")
+    scenarios = payload.get("scenarios")
+    if isinstance(scenarios, list):
+        if not scenarios:
+            problems.append(f"{context}: scenarios must be non-empty")
+        for position, scenario in enumerate(scenarios):
+            where = f"{context}.scenarios[{position}]"
+            if not isinstance(scenario, dict):
+                problems.append(f"{where}: must be an object")
+                continue
+            _check_fields(scenario, SCENARIO_FIELDS, where, problems)
+            if isinstance(scenario.get("repeats"), int) and scenario["repeats"] < 1:
+                problems.append(f"{where}: repeats must be >= 1")
+            wall = scenario.get("wall_ns")
+            if isinstance(wall, dict):
+                _check_fields(wall, WALL_FIELDS, f"{where}.wall_ns", problems)
+                timings = wall.get("all")
+                if isinstance(timings, list):
+                    if not timings:
+                        problems.append(f"{where}.wall_ns.all: must be non-empty")
+                    for t in timings:
+                        if not isinstance(t, (int, float)) or t < 0:
+                            problems.append(
+                                f"{where}.wall_ns.all: non-negative numbers only"
+                            )
+                            break
+    return problems
+
+
+def validate_file(path: Path) -> list[str]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    return validate_bench_payload(payload, context=str(path))
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: python tools/check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        problems = validate_file(Path(name))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{name}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
