@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples docs check clean
+.PHONY: install test bench bench-smoke chaos-smoke examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,25 @@ bench:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke
 	$(PYTHON) tools/check_bench_json.py BENCH_*.json
+
+# Deterministic fault injection: the suite plus one chaos bench per seed.
+# The chaos bench must exit 1 (scenarios fail after retry) without ever
+# printing a raw traceback, and its failure records must validate.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/runtime/ -q
+	@for seed in 0 1 2; do \
+		echo "== chaos seed $$seed"; \
+		PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+			--scenario storage-paging --no-bench-file \
+			--runs-dir .chaos-runs \
+			--fault-seed $$seed --fault-rate 1.0 \
+			2> .chaos-stderr.txt; \
+		status=$$?; \
+		cat .chaos-stderr.txt; \
+		test $$status -eq 1 || exit 1; \
+		grep -q Traceback .chaos-stderr.txt && exit 1 || true; \
+	done
+	rm -rf .chaos-runs .chaos-stderr.txt
 
 examples:
 	@for script in examples/*.py; do \

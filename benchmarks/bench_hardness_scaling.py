@@ -19,7 +19,9 @@ def test_hardness_table(benchmark, emit):
         iterations=1,
     )
     emit("E-T4.2_hardness_scaling", table)
-    nodes = [int(row[2]) for row in table._rows]
+    # A budget-stopped search renders as ">N"; strip the marker for the
+    # shape check (the budget is a lower bound on the true effort there).
+    nodes = [int(row[2].lstrip(">")) for row in table._rows]
     # Shape check: the largest instance needs orders of magnitude more
     # search effort than the smallest.
     assert max(nodes) > 100 * max(1, min(nodes))

@@ -27,14 +27,27 @@ class Table:
         self.columns = [str(c) for c in columns]
         self.title = title
         self._rows: list[list[str]] = []
+        self._raw_rows: list[list[Any]] = []
 
     def add_row(self, row: Iterable[Any]) -> None:
-        cells = [self._format(cell) for cell in row]
+        raw = list(row)
+        cells = [self._format(cell) for cell in raw]
         if len(cells) != len(self.columns):
             raise ValueError(
                 f"row has {len(cells)} cells, table has {len(self.columns)} columns"
             )
         self._rows.append(cells)
+        self._raw_rows.append(raw)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The table as a JSON-ready payload (un-formatted cell values),
+        so JSON output can carry types the ASCII rendering flattens —
+        e.g. the hardness table's ``budget_exceeded`` booleans."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self._raw_rows],
+        }
 
     @staticmethod
     def _format(cell: Any) -> str:

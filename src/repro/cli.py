@@ -46,11 +46,18 @@ from repro.graphs.io import load_bipartite
 
 def _cmd_pebble(args: argparse.Namespace) -> int:
     from repro.core.solvers.registry import solve
+    from repro.runtime import Budget
 
     with open(args.graph_file) as handle:
         graph = load_bipartite(handle.read())
-    result = solve(graph, args.method)
+    budget = None
+    if args.deadline is not None or args.node_budget is not None:
+        budget = Budget(deadline=args.deadline, node_budget=args.node_budget)
+    result = solve(graph, args.method, budget=budget)
     print(result.summary())
+    if result.provenance is not None and result.provenance.degradations:
+        steps = ", ".join(result.provenance.degradations)
+        print(f"degraded: {steps} (lower bound pi >= {result.provenance.lower_bound})")
     if args.show_scheme:
         for index, (a, b) in enumerate(result.scheme.configurations, 1):
             print(f"  {index:4d}: pebbles on ({a}, {b})")
@@ -187,6 +194,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
     from repro.engine import JoinQuery, execute
     from repro.joins import predicates as predicate_module
     from repro.relations.io import format_value, load_relation
+    from repro.runtime import Budget, use_budget
 
     with open(args.left_file) as handle:
         left = load_relation("R", handle.read())
@@ -197,7 +205,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
     else:
         predicate_class = getattr(predicate_module, _PREDICATES[args.predicate])
         predicate = predicate_class()
-    result = execute(JoinQuery(left, right, predicate))
+    budget = Budget(deadline=args.deadline) if args.deadline is not None else None
+    with use_budget(budget):
+        result = execute(JoinQuery(left, right, predicate))
     print(result.explain_analyze())
     limit = args.limit if args.limit is not None else len(result.rows)
     for a, b in result.rows[:limit]:
@@ -255,21 +265,33 @@ def _cmd_svg(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.obs.bench import SCENARIOS, run_bench
+    from repro.runtime import FaultPlan, inject
 
     if args.list:
         for name in sorted(SCENARIOS):
             print(f"{name}: {SCENARIOS[name].description}")
         return 0
-    try:
-        report, run_dir, bench_path = run_bench(
-            smoke=args.smoke,
-            seed=args.seed,
-            names=args.scenario or None,
-            repeats=args.repeat,
-            runs_dir=args.runs_dir,
-            out_dir=None if args.no_bench_file else args.out_dir,
+    harness: contextlib.AbstractContextManager = contextlib.nullcontext()
+    if args.fault_seed is not None:
+        # Chaos mode: seeded faults at every instrumented site; scenario
+        # retry + structured failure records absorb what trips.
+        harness = inject(
+            FaultPlan(seed=args.fault_seed, rates={"*": args.fault_rate})
         )
+    try:
+        with harness:
+            report, run_dir, bench_path = run_bench(
+                smoke=args.smoke,
+                seed=args.seed,
+                names=args.scenario or None,
+                repeats=args.repeat,
+                runs_dir=args.runs_dir,
+                out_dir=None if args.no_bench_file else args.out_dir,
+                scenario_deadline=args.scenario_deadline,
+            )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -278,6 +300,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nrun artifacts: {run_dir}/")
     if bench_path is not None:
         print(f"perf trajectory point: {bench_path}")
+    if report.failed:
+        names = ", ".join(s.name for s in report.failed)
+        print(
+            f"error: {len(report.failed)} scenario(s) failed after retry: {names}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -293,6 +322,16 @@ def build_parser() -> argparse.ArgumentParser:
     pebble.add_argument("--method", default="auto")
     pebble.add_argument("--show-scheme", action="store_true")
     pebble.add_argument("--save", help="write the scheme to this file")
+    pebble.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock budget in seconds (anytime: degrades, never fails)",
+    )
+    pebble.add_argument(
+        "--node-budget",
+        type=int,
+        help="cooperative search-node budget (anytime)",
+    )
     pebble.set_defaults(func=_cmd_pebble)
 
     demo = commands.add_parser("demo", help="guided tour of the three join classes")
@@ -327,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument("--band-width", type=float, default=0.0)
     join.add_argument("--limit", type=int, help="print at most this many rows")
+    join.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock budget in seconds for planning + execution",
+    )
     join.set_defaults(func=_cmd_join)
 
     decide = commands.add_parser(
@@ -371,14 +415,42 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
+    bench.add_argument(
+        "--scenario-deadline",
+        type=float,
+        default=60.0,
+        help="ambient wall-clock budget per scenario attempt (seconds)",
+    )
+    bench.add_argument(
+        "--fault-seed",
+        type=int,
+        help="chaos mode: inject seeded faults at instrumented sites",
+    )
+    bench.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.2,
+        help="per-site failure probability in chaos mode (default 0.2)",
+    )
     bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse and dispatch; library failures surface as one clean ``error:``
+    line and a nonzero exit, never a traceback (chaos tests enforce this)."""
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.core.solvers.dfs_approx import component_tour_dfs
 from repro.core.tsp import edges_share_endpoint, tour_cost
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -46,10 +47,13 @@ def anneal_component_tour(
     rng: random.Random,
     steps: int = 4000,
     start_temperature: float = 1.5,
+    budget: Budget | None = None,
 ) -> tuple[list, int]:
     """Anneal one component's tour in place semantics (returns a new list).
 
-    Returns ``(tour, accepted_moves)``.
+    Returns ``(tour, accepted_moves)``.  Anytime: the start tour is always
+    a full valid tour, so a tripped ``budget`` just ends the annealing loop
+    early and returns the best tour seen so far.
     """
     n = len(tour)
     if n < 3:
@@ -64,6 +68,8 @@ def anneal_component_tour(
     for _ in range(steps):
         if best_cost == n - 1:
             break  # perfect tour: no jumps left to remove
+        if budget is not None and budget.poll():
+            break  # anytime cut: keep the best tour found so far
         i = rng.randrange(n - 1)
         j = rng.randrange(i + 1, n)
         # 2-opt delta for reversing current[i..j].
@@ -84,7 +90,7 @@ def anneal_component_tour(
 
 
 def solve_anneal(
-    graph: AnyGraph, seed: int = 0, steps: int = 4000
+    graph: AnyGraph, seed: int = 0, steps: int = 4000, budget: Budget | None = None
 ) -> AnnealResult:
     """Anneal every component from the DFS constructive start."""
     working = graph.without_isolated_vertices()
@@ -95,7 +101,9 @@ def solve_anneal(
         for vertex_set in component_vertex_sets(working):
             component = working.subgraph(vertex_set)
             start, _chunks = component_tour_dfs(component)
-            tour, accepted = anneal_component_tour(start, rng, steps=steps)
+            tour, accepted = anneal_component_tour(
+                start, rng, steps=steps, budget=budget
+            )
             flat.extend(tour)
             accepted_total += accepted
     if obs_metrics.METRICS.enabled:

@@ -36,6 +36,7 @@ from repro.core.solvers.equijoin import biclique_tour
 from repro.core.tsp import tour_cost, tour_from_paths
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -74,7 +75,13 @@ class _PathPartitionSearch:
     reaches all such paths.
     """
 
-    def __init__(self, line: Graph, node_budget: int, use_ordering: bool = True) -> None:
+    def __init__(
+        self,
+        line: Graph,
+        node_budget: int,
+        use_ordering: bool = True,
+        budget: Budget | None = None,
+    ) -> None:
         self.order = sorted(line.vertices, key=repr)
         self.index = {v: i for i, v in enumerate(self.order)}
         self.n = len(self.order)
@@ -84,6 +91,7 @@ class _PathPartitionSearch:
             self.adjacency[iu] |= 1 << iv
             self.adjacency[iv] |= 1 << iu
         self.node_budget = node_budget
+        self.budget = budget
         self.nodes_expanded = 0
         self.pruned = 0
         self.full = (1 << self.n) - 1
@@ -109,6 +117,11 @@ class _PathPartitionSearch:
 
     def _charge(self) -> None:
         self.nodes_expanded += 1
+        if self.budget is not None:
+            # Cooperative checkpoint: raises BudgetExhaustedError on a
+            # tripped deadline/node/memo cap (the registry ladder catches
+            # it and serves the 1.25-approximation instead).
+            self.budget.checkpoint()
         if self.nodes_expanded > self.node_budget:
             raise InstanceTooLargeError(
                 f"exact search exceeded node budget {self.node_budget}"
@@ -213,7 +226,9 @@ class _PathPartitionSearch:
 
 
 def minimum_path_partition(
-    line: Graph, node_budget: int = DEFAULT_NODE_BUDGET
+    line: Graph,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    budget: Budget | None = None,
 ) -> list[list]:
     """A minimum partition of the nodes of ``line`` into vertex-disjoint
     paths (each path given as a node list, consecutive nodes adjacent).
@@ -221,7 +236,7 @@ def minimum_path_partition(
     Iterative deepening from the deficiency lower bound guarantees
     optimality of the first partition found.
     """
-    search = _PathPartitionSearch(line, node_budget)
+    search = _PathPartitionSearch(line, node_budget, budget=budget)
     if search.n == 0:
         return []
     lower = search._partition_lb(search.full)
@@ -233,7 +248,9 @@ def minimum_path_partition(
 
 
 def optimal_component_tour(
-    component: AnyGraph, node_budget: int = DEFAULT_NODE_BUDGET
+    component: AnyGraph,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    budget: Budget | None = None,
 ) -> tuple[list, int]:
     """An optimal edge tour for one connected component.
 
@@ -246,7 +263,7 @@ def optimal_component_tour(
     ):
         return biclique_tour(component.without_isolated_vertices()), 0
     line = line_graph(component)
-    search = _PathPartitionSearch(line, node_budget)
+    search = _PathPartitionSearch(line, node_budget, budget=budget)
     lower = search._partition_lb(search.full)
     for p in range(lower, max(search.n, 1) + 1):
         partition = search.solve(p)
@@ -260,13 +277,18 @@ def optimal_component_tour(
 
 
 def solve_exact(
-    graph: AnyGraph, node_budget: int = DEFAULT_NODE_BUDGET
+    graph: AnyGraph,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    budget: Budget | None = None,
 ) -> ExactResult:
     """An optimal pebbling scheme for ``graph`` (any bipartite or general
     graph; isolated vertices are ignored per §2).
 
     Components are solved independently and concatenated — optimal by the
-    additivity lemma (Lemma 2.2).
+    additivity lemma (Lemma 2.2).  With a cooperative ``budget``, the search
+    raises :class:`~repro.errors.BudgetExhaustedError` when it trips; exact
+    search has no useful partial state, so the registry ladder degrades to
+    the DFS approximation instead.
     """
     working = graph.without_isolated_vertices()
     tours: list[list] = []
@@ -274,7 +296,9 @@ def solve_exact(
     with obs_trace.span("solver.exact"):
         for vertex_set in component_vertex_sets(working):
             component = working.subgraph(vertex_set)
-            tour, nodes = optimal_component_tour(component, node_budget)
+            tour, nodes = optimal_component_tour(
+                component, node_budget, budget=budget
+            )
             tours.append(tour)
             total_nodes += nodes
     if obs_metrics.METRICS.enabled:

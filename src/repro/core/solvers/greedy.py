@@ -17,6 +17,7 @@ from repro.graphs.components import component_vertex_sets
 from repro.graphs.line_graph import line_graph
 from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -53,12 +54,18 @@ def component_tour_greedy(component: AnyGraph) -> list:
     return tour
 
 
-def solve_greedy(graph: AnyGraph) -> GreedyResult:
-    """Greedy scheme over every component of ``graph``."""
+def solve_greedy(graph: AnyGraph, budget: Budget | None = None) -> GreedyResult:
+    """Greedy scheme over every component of ``graph``.
+
+    The bottom rung of the degradation ladder: linear-time, so a ``budget``
+    is polled per component for accounting but never stops the solve.
+    """
     working = graph.without_isolated_vertices()
     flat: list = []
     for vertex_set in component_vertex_sets(working):
         component = working.subgraph(vertex_set)
+        if budget is not None:
+            budget.poll(max(1, component.num_edges))
         flat.extend(component_tour_greedy(component))
     scheme = PebblingScheme.from_edge_order(working, flat)
     return GreedyResult(

@@ -21,6 +21,7 @@ from repro.graphs.line_graph import line_graph
 from repro.graphs.simple import Graph
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -28,7 +29,7 @@ _DP_LIMIT = 18
 _INFINITY = float("inf")
 
 
-def held_karp_min_jumps(line: Graph) -> int:
+def held_karp_min_jumps(line: Graph, budget: Budget | None = None) -> int:
     """The minimum number of weight-2 steps over all visiting orders of the
     nodes of ``line`` (weights: 1 on edges, 2 off edges)."""
     order = sorted(line.vertices, key=repr)
@@ -44,11 +45,17 @@ def held_karp_min_jumps(line: Graph) -> int:
         adjacency[index[v]] |= 1 << index[u]
 
     size = 1 << n
+    if budget is not None:
+        # The DP table is allocated whole, so account for it up front —
+        # a memo cap rejects the instance before the 2^n * n allocation.
+        budget.charge_memo(size * n)
     # jumps[mask * n + last] = min jumps of a path over `mask` ending at `last`.
     jumps = [_INFINITY] * (size * n)
     for i in range(n):
         jumps[(1 << i) * n + i] = 0
     for mask in range(1, size):
+        if budget is not None:
+            budget.checkpoint()
         base = mask * n
         for last in range(n):
             current = jumps[base + last]
@@ -71,7 +78,7 @@ def held_karp_min_jumps(line: Graph) -> int:
     return int(best)
 
 
-def held_karp_effective_cost(graph: AnyGraph) -> int:
+def held_karp_effective_cost(graph: AnyGraph, budget: Budget | None = None) -> int:
     """``π(G)`` via the Held–Karp DP: ``m + 1 + J_min − β₀``.
 
     Independent of the path-partition engine; used as a second opinion in
@@ -83,7 +90,7 @@ def held_karp_effective_cost(graph: AnyGraph) -> int:
         return 0
     line = line_graph(working)
     with obs_trace.span("solver.held_karp"):
-        j_min = held_karp_min_jumps(line)
+        j_min = held_karp_min_jumps(line, budget=budget)
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc("solver.held_karp.solves")
         # 2^n * n DP cells relaxed — the TSP-relaxation work counter.

@@ -25,6 +25,7 @@ from repro.core.scheme import PebblingScheme
 from repro.core.tsp import edges_share_endpoint, tour_cost
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -83,13 +84,18 @@ def or_opt_pass(tour: list) -> bool:
     return False
 
 
-def improve_tour(tour: list, max_rounds: int = 10_000) -> list:
+def improve_tour(
+    tour: list, max_rounds: int = 10_000, budget: Budget | None = None
+) -> list:
     """Run 2-opt and or-opt to a local optimum; returns the improved tour.
 
-    The input list is not modified.
+    The input list is not modified.  Anytime: the tour is valid between
+    passes, so a tripped ``budget`` just stops improving early.
     """
     working = list(tour)
     for _ in range(max_rounds):
+        if budget is not None and budget.poll(max(1, len(working))):
+            break  # anytime cut between passes; tour stays valid
         if two_opt_pass(working):
             continue
         if or_opt_pass(working):
@@ -107,7 +113,9 @@ class PolishResult:
     improvement: int  # jumps removed relative to the input scheme
 
 
-def polish_scheme(graph: AnyGraph, scheme: PebblingScheme) -> PolishResult:
+def polish_scheme(
+    graph: AnyGraph, scheme: PebblingScheme, budget: Budget | None = None
+) -> PolishResult:
     """Improve a canonical scheme with local search, per component.
 
     The scheme must be an edge order.  Each component's slice of the order
@@ -129,7 +137,7 @@ def polish_scheme(graph: AnyGraph, scheme: PebblingScheme) -> PolishResult:
     flat: list = []
     with obs_trace.span("solver.polish"):
         for index in sorted(by_component):
-            flat.extend(improve_tour(by_component[index]))
+            flat.extend(improve_tour(by_component[index], budget=budget))
     improved = PebblingScheme.from_edge_order(working, flat)
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc("solver.polish.passes")

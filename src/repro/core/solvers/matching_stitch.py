@@ -31,6 +31,7 @@ from repro.graphs.matching import greedy_maximal_matching, improve_matching
 from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
 from repro.core.tsp import reorder_paths_greedily, tour_from_paths
+from repro.runtime.budget import Budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -44,11 +45,20 @@ class MatchingStitchResult:
     fragments_final: int
 
 
-def _merge_fragments(line: Graph, fragments: list[deque]) -> list[deque]:
-    """Greedily merge fragments whose endpoints are adjacent in ``line``."""
+def _merge_fragments(
+    line: Graph, fragments: list[deque], budget: Budget | None = None
+) -> list[deque]:
+    """Greedily merge fragments whose endpoints are adjacent in ``line``.
+
+    Anytime: every intermediate fragment set concatenates into a valid
+    tour (unmerged boundaries are just jumps), so a tripped ``budget``
+    simply stops merging early.
+    """
     active = [f for f in fragments if f]
     merged = True
     while merged and len(active) > 1:
+        if budget is not None and budget.poll(len(active)):
+            break  # anytime cut: remaining fragment boundaries become jumps
         merged = False
         # The endpoint index is rebuilt after every merge (a merge can turn
         # a recorded endpoint into an interior node, so the map goes stale).
@@ -87,7 +97,9 @@ def _merge_fragments(line: Graph, fragments: list[deque]) -> list[deque]:
     return active
 
 
-def component_tour_matching(component: AnyGraph) -> tuple[list, int, int]:
+def component_tour_matching(
+    component: AnyGraph, budget: Budget | None = None
+) -> tuple[list, int, int]:
     """Tour of one component: ``(tour, initial_fragments, final_fragments)``."""
     line = line_graph(component)
     if line.num_vertices == 0:
@@ -99,12 +111,14 @@ def component_tour_matching(component: AnyGraph) -> tuple[list, int, int]:
         deque([v]) for v in line.vertices if v not in matched_nodes
     )
     initial = len(fragments)
-    merged = _merge_fragments(line, fragments)
+    merged = _merge_fragments(line, fragments, budget=budget)
     paths = reorder_paths_greedily([list(f) for f in merged])
     return tour_from_paths(paths), initial, len(merged)
 
 
-def solve_matching_stitch(graph: AnyGraph) -> MatchingStitchResult:
+def solve_matching_stitch(
+    graph: AnyGraph, budget: Budget | None = None
+) -> MatchingStitchResult:
     """Matching-stitch scheme over every component of ``graph``."""
     working = graph.without_isolated_vertices()
     flat: list = []
@@ -112,7 +126,7 @@ def solve_matching_stitch(graph: AnyGraph) -> MatchingStitchResult:
     final_total = 0
     for vertex_set in component_vertex_sets(working):
         component = working.subgraph(vertex_set)
-        tour, initial, final = component_tour_matching(component)
+        tour, initial, final = component_tour_matching(component, budget=budget)
         flat.extend(tour)
         initial_total += initial
         final_total += final

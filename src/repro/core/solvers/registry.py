@@ -11,16 +11,28 @@ failing that, the best approximation available:
 
 Explicit methods can be requested by name, which benchmarks use to compare
 strategies on identical inputs.
+
+Budgeted, anytime solving (see ``docs/ROBUSTNESS.md``): passing
+``deadline=`` / ``memo_cap=`` (or an explicit ``budget=Budget(...)``, or
+installing one ambiently with :func:`repro.runtime.use_budget`) makes every
+method cooperative.  On exhaustion the registry never raises — it walks
+the **fallback ladder** ``exact → dfs+polish → greedy``, so the
+1.25-approximation guarantee (Theorem 3.1) is the worst case actually
+served.  The result's ``status`` records what happened
+(``optimal | complete | budget_exhausted | timed_out``) and
+``provenance`` carries the partial-search evidence (nodes expanded,
+elapsed time, the poly-time lower bound, and each degradation step).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SolverError
+from repro.errors import BudgetExhaustedError, InstanceTooLargeError, SolverError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import component_vertex_sets
 from repro.graphs.simple import Graph
+from repro.core.lower_bounds import effective_cost_lower_bound
 from repro.core.scheme import PebblingScheme
 from repro.core.solvers import exact as exact_mod
 from repro.core.solvers.dfs_approx import solve_dfs_approx
@@ -30,6 +42,15 @@ from repro.core.solvers.local_search import polish_scheme
 from repro.core.solvers.matching_stitch import solve_matching_stitch
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.anytime import (
+    DEGRADED_STATUSES,
+    STATUS_BUDGET_EXHAUSTED,
+    STATUS_COMPLETE,
+    STATUS_OPTIMAL,
+    STATUS_TIMED_OUT,
+    SolveProvenance,
+)
+from repro.runtime.budget import Budget, current_budget
 
 AnyGraph = Graph | BipartiteGraph
 
@@ -55,7 +76,10 @@ class SolveResult:
     """A solved pebbling instance.
 
     ``optimal`` is True only when the method carries an optimality
-    guarantee (exact search, or the equijoin fast path).
+    guarantee (exact search, or the equijoin fast path).  ``status`` is the
+    anytime outcome (:mod:`repro.runtime.anytime`); ``provenance`` is only
+    populated when a budget was in play or the fallback ladder fired, so
+    un-budgeted callers see exactly the legacy result shape.
     """
 
     scheme: PebblingScheme
@@ -64,17 +88,67 @@ class SolveResult:
     raw_cost: int
     jumps: int
     optimal: bool
+    status: str = STATUS_OPTIMAL
+    provenance: SolveProvenance | None = None
 
     def summary(self) -> str:
         flag = "optimal" if self.optimal else "approximate"
-        return (
+        base = (
             f"{self.method}: pi={self.effective_cost} "
             f"(pi_hat={self.raw_cost}, jumps={self.jumps}, {flag})"
         )
+        if self.status in DEGRADED_STATUSES:
+            base += f" [{self.status}]"
+        return base
 
 
-def _wrap(graph: AnyGraph, scheme: PebblingScheme, method: str, optimal: bool) -> SolveResult:
+def _status_of(exc: Exception) -> str:
+    """The anytime status a caught exhaustion exception maps to."""
+    if isinstance(exc, BudgetExhaustedError) and exc.reason == "deadline":
+        return STATUS_TIMED_OUT
+    return STATUS_BUDGET_EXHAUSTED
+
+
+def _count_exhaustion(exc: Exception) -> None:
+    if not obs_metrics.METRICS.enabled:
+        return
+    if _status_of(exc) == STATUS_TIMED_OUT:
+        obs_metrics.inc("solver.deadline_exceeded")
+    else:
+        obs_metrics.inc("solver.budget_exhausted")
+
+
+def _count_degradation(src: str, dst: str) -> None:
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc(f"solver.degraded.{src}_to_{dst}")
+
+
+def _wrap(
+    graph: AnyGraph,
+    scheme: PebblingScheme,
+    method: str,
+    optimal: bool,
+    budget: Budget | None = None,
+    degradations: tuple[str, ...] = (),
+    forced_status: str | None = None,
+) -> SolveResult:
     working = graph.without_isolated_vertices()
+    if forced_status is not None:
+        status = forced_status
+    elif budget is not None and budget.exhausted:
+        status = budget.status()
+    else:
+        status = STATUS_OPTIMAL if optimal else STATUS_COMPLETE
+    if status in DEGRADED_STATUSES or degradations:
+        optimal = False
+    provenance = None
+    if budget is not None or degradations:
+        provenance = SolveProvenance(
+            nodes_expanded=budget.nodes_charged if budget is not None else 0,
+            elapsed_seconds=budget.elapsed() if budget is not None else 0.0,
+            lower_bound=effective_cost_lower_bound(working),
+            degradations=tuple(degradations),
+        )
     return SolveResult(
         scheme=scheme,
         method=method,
@@ -82,6 +156,8 @@ def _wrap(graph: AnyGraph, scheme: PebblingScheme, method: str, optimal: bool) -
         raw_cost=scheme.cost(),
         jumps=scheme.jumps(),
         optimal=optimal,
+        status=status,
+        provenance=provenance,
     )
 
 
@@ -94,52 +170,155 @@ def _max_component_edges(graph: AnyGraph) -> int:
     return max(sizes, default=0)
 
 
+def _resolve_budget(options: dict) -> Budget | None:
+    """Extract/construct the cooperative budget for this solve.
+
+    Priority: explicit ``budget=`` > a budget built from ``deadline=`` /
+    ``memo_cap=`` (plus optional ``clock=`` / ``check_interval=``) > the
+    ambient budget installed by :func:`repro.runtime.use_budget` > none.
+    The legacy ``node_budget`` option is *not* consumed here: it remains
+    the exact solver's hard search limit.
+    """
+    budget = options.pop("budget", None)
+    deadline = options.pop("deadline", None)
+    memo_cap = options.pop("memo_cap", None)
+    clock = options.pop("clock", None)
+    check_interval = options.pop("check_interval", 1)
+    if budget is not None:
+        return budget
+    if deadline is not None or memo_cap is not None:
+        return Budget(
+            deadline=deadline,
+            memo_cap=memo_cap,
+            clock=clock,
+            check_interval=check_interval,
+        )
+    return current_budget()
+
+
 def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
     """Solve PEBBLE on ``graph`` with the requested ``method``.
 
-    Options: ``node_budget`` (exact search budget),
-    ``exact_edge_limit`` (auto-mode threshold for exact search).
+    Options: ``node_budget`` (exact search hard limit),
+    ``exact_edge_limit`` (auto-mode threshold for exact search),
+    ``deadline`` / ``memo_cap`` / ``clock`` / ``check_interval`` /
+    ``budget`` (cooperative anytime budget — see ``docs/ROBUSTNESS.md``).
     """
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; choose from {METHODS}")
 
+    budget = _resolve_budget(options)
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc(f"solver.method.{method}")
     with obs_trace.span("solver.solve", method=method):
-        return _solve(graph, method, **options)
+        return _solve(graph, method, budget, **options)
 
 
-def _solve(graph: AnyGraph, method: str, **options) -> SolveResult:
+def _solve_exact(
+    graph: AnyGraph,
+    budget: Budget | None,
+    degradations: tuple[str, ...],
+    **options,
+) -> SolveResult:
+    """The ``exact`` method, anytime under a budget.
+
+    Without a budget this is the legacy path: the hard ``node_budget``
+    raises :class:`InstanceTooLargeError`.  With a budget, exhaustion
+    (cooperative *or* legacy) degrades to the DFS 1.25-approximation and
+    the result records the degradation instead of raising.
+    """
+    hard_limit = options.get("node_budget", exact_mod.DEFAULT_NODE_BUDGET)
+    if budget is None:
+        result = exact_mod.solve_exact(graph, node_budget=hard_limit)
+        return _wrap(graph, result.scheme, "exact", optimal=True,
+                     degradations=degradations)
+    try:
+        result = exact_mod.solve_exact(
+            graph, node_budget=hard_limit, budget=budget
+        )
+        return _wrap(graph, result.scheme, "exact", optimal=True,
+                     budget=budget, degradations=degradations)
+    except (BudgetExhaustedError, InstanceTooLargeError) as exc:
+        _count_exhaustion(exc)
+        _count_degradation("exact", "dfs+polish")
+        forced = _status_of(exc)
+        degradations = degradations + ("exact->dfs+polish",)
+        # The guarantee rung: unbudgeted so it always completes (linear
+        # time); polishing polls the (already tripped) budget and no-ops.
+        scheme = solve_dfs_approx(graph).scheme
+        scheme = polish_scheme(graph, scheme, budget=budget).scheme
+        return _wrap(graph, scheme, "dfs+polish", optimal=False,
+                     budget=budget, degradations=degradations,
+                     forced_status=forced)
+
+
+def _solve(
+    graph: AnyGraph,
+    method: str,
+    budget: Budget | None = None,
+    degradations: tuple[str, ...] = (),
+    **options,
+) -> SolveResult:
     if method == "auto":
         if isinstance(graph, BipartiteGraph) and is_union_of_bicliques(graph):
-            return solve(graph, "equijoin")
+            return _solve(graph, "equijoin", budget, degradations)
         limit = options.get("exact_edge_limit", AUTO_EXACT_EDGE_LIMIT)
         if _max_component_edges(graph) <= limit:
-            return solve(graph, "exact", **options)
-        return solve(graph, "dfs+polish", **options)
+            # _solve_exact already absorbs exhaustion when a budget is in
+            # play; without one, legacy InstanceTooLargeError must still
+            # not leak out of auto — fall to the approximation rung.
+            try:
+                return _solve_exact(graph, budget, degradations, **options)
+            except InstanceTooLargeError as exc:
+                _count_exhaustion(exc)
+                _count_degradation("exact", "dfs+polish")
+                degradations = degradations + ("exact->dfs+polish",)
+                forced = _status_of(exc)
+                result = _solve(
+                    graph, "dfs+polish", budget, degradations, **options
+                )
+                return _wrap(
+                    graph, result.scheme, "dfs+polish", optimal=False,
+                    budget=budget, degradations=degradations,
+                    forced_status=forced,
+                )
+        try:
+            return _solve(graph, "dfs+polish", budget, degradations, **options)
+        except BudgetExhaustedError as exc:
+            # Defensive final rung: dfs+polish only polls today, but if a
+            # future checkpoint raises, greedy still serves an answer.
+            _count_exhaustion(exc)
+            _count_degradation("dfs+polish", "greedy")
+            degradations = degradations + ("dfs+polish->greedy",)
+            result = solve_greedy(graph)
+            return _wrap(
+                graph, result.scheme, "greedy", optimal=False, budget=budget,
+                degradations=degradations, forced_status=_status_of(exc),
+            )
 
     if method == "equijoin":
         scheme = solve_equijoin(graph)
-        return _wrap(graph, scheme, method, optimal=True)
+        return _wrap(graph, scheme, method, optimal=True,
+                     degradations=degradations)
 
     if method == "exact":
-        budget = options.get("node_budget", exact_mod.DEFAULT_NODE_BUDGET)
-        result = exact_mod.solve_exact(graph, node_budget=budget)
-        return _wrap(graph, result.scheme, method, optimal=True)
+        return _solve_exact(graph, budget, degradations, **options)
 
     if method in ("dfs", "dfs+polish"):
-        result = solve_dfs_approx(graph)
+        result = solve_dfs_approx(graph, budget=budget)
         scheme = result.scheme
         if method == "dfs+polish":
-            scheme = polish_scheme(graph, scheme).scheme
-        return _wrap(graph, scheme, method, optimal=False)
+            scheme = polish_scheme(graph, scheme, budget=budget).scheme
+        return _wrap(graph, scheme, method, optimal=False, budget=budget,
+                     degradations=degradations)
 
     if method in ("greedy", "greedy+polish"):
-        result = solve_greedy(graph)
+        result = solve_greedy(graph, budget=budget)
         scheme = result.scheme
         if method == "greedy+polish":
-            scheme = polish_scheme(graph, scheme).scheme
-        return _wrap(graph, scheme, method, optimal=False)
+            scheme = polish_scheme(graph, scheme, budget=budget).scheme
+        return _wrap(graph, scheme, method, optimal=False, budget=budget,
+                     degradations=degradations)
 
     if method == "anneal":
         from repro.core.solvers.anneal import solve_anneal
@@ -148,19 +327,32 @@ def _solve(graph: AnyGraph, method: str, **options) -> SolveResult:
             graph,
             seed=options.get("seed", 0),
             steps=options.get("steps", 4000),
+            budget=budget,
         )
-        return _wrap(graph, result.scheme, method, optimal=False)
+        return _wrap(graph, result.scheme, method, optimal=False,
+                     budget=budget, degradations=degradations)
 
     # matching / matching+polish
-    result = solve_matching_stitch(graph)
+    result = solve_matching_stitch(graph, budget=budget)
     scheme = result.scheme
     if method == "matching+polish":
-        scheme = polish_scheme(graph, scheme).scheme
-    return _wrap(graph, scheme, method, optimal=False)
+        scheme = polish_scheme(graph, scheme, budget=budget).scheme
+    return _wrap(graph, scheme, method, optimal=False, budget=budget,
+                 degradations=degradations)
 
 
 def optimal_effective_cost(graph: AnyGraph, **options) -> int:
-    """``π(G)`` via the cheapest guaranteed-optimal method."""
+    """``π(G)`` via the cheapest guaranteed-optimal method.
+
+    Raises :class:`SolverError` if a budget forced the exact search to
+    degrade — a degraded answer carries no optimality certificate.
+    """
     if isinstance(graph, BipartiteGraph) and is_union_of_bicliques(graph):
         return graph.without_isolated_vertices().num_edges
-    return solve(graph, "exact", **options).effective_cost
+    result = solve(graph, "exact", **options)
+    if not result.optimal:
+        raise SolverError(
+            "exact search degraded under its budget "
+            f"(status={result.status}); no optimality certificate"
+        )
+    return result.effective_cost

@@ -19,6 +19,7 @@ from repro.joins.join_graph import build_join_graph_cached
 from repro.joins.trace import TraceReport, trace_report
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget, current_budget
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ def execute(
     chosen_plan: Plan | None = None,
     with_trace: bool = True,
     join_graph: BipartiteGraph | None = None,
+    budget: Budget | None = None,
 ) -> QueryResult:
     """Plan (unless a plan is supplied) and execute ``query``.
 
@@ -58,9 +60,15 @@ def execute(
     overhead for large joins.  A caller that already materialized the
     query's join graph can thread it through ``join_graph`` to skip the
     rebuild (otherwise the memoized builder covers repeated executions).
+
+    ``budget`` (explicit, or ambient via :func:`repro.runtime.use_budget`)
+    threads a deadline through planning and sheds the optional pebbling
+    trace under pressure: rows are the contract, the trace is diagnostics.
     """
+    if budget is None:
+        budget = current_budget()
     with obs_trace.span("engine.execute"):
-        the_plan = chosen_plan or make_plan(query)
+        the_plan = chosen_plan or make_plan(query, budget=budget)
         if the_plan.query is not query and the_plan.query != query:
             raise SolverError("plan does not belong to this query")
         name = the_plan.algorithm_name
@@ -79,6 +87,11 @@ def execute(
             for l_ref, r_ref in pairs
         ]
         trace = None
+        if with_trace and budget is not None and budget.under_pressure():
+            # Shed the diagnostic trace rather than blow the deadline.
+            with_trace = False
+            if obs_metrics.METRICS.enabled:
+                obs_metrics.inc("executor.trace_skipped")
         if with_trace:
             with obs_trace.span("engine.trace"):
                 graph = join_graph if join_graph is not None else (

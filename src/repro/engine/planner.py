@@ -38,6 +38,7 @@ from repro.joins.predicates import Equality, SetContainment, SpatialOverlap
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.relations.domains import Domain
+from repro.runtime.budget import Budget, current_budget
 
 Algorithm = Callable[..., list]
 
@@ -80,14 +81,46 @@ def algorithm_by_name(name: str) -> Algorithm | None:
     return _ALGORITHMS.get(name)
 
 
-def plan(query: JoinQuery) -> Plan:
-    """Choose an algorithm for ``query`` (see module docstring)."""
+def plan(query: JoinQuery, budget: Budget | None = None) -> Plan:
+    """Choose an algorithm for ``query`` (see module docstring).
+
+    Under deadline pressure (``budget.under_pressure()``, explicit or
+    ambient) the planner sheds its own work: estimation is skipped and a
+    safe per-predicate default is served — degraded planning beats a
+    missed deadline.
+    """
+    if budget is None:
+        budget = current_budget()
     with obs_trace.span("engine.plan"):
-        chosen = _choose(query)
+        if budget is not None and budget.under_pressure():
+            chosen = _choose_safe_default(query)
+            if obs_metrics.METRICS.enabled:
+                obs_metrics.inc("planner.deadline_pressure")
+        else:
+            chosen = _choose(query)
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc("planner.plans")
         obs_metrics.inc(f"planner.algorithm.{chosen.algorithm_name}")
     return chosen
+
+
+def _choose_safe_default(query: JoinQuery) -> Plan:
+    """A no-estimation fallback plan: always-correct algorithms chosen by
+    predicate type alone, used when the budget is nearly exhausted."""
+    predicate = query.predicate
+    reason = "deadline pressure: skipped estimation"
+    if isinstance(predicate, Equality):
+        return Plan(query, "hash", reason, -1.0)
+    if isinstance(predicate, SpatialOverlap):
+        if (
+            query.left.domain == Domain.INTERVAL
+            and query.right.domain == Domain.INTERVAL
+        ):
+            return Plan(query, "interval-merge", reason, -1.0)
+        return Plan(query, "plane-sweep", reason, -1.0)
+    if isinstance(predicate, SetContainment):
+        return Plan(query, "inverted-index", reason, -1.0)
+    return Plan(query, "block-NL", reason, -1.0)
 
 
 def _choose(query: JoinQuery) -> Plan:

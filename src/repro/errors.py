@@ -40,6 +40,22 @@ class InstanceTooLargeError(SolverError):
     """Raised when an exact solver is asked to exceed its size budget."""
 
 
+class BudgetExhaustedError(SolverError):
+    """Raised when a cooperative :class:`repro.runtime.Budget` trips.
+
+    ``reason`` records which resource ran out: ``"deadline"`` (wall clock),
+    ``"nodes"`` (search-node budget), or ``"memo"`` (memo-table cap).
+    """
+
+    def __init__(self, message: str, reason: str = "nodes") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the deterministic fault-injection harness (chaos testing)."""
+
+
 class PredicateError(ReproError):
     """Raised for type mismatches between join predicates and tuple values."""
 

@@ -26,8 +26,15 @@ from repro.analysis.report import Table
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.runtime.budget import Budget, use_budget
 
-BENCH_SCHEMA = "repro-bench/v1"
+# v2 (see docs/ROBUSTNESS.md): per-scenario status/attempts/error fields
+# and structured failure records instead of aborting the whole run.
+BENCH_SCHEMA = "repro-bench/v2"
+
+# One wall-clock budget per scenario attempt, installed ambiently so the
+# solving stack degrades (it is cooperative, not preemptive).
+DEFAULT_SCENARIO_DEADLINE = 60.0
 
 
 @dataclass(frozen=True)
@@ -261,20 +268,31 @@ def _storage_paging(config: BenchConfig) -> dict[str, Any]:
 
 @dataclass
 class ScenarioResult:
-    """Timing + results + metrics delta for one scenario."""
+    """Timing + results + metrics delta for one scenario.
+
+    ``status`` is ``"ok"`` or ``"failed"``; a failed scenario keeps its
+    structured ``error`` (exception type + message) and whatever timings
+    completed before the failure, so one bad scenario no longer aborts —
+    or vanishes from — the whole report.
+    """
 
     name: str
     repeats: int
     wall_ns: list[int]
     results: dict[str, Any]
     counters: dict[str, int]
+    status: str = "ok"
+    attempts: int = 1
+    error: str | None = None
 
     @property
     def best_ns(self) -> int:
-        return min(self.wall_ns)
+        return min(self.wall_ns) if self.wall_ns else 0
 
     @property
     def mean_ns(self) -> float:
+        if not self.wall_ns:
+            return 0.0
         return sum(self.wall_ns) / len(self.wall_ns)
 
     def as_dict(self) -> dict[str, Any]:
@@ -288,6 +306,9 @@ class ScenarioResult:
             },
             "results": self.results,
             "counters": self.counters,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
         }
 
 
@@ -300,16 +321,26 @@ class BenchReport:
     seed: int
     scenarios: list[ScenarioResult] = field(default_factory=list)
 
+    @property
+    def failed(self) -> list[ScenarioResult]:
+        return [s for s in self.scenarios if s.status != "ok"]
+
     def table(self) -> Table:
         table = Table(
-            ["scenario", "best ms", "mean ms", "repeats", "results"],
+            ["scenario", "status", "best ms", "mean ms", "repeats", "results"],
             title=f"repro bench ({self.mode}, seed={self.seed})",
         )
         for s in self.scenarios:
-            summary = " ".join(f"{k}={v}" for k, v in sorted(s.results.items()))
+            if s.status == "ok":
+                summary = " ".join(
+                    f"{k}={v}" for k, v in sorted(s.results.items())
+                )
+            else:
+                summary = s.error or "failed"
             table.add_row(
                 [
                     s.name,
+                    s.status,
                     round(s.best_ns / 1e6, 3),
                     round(s.mean_ns / 1e6, 3),
                     s.repeats,
@@ -327,6 +358,7 @@ class BenchReport:
             "git_sha": obs_manifest.git_sha(),
             "created_unix": time.time(),
             "date": time.strftime("%Y-%m-%d", time.gmtime()),
+            "failed": len(self.failed),
             "scenarios": [s.as_dict() for s in self.scenarios],
         }
 
@@ -334,17 +366,48 @@ class BenchReport:
         return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
 
 
-def _run_one(name: str, config: BenchConfig, repeats: int) -> ScenarioResult:
-    """Time one scenario; its metrics delta is read from the global registry."""
+def _run_one(
+    name: str,
+    config: BenchConfig,
+    repeats: int,
+    deadline: float | None = None,
+) -> ScenarioResult:
+    """Time one scenario; its metrics delta is read from the global registry.
+
+    Robustness contract: up to **two attempts** (one retry — transient
+    faults get a second chance, deterministic bugs do not loop), each
+    under an ambient per-scenario ``deadline`` budget so the solving
+    stack degrades instead of overrunning.  A scenario that fails both
+    attempts is reported as a structured failure, never raised.
+    """
     entry = SCENARIOS[name]
     before = dict(obs_metrics.snapshot()["counters"])
     wall: list[int] = []
     results: dict[str, Any] = {}
-    for _ in range(repeats):
-        with obs_trace.span(f"bench.{name}", smoke=config.smoke):
-            start = time.perf_counter_ns()
-            results = entry.run(config)
-            wall.append(time.perf_counter_ns() - start)
+    status = "ok"
+    error: str | None = None
+    attempts = 0
+    for attempt in (1, 2):
+        attempts = attempt
+        wall.clear()
+        budget = Budget(deadline=deadline) if deadline is not None else None
+        try:
+            for _ in range(repeats):
+                with obs_trace.span(
+                    f"bench.{name}", smoke=config.smoke, attempt=attempt
+                ):
+                    with use_budget(budget):
+                        start = time.perf_counter_ns()
+                        results = entry.run(config)
+                        wall.append(time.perf_counter_ns() - start)
+            status = "ok"
+            error = None
+            break
+        except Exception as exc:  # noqa: BLE001 — bench must survive anything
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+            if obs_metrics.METRICS.enabled:
+                obs_metrics.inc(f"bench.scenario_failed.{name}")
     after = obs_metrics.snapshot()["counters"]
     delta = {
         key: after[key] - before.get(key, 0)
@@ -352,7 +415,14 @@ def _run_one(name: str, config: BenchConfig, repeats: int) -> ScenarioResult:
         if after[key] != before.get(key, 0)
     }
     return ScenarioResult(
-        name=name, repeats=repeats, wall_ns=wall, results=results, counters=delta
+        name=name,
+        repeats=repeats,
+        wall_ns=wall,
+        results=results,
+        counters=delta,
+        status=status,
+        attempts=attempts,
+        error=error,
     )
 
 
@@ -364,6 +434,7 @@ def run_bench(
     runs_dir: str | Path = obs_manifest.DEFAULT_RUNS_DIR,
     out_dir: str | Path | None = ".",
     run_id: str | None = None,
+    scenario_deadline: float | None = DEFAULT_SCENARIO_DEADLINE,
 ) -> tuple[BenchReport, Path, Path | None]:
     """Run the harness end to end.
 
@@ -371,6 +442,10 @@ def run_bench(
     scenarios, writes ``runs/{run_id}/`` artifacts, and — unless
     ``out_dir`` is None — a top-level ``BENCH_<date>.json``.  Returns
     ``(report, run_dir, bench_path)``.
+
+    Each scenario gets ``scenario_deadline`` seconds of ambient budget and
+    one retry; failures become structured entries in the report rather
+    than aborting the run (check ``report.failed``).
     """
     chosen = list(names or SCENARIOS)
     for name in chosen:
@@ -395,7 +470,9 @@ def run_bench(
     obs_metrics.enable()
     try:
         for name in chosen:
-            report.scenarios.append(_run_one(name, config, repeats))
+            report.scenarios.append(
+                _run_one(name, config, repeats, deadline=scenario_deadline)
+            )
     finally:
         if not was_trace:
             obs_trace.disable()
@@ -412,7 +489,7 @@ def run_bench(
             "repeats": repeats,
         },
         tables=[report.table()],
-        extra={"mode": mode},
+        extra={"mode": mode, "failed": [s.name for s in report.failed]},
     )
     bench_path: Path | None = None
     if out_dir is not None:

@@ -192,11 +192,14 @@ def write_run(
     tables: list[Table] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> Path:
-    """Write ``manifest.json``, ``metrics.json``, and ``report.md`` for the
-    current global tracer/metrics state; returns the run directory.
+    """Write ``manifest.json``, ``metrics.json``, ``report.md`` and — when
+    tables were supplied — ``tables.json`` for the current global
+    tracer/metrics state; returns the run directory.
 
     The metrics snapshot is taken here, so callers enable observability,
-    do the work, then call this once at the end.
+    do the work, then call this once at the end.  ``tables.json`` carries
+    the un-formatted cell values (:meth:`Table.as_dict`), so downstream
+    tooling reads typed data instead of re-parsing ASCII.
     """
     run_dir = Path(runs_dir) / run_id
     run_dir.mkdir(parents=True, exist_ok=True)
@@ -205,4 +208,9 @@ def write_run(
     (run_dir / "manifest.json").write_text(manifest.to_json())
     (run_dir / "metrics.json").write_text(obs_metrics.to_json())
     (run_dir / "report.md").write_text(render_report(manifest, snapshot, tables))
+    if tables:
+        payload = [t.as_dict() for t in tables]
+        (run_dir / "tables.json").write_text(
+            json.dumps(payload, sort_keys=True, indent=2, default=str) + "\n"
+        )
     return run_dir

@@ -24,6 +24,7 @@ from repro.errors import RelationError
 from repro.geometry.interval import Interval
 from repro.geometry.primitives import Rectangle
 from repro.relations.relation import Relation
+from repro.runtime.faults import maybe_fail
 
 _INTERVAL = re.compile(r"^(-?\d+(?:\.\d+)?)\.\.(-?\d+(?:\.\d+)?)$")
 _RECTANGLE = re.compile(
@@ -85,6 +86,7 @@ def load_relation(name: str, text: str) -> Relation:
     in the file raises :class:`~repro.errors.RelationError` with the line
     number.
     """
+    maybe_fail("io.load_relation")
     relation = Relation(name)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
@@ -100,6 +102,7 @@ def load_relation(name: str, text: str) -> Relation:
 
 def dump_relation(relation: Relation) -> str:
     """Serialize a relation; inverse of :func:`load_relation`."""
+    maybe_fail("io.dump_relation")
     lines = [f"# relation {relation.name} ({relation.domain.value})"]
     lines.extend(format_value(v) for v in relation.values)
     return "\n".join(lines) + "\n"

@@ -25,6 +25,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.relations.relation import Relation, TupleRef
 from repro.core.scheme import PebblingScheme
+from repro.runtime.faults import maybe_fail
 
 
 @dataclass(frozen=True, order=True)
@@ -78,6 +79,7 @@ def page_connection_graph(
     This is the input of the page-fetch scheduling problem of [6]; playing
     the pebble game on it with two memory frames counts page fetches.
     """
+    maybe_fail("storage.page_graph")
     graph = BipartiteGraph(left=left.pages(), right=right.pages())
     with obs_trace.span("storage.page_graph"):
         for p in left.pages():
@@ -123,6 +125,7 @@ class FetchReport:
 
 def schedule_report(graph: BipartiteGraph, scheme: PebblingScheme) -> FetchReport:
     """Summarize a page-fetch schedule for the page graph ``graph``."""
+    maybe_fail("storage.schedule")
     scheme.validate(graph.without_isolated_vertices())
     m = graph.num_edges
     fetches = page_fetches_of_scheme(scheme)

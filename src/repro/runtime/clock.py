@@ -1,0 +1,45 @@
+"""Injectable clocks for deadline enforcement.
+
+Deadlines are only testable if the clock is a seam: production code reads
+:data:`MONOTONIC_CLOCK`, tests substitute a :class:`FakeClock` that advances
+deterministically, and the fault harness wraps either in a
+:class:`repro.runtime.faults.SkewedClock`.  All clocks expose a single
+``now() -> float`` returning seconds on a monotonic axis (never wall time,
+so NTP steps cannot fire or starve a deadline).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """The real process clock (:func:`time.monotonic`)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock:
+    """A deterministic clock for tests.
+
+    ``step`` seconds elapse on every ``now()`` call, which models a solver
+    that does a fixed amount of work per checkpoint; ``advance`` jumps the
+    clock explicitly.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.0) -> None:
+        self._now = start
+        self.step = step
+        self.calls = 0
+
+    def now(self) -> float:
+        self.calls += 1
+        self._now += self.step
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+MONOTONIC_CLOCK = MonotonicClock()

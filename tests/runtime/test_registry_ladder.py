@@ -1,0 +1,132 @@
+"""Degradation-ladder tests on the solve registry.
+
+Covers the acceptance criteria: budgeted ``exact`` on the worst-case
+spider family returns a valid anytime scheme within the approximation
+bound; ``auto`` never leaks :class:`InstanceTooLargeError`; and
+non-tripping budgets leave results bit-identical to unbudgeted runs.
+"""
+
+import pytest
+
+from repro.core.families import worst_case_family
+from repro.core.game import PebbleGame
+from repro.core.solvers.registry import METHODS, solve
+from repro.errors import InstanceTooLargeError
+from repro.graphs.generators import random_bipartite_gnm, random_connected_bipartite
+from repro.runtime import (
+    Budget,
+    FakeClock,
+    STATUS_BUDGET_EXHAUSTED,
+    STATUS_TIMED_OUT,
+    use_budget,
+)
+
+
+class TestAcceptanceDeadline:
+    def test_exact_on_g12_times_out_with_valid_scheme(self):
+        """solve(G_12, "exact", deadline=0.05s) with a fake clock must
+        come back within one checkpoint interval holding a valid scheme
+        at most 1.25x the edge count."""
+        g = worst_case_family(12)
+        m = g.num_edges
+        clock = FakeClock(step=0.01)
+        result = solve(g, "exact", deadline=0.05, clock=clock)
+        assert result.status == STATUS_TIMED_OUT
+        assert not result.optimal
+        result.scheme.validate(g)
+        assert result.effective_cost <= (5 * m) // 4
+        assert result.provenance is not None
+        assert "exact->dfs+polish" in result.provenance.degradations
+
+    def test_timed_out_scheme_replays(self):
+        g = worst_case_family(12)
+        result = solve(g, "exact", deadline=0.05, clock=FakeClock(step=0.01))
+        game = PebbleGame(g)
+        game.replay(result.scheme)
+        assert game.is_won()
+
+
+class TestAutoNeverLeaks:
+    """Satellite regression: `auto` must not leak InstanceTooLargeError."""
+
+    def test_preflight_routes_large_instances_to_heuristics(self):
+        g = random_connected_bipartite(9, 9, extra_edges=3, seed=4)
+        result = solve(g, "auto", node_budget=10)
+        result.scheme.validate(g)
+        assert result.method != "exact"
+
+    def test_midsearch_exhaustion_degrades_instead_of_raising(self):
+        # Force exact to be attempted (edge limit above m) with a budget
+        # too small to finish: the ladder must hand back dfs+polish.
+        g = random_connected_bipartite(6, 6, extra_edges=2, seed=0)
+        result = solve(
+            g, "auto", node_budget=10, exact_edge_limit=g.num_edges + 1
+        )
+        result.scheme.validate(g)
+        assert result.method == "dfs+polish"
+        assert result.status == STATUS_BUDGET_EXHAUSTED
+        assert result.provenance is not None
+        assert "exact->dfs+polish" in result.provenance.degradations
+
+    def test_cooperative_node_budget_degrades_too(self):
+        g = random_connected_bipartite(6, 6, extra_edges=2, seed=0)
+        result = solve(
+            g,
+            "auto",
+            budget=Budget(node_budget=10),
+            exact_edge_limit=g.num_edges + 1,
+        )
+        result.scheme.validate(g)
+        assert result.status == STATUS_BUDGET_EXHAUSTED
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_auto_with_tiny_budgets_always_returns(self, seed):
+        g = random_bipartite_gnm(5, 5, 11, seed=seed).without_isolated_vertices()
+        if g.num_edges < 2:
+            pytest.skip("degenerate draw")
+        try:
+            result = solve(g, "auto", budget=Budget(node_budget=3))
+        except InstanceTooLargeError:  # pragma: no cover - the regression
+            pytest.fail("auto leaked InstanceTooLargeError")
+        result.scheme.validate(g)
+
+    def test_explicit_exact_without_budget_still_raises(self):
+        """The legacy contract survives: an explicit unbudgeted exact call
+        with a hard node limit raises rather than silently degrading."""
+        g = random_connected_bipartite(8, 8, extra_edges=3, seed=2)
+        with pytest.raises(InstanceTooLargeError):
+            solve(g, "exact", node_budget=5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_non_tripping_budget_changes_nothing(self, method):
+        if method == "equijoin":
+            from repro.graphs.generators import complete_bipartite
+
+            g = complete_bipartite(3, 3)
+        else:
+            g = random_connected_bipartite(4, 4, extra_edges=1, seed=3)
+        plain = solve(g, method)
+        budgeted = solve(g, method, budget=Budget(deadline=1e9, node_budget=10**9))
+        assert budgeted.scheme.configurations == plain.scheme.configurations
+        assert budgeted.effective_cost == plain.effective_cost
+        assert budgeted.status in ("optimal", "complete")
+
+    def test_ambient_budget_is_picked_up(self):
+        g = worst_case_family(8)
+        with use_budget(Budget(deadline=0.05, clock=FakeClock(step=0.01))):
+            result = solve(g, "exact")
+        assert result.status == STATUS_TIMED_OUT
+        result.scheme.validate(g)
+
+    def test_same_seed_same_timed_out_result(self):
+        g = worst_case_family(10)
+
+        def run():
+            return solve(g, "exact", deadline=0.05, clock=FakeClock(step=0.01))
+
+        first, second = run(), run()
+        assert first.scheme.configurations == second.scheme.configurations
+        assert first.effective_cost == second.effective_cost
+        assert first.status == second.status

@@ -1,9 +1,15 @@
-"""Validate BENCH_*.json files against the repro-bench/v1 schema.
+"""Validate BENCH_*.json files against the repro-bench schemas.
 
 A hand-rolled structural check (the repo is dependency-free, so no
 ``jsonschema``): every perf-trajectory point must carry provenance
 (git SHA, seed, mode) and per-scenario timings with positive repeat
 counts, or CI rejects it before upload.
+
+Both ``repro-bench/v1`` and ``repro-bench/v2`` are accepted.  v2 adds
+per-scenario failure records: ``status`` (``ok`` | ``failed``),
+``attempts`` and ``error``; failed scenarios must carry a non-empty
+error string and may have empty timings, while ok scenarios must have
+at least one timing sample.
 
     python tools/check_bench_json.py BENCH_*.json
 
@@ -17,7 +23,9 @@ import json
 import sys
 from pathlib import Path
 
-EXPECTED_SCHEMA = "repro-bench/v1"
+SCHEMA_V1 = "repro-bench/v1"
+SCHEMA_V2 = "repro-bench/v2"
+KNOWN_SCHEMAS = (SCHEMA_V1, SCHEMA_V2)
 
 TOP_LEVEL_FIELDS = {
     "schema": str,
@@ -37,6 +45,14 @@ SCENARIO_FIELDS = {
     "results": dict,
     "counters": dict,
 }
+
+SCENARIO_FIELDS_V2 = {
+    **SCENARIO_FIELDS,
+    "status": str,
+    "attempts": int,
+}
+
+SCENARIO_STATUSES = ("ok", "failed")
 
 WALL_FIELDS = {
     "best": (int, float),
@@ -62,12 +78,16 @@ def validate_bench_payload(payload: object, context: str = "BENCH") -> list[str]
     if not isinstance(payload, dict):
         return [f"{context}: top level must be an object"]
     _check_fields(payload, TOP_LEVEL_FIELDS, context, problems)
-    if payload.get("schema") not in (None, EXPECTED_SCHEMA):
+    schema = payload.get("schema")
+    if schema not in (None, *KNOWN_SCHEMAS):
         problems.append(
-            f"{context}: schema is {payload['schema']!r}, expected {EXPECTED_SCHEMA!r}"
+            f"{context}: schema is {payload['schema']!r}, "
+            f"expected one of {KNOWN_SCHEMAS}"
         )
+    is_v2 = schema == SCHEMA_V2
     if payload.get("mode") not in (None, "smoke", "full"):
         problems.append(f"{context}: mode must be 'smoke' or 'full'")
+    failed_count = 0
     scenarios = payload.get("scenarios")
     if isinstance(scenarios, list):
         if not scenarios:
@@ -77,15 +97,37 @@ def validate_bench_payload(payload: object, context: str = "BENCH") -> list[str]
             if not isinstance(scenario, dict):
                 problems.append(f"{where}: must be an object")
                 continue
-            _check_fields(scenario, SCENARIO_FIELDS, where, problems)
+            spec = SCENARIO_FIELDS_V2 if is_v2 else SCENARIO_FIELDS
+            _check_fields(scenario, spec, where, problems)
             if isinstance(scenario.get("repeats"), int) and scenario["repeats"] < 1:
                 problems.append(f"{where}: repeats must be >= 1")
+            status = scenario.get("status", "ok") if is_v2 else "ok"
+            if is_v2:
+                if status not in SCENARIO_STATUSES:
+                    problems.append(
+                        f"{where}: status must be one of {SCENARIO_STATUSES}"
+                    )
+                attempts = scenario.get("attempts")
+                if isinstance(attempts, int) and attempts < 1:
+                    problems.append(f"{where}: attempts must be >= 1")
+                error = scenario.get("error")
+                if status == "failed":
+                    failed_count += 1
+                    if not isinstance(error, str) or not error:
+                        problems.append(
+                            f"{where}: failed scenario must carry a "
+                            "non-empty 'error' string"
+                        )
+                elif error not in (None, ""):
+                    problems.append(
+                        f"{where}: ok scenario must not carry an error"
+                    )
             wall = scenario.get("wall_ns")
             if isinstance(wall, dict):
                 _check_fields(wall, WALL_FIELDS, f"{where}.wall_ns", problems)
                 timings = wall.get("all")
                 if isinstance(timings, list):
-                    if not timings:
+                    if not timings and status != "failed":
                         problems.append(f"{where}.wall_ns.all: must be non-empty")
                     for t in timings:
                         if not isinstance(t, (int, float)) or t < 0:
@@ -93,6 +135,15 @@ def validate_bench_payload(payload: object, context: str = "BENCH") -> list[str]
                                 f"{where}.wall_ns.all: non-negative numbers only"
                             )
                             break
+    if is_v2:
+        declared = payload.get("failed")
+        if not isinstance(declared, int):
+            problems.append(f"{context}: v2 payload must carry a 'failed' count")
+        elif declared != failed_count:
+            problems.append(
+                f"{context}: 'failed' is {declared}, but {failed_count} "
+                "scenario(s) have status 'failed'"
+            )
     return problems
 
 
