@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke chaos-smoke examples docs check clean
+.PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
+	chaos-smoke examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,9 +14,48 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Bench artifacts go to a scratch directory so repo-root BENCH_<date>.json
+# files stop churning in every PR; the committed comparison point is
+# benchmarks/baseline.json (refresh it with `make bench-baseline`).
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro bench --smoke
-	$(PYTHON) tools/check_bench_json.py BENCH_*.json
+	rm -rf .bench-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+		--out-dir .bench-smoke --runs-dir .bench-smoke/runs
+	$(PYTHON) tools/check_bench_json.py .bench-smoke/BENCH_*.json
+	$(PYTHON) tools/check_trace_json.py .bench-smoke/runs/*/trace.json
+	rm -rf .bench-smoke
+
+# Refresh the committed perf baseline (smoke mode, the size perf-gate
+# compares against).  Run at a clean commit and commit the result.
+# best-of-5 repeats: smoke scenarios run sub-millisecond, so a single
+# sample is too noisy to gate against.
+bench-baseline:
+	rm -rf .bench-baseline
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --repeat 5 \
+		--out-dir .bench-baseline --runs-dir .bench-baseline/runs
+	$(PYTHON) tools/check_bench_json.py .bench-baseline/BENCH_*.json
+	cp .bench-baseline/BENCH_*.json benchmarks/baseline.json
+	rm -rf .bench-baseline
+	@echo "benchmarks/baseline.json refreshed — commit it"
+
+# The perf regression gate: a fresh smoke bench must stay within
+# tolerance of the committed baseline, scenario by scenario.
+perf-gate:
+	rm -rf .perf-gate
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --repeat 5 \
+		--out-dir .perf-gate --runs-dir .perf-gate/runs
+	$(PYTHON) tools/bench_diff.py benchmarks/baseline.json \
+		.perf-gate/BENCH_*.json --tolerance 0.25
+	rm -rf .perf-gate
+
+# Profiling smoke: `repro profile` on a tiny workload must attribute
+# nonzero self time (the CLI exits 1 on an empty profile).
+profile-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro profile --smoke --top 10
+	PYTHONPATH=src $(PYTHON) -m repro trace --smoke --format perfetto \
+		-o .profile-smoke-trace.json
+	$(PYTHON) tools/check_trace_json.py .profile-smoke-trace.json
+	rm -f .profile-smoke-trace.json
 
 # Deterministic fault injection: the suite plus one chaos bench per seed.
 # The chaos bench must exit 1 (scenarios fail after retry) without ever

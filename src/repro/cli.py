@@ -34,6 +34,15 @@ Commands
     scenario is timed under spans/metrics, a run-manifest directory is
     written to ``runs/{run_id}/``, and a top-level ``BENCH_<date>.json``
     extends the perf trajectory.
+``profile [--scenario S ...] [--graph FILE] [--top N]``
+    Run a workload (bench scenarios, default the equijoin engine
+    scenario) or a solver on a graph file under tracing and print the
+    top-N self-time table (:mod:`repro.obs.profile`).
+``trace [--format {perfetto,folded,jsonl}] [-o OUT]``
+    Same workload selection as ``profile``, but export the recorded
+    span forest: Chrome trace-event JSON for Perfetto/chrome://tracing,
+    folded stacks for flamegraph.pl, or raw JSONL
+    (:mod:`repro.obs.export`).
 """
 
 from __future__ import annotations
@@ -310,6 +319,126 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_PROFILE_SCENARIO = "engine-equijoin"
+
+
+def _run_traced_workload(args: argparse.Namespace) -> list:
+    """Run the selected workload under enabled span/metric collection and
+    return the recorded spans (collection state is restored afterwards).
+
+    Workload selection, shared by ``profile`` and ``trace``: either a
+    graph file solved with ``--method``, or one or more bench scenarios
+    (default: the equijoin engine scenario, the same workload shape as
+    ``examples/query_engine.py``).
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.bench import SCENARIOS, BenchConfig
+
+    was_trace = obs_trace.is_enabled()
+    was_metrics = obs_metrics.is_enabled()
+    obs_trace.reset()
+    obs_metrics.reset()
+    obs_trace.enable()
+    obs_metrics.enable()
+    try:
+        if args.graph:
+            from repro.core.solvers.registry import solve
+
+            with open(args.graph) as handle:
+                graph = load_bipartite(handle.read())
+            with obs_trace.span(
+                "workload.pebble", file=args.graph, method=args.method
+            ):
+                solve(graph, args.method)
+        else:
+            names = args.scenario or [DEFAULT_PROFILE_SCENARIO]
+            for name in names:
+                if name not in SCENARIOS:
+                    raise KeyError(
+                        f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+                    )
+            config = BenchConfig(smoke=args.smoke, seed=args.seed)
+            for name in names:
+                with obs_trace.span(f"workload.{name}", smoke=args.smoke):
+                    SCENARIOS[name].run(config)
+        return obs_trace.spans()
+    finally:
+        if not was_trace:
+            obs_trace.disable()
+        if not was_metrics:
+            obs_metrics.disable()
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help=(
+            "bench scenario to run (repeatable; default: "
+            f"{DEFAULT_PROFILE_SCENARIO}; see `repro bench --list`)"
+        ),
+    )
+    parser.add_argument(
+        "--graph", help="profile a PEBBLE solve on this graph file instead"
+    )
+    parser.add_argument(
+        "--method", default="auto", help="solver method for --graph (default auto)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized scenario inputs"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import profile as obs_profile
+    from repro.obs import trace as obs_trace
+
+    try:
+        spans = _run_traced_workload(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = obs_profile.profile_spans(spans)
+    obs_trace.reset()
+    if not result.rows or result.total_self_ns <= 0:
+        print("error: no self time recorded (empty workload?)", file=sys.stderr)
+        return 1
+    print(result.table(top=args.top).render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import export as obs_export
+    from repro.obs import trace as obs_trace
+
+    try:
+        spans = _run_traced_workload(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    obs_trace.reset()
+    output = args.output or obs_export.DEFAULT_FILENAMES[args.format]
+    if args.format == "perfetto":
+        # Self-check before writing: an exported trace that fails the
+        # schema gate should never reach disk silently.
+        problems = obs_export.validate_chrome_trace(
+            obs_export.to_chrome_trace(spans)
+        )
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+    path = obs_export.write_trace(output, args.format, spans)
+    print(f"{len(spans)} spans exported to {path} ({args.format})")
+    if args.format == "perfetto":
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    elif args.format == "folded":
+        print("feed to flamegraph.pl to render a flamegraph")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -433,6 +562,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-site failure probability in chaos mode (default 0.2)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    profile = commands.add_parser(
+        "profile", help="run a workload and print its self-time profile"
+    )
+    _add_workload_arguments(profile)
+    profile.add_argument(
+        "--top", type=int, default=15, help="rows to print (default 15)"
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    trace = commands.add_parser(
+        "trace", help="run a workload and export its trace"
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument(
+        "--format",
+        default="perfetto",
+        choices=["perfetto", "folded", "jsonl"],
+        help="perfetto = Chrome trace-event JSON (default)",
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        help="output file (default: trace.json / trace.folded / trace.jsonl)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

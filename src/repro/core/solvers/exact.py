@@ -94,6 +94,7 @@ class _PathPartitionSearch:
         self.budget = budget
         self.nodes_expanded = 0
         self.pruned = 0
+        self.bound_checks = 0
         self.full = (1 << self.n) - 1
         # Ablation switch: with use_ordering=False, pivots and extensions
         # are taken in raw index order instead of most-constrained-first
@@ -102,6 +103,7 @@ class _PathPartitionSearch:
 
     # -- lower bound on paths needed for an unvisited set ---------------
     def _partition_lb(self, unvisited: int) -> int:
+        self.bound_checks += 1
         if not unvisited:
             return 0
         count = 0
@@ -241,7 +243,8 @@ def minimum_path_partition(
         return []
     lower = search._partition_lb(search.full)
     for p in range(lower, search.n + 1):
-        partition = search.solve(p)
+        with obs_trace.span("solver.exact.level", paths=p):
+            partition = search.solve(p)
         if partition is not None:
             return [[search.order[i] for i in path] for path in partition]
     raise AssertionError("a partition into n singleton paths always exists")
@@ -262,15 +265,21 @@ def optimal_component_tour(
         and component.without_isolated_vertices().is_complete_bipartite()
     ):
         return biclique_tour(component.without_isolated_vertices()), 0
-    line = line_graph(component)
+    with obs_trace.span("solver.exact.line_graph"):
+        line = line_graph(component)
     search = _PathPartitionSearch(line, node_budget, budget=budget)
     lower = search._partition_lb(search.full)
     for p in range(lower, max(search.n, 1) + 1):
-        partition = search.solve(p)
+        # One span per iterative-deepening level: the profile shows how
+        # much of the exponential blow-up each extra path level costs.
+        with obs_trace.span("solver.exact.level", paths=p):
+            partition = search.solve(p)
         if partition is not None:
             if obs_metrics.METRICS.enabled:
                 obs_metrics.inc("solver.exact.search_nodes", search.nodes_expanded)
                 obs_metrics.inc("solver.exact.pruned_branches", search.pruned)
+                obs_metrics.inc("solver.exact.bound_checks", search.bound_checks)
+                obs_metrics.inc("solver.exact.deepening_levels", p - lower + 1)
             paths = [[search.order[i] for i in path] for path in partition]
             return tour_from_paths(paths), search.nodes_expanded
     raise AssertionError("unreachable: singleton partition always works")
@@ -296,9 +305,12 @@ def solve_exact(
     with obs_trace.span("solver.exact"):
         for vertex_set in component_vertex_sets(working):
             component = working.subgraph(vertex_set)
-            tour, nodes = optimal_component_tour(
-                component, node_budget, budget=budget
-            )
+            with obs_trace.span(
+                "solver.exact.component", m=component.num_edges
+            ):
+                tour, nodes = optimal_component_tour(
+                    component, node_budget, budget=budget
+                )
             tours.append(tour)
             total_nodes += nodes
     if obs_metrics.METRICS.enabled:

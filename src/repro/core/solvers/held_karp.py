@@ -38,42 +38,46 @@ def held_karp_min_jumps(line: Graph, budget: Budget | None = None) -> int:
         return 0
     if n > _DP_LIMIT:
         raise InstanceTooLargeError(f"Held-Karp limited to {_DP_LIMIT} nodes, got {n}")
-    index = {v: i for i, v in enumerate(order)}
-    adjacency = [0] * n
-    for u, v in line.edges():
-        adjacency[index[u]] |= 1 << index[v]
-        adjacency[index[v]] |= 1 << index[u]
+    with obs_trace.span("solver.held_karp.build", n=n):
+        index = {v: i for i, v in enumerate(order)}
+        adjacency = [0] * n
+        for u, v in line.edges():
+            adjacency[index[u]] |= 1 << index[v]
+            adjacency[index[v]] |= 1 << index[u]
 
     size = 1 << n
     if budget is not None:
         # The DP table is allocated whole, so account for it up front —
         # a memo cap rejects the instance before the 2^n * n allocation.
         budget.charge_memo(size * n)
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("solver.held_karp.memo_cells", size * n)
     # jumps[mask * n + last] = min jumps of a path over `mask` ending at `last`.
-    jumps = [_INFINITY] * (size * n)
-    for i in range(n):
-        jumps[(1 << i) * n + i] = 0
-    for mask in range(1, size):
-        if budget is not None:
-            budget.checkpoint()
-        base = mask * n
-        for last in range(n):
-            current = jumps[base + last]
-            if current is _INFINITY:
-                continue
-            if not (mask >> last) & 1:
-                continue
-            good = adjacency[last] & ~mask
-            remaining = ~mask & (size - 1)
-            while remaining:
-                low = remaining & (-remaining)
-                remaining ^= low
-                nxt = low.bit_length() - 1
-                step = 0 if (good >> nxt) & 1 else 1
-                slot = (mask | low) * n + nxt
-                if current + step < jumps[slot]:
-                    jumps[slot] = current + step
-    best = min(jumps[(size - 1) * n + last] for last in range(n))
+    with obs_trace.span("solver.held_karp.dp", cells=size * n):
+        jumps = [_INFINITY] * (size * n)
+        for i in range(n):
+            jumps[(1 << i) * n + i] = 0
+        for mask in range(1, size):
+            if budget is not None:
+                budget.checkpoint()
+            base = mask * n
+            for last in range(n):
+                current = jumps[base + last]
+                if current is _INFINITY:
+                    continue
+                if not (mask >> last) & 1:
+                    continue
+                good = adjacency[last] & ~mask
+                remaining = ~mask & (size - 1)
+                while remaining:
+                    low = remaining & (-remaining)
+                    remaining ^= low
+                    nxt = low.bit_length() - 1
+                    step = 0 if (good >> nxt) & 1 else 1
+                    slot = (mask | low) * n + nxt
+                    if current + step < jumps[slot]:
+                        jumps[slot] = current + step
+        best = min(jumps[(size - 1) * n + last] for last in range(n))
     assert best is not _INFINITY
     return int(best)
 

@@ -82,10 +82,11 @@ def execute(
                 if algorithm is None:
                     raise SolverError(f"unknown algorithm {name!r}")
                 pairs = algorithm(query.left, query.right)
-        rows = [
-            (query.left.value(l_ref), query.right.value(r_ref))
-            for l_ref, r_ref in pairs
-        ]
+        with obs_trace.span("engine.materialize", pairs=len(pairs)):
+            rows = [
+                (query.left.value(l_ref), query.right.value(r_ref))
+                for l_ref, r_ref in pairs
+            ]
         trace = None
         if with_trace and budget is not None and budget.under_pressure():
             # Shed the diagnostic trace rather than blow the deadline.

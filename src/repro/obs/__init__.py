@@ -10,7 +10,12 @@ The measurement layer the perf roadmap hangs off.  Four pieces:
   (``runs/{run_id}/manifest.json`` + ``metrics.json`` + ``report.md``)
   carrying git SHA, seed, and python version;
 - :mod:`repro.obs.bench` — the ``repro bench`` harness that feeds the
-  top-level ``BENCH_<date>.json`` perf trajectory.
+  top-level ``BENCH_<date>.json`` perf trajectory;
+- :mod:`repro.obs.profile` — self-time attribution over recorded spans
+  (the ``repro profile`` table);
+- :mod:`repro.obs.export` — trace serialization to Chrome trace-event
+  JSON (Perfetto), folded stacks (flamegraphs), and JSONL
+  (the ``repro trace`` command).
 
 Both collectors are **off by default**, and every instrumentation hook in
 the solvers, engine, joins, and storage layers is behaviour-neutral: with
@@ -36,6 +41,12 @@ from repro.obs.metrics import (
     snapshot,
 )
 from repro.obs.trace import TRACER, Span, Tracer, span, spans
+from repro.obs.export import export_trace, write_trace
+
+# NOTE: the submodule's convenience function ``profile()`` is *not*
+# re-exported: binding it here would shadow the ``repro.obs.profile``
+# module attribute.  Call ``repro.obs.profile.profile()`` instead.
+from repro.obs.profile import Profile, ProfileRow, profile_spans
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
@@ -66,18 +77,23 @@ def reset() -> None:
 __all__ = [
     "METRICS",
     "MetricsRegistry",
+    "Profile",
+    "ProfileRow",
     "Span",
     "TRACER",
     "Tracer",
     "counter",
     "disable",
     "enable",
+    "export_trace",
     "inc",
     "is_enabled",
     "observe",
+    "profile_spans",
     "reset",
     "set_gauge",
     "snapshot",
     "span",
     "spans",
+    "write_trace",
 ]

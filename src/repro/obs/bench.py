@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.analysis.report import Table
+from repro.obs import export as obs_export
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -491,6 +492,10 @@ def run_bench(
         tables=[report.table()],
         extra={"mode": mode, "failed": [s.name for s in report.failed]},
     )
+    # Every bench run leaves an inspectable trace next to its manifest:
+    # open trace.json in Perfetto, feed trace.folded to flamegraph.pl.
+    obs_export.write_trace(run_dir / "trace.json", "perfetto")
+    obs_export.write_trace(run_dir / "trace.folded", "folded")
     bench_path: Path | None = None
     if out_dir is not None:
         payload = report.as_dict()

@@ -110,7 +110,13 @@ class _ActiveSpan:
         self.tracer._open(self.span)
         return self.span
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # A span left via an exception is marked, not silently recorded
+        # as success — profiles and exported traces must show where
+        # failures spent their time.
+        if exc_type is not None:
+            self.span.attrs["error"] = True
+            self.span.attrs["error_type"] = exc_type.__name__
         self.tracer._close(self.span)
         return False
 

@@ -70,6 +70,24 @@ class TestRunBench:
         assert manifest["seed"] == 0
         assert manifest["git_sha"] == payload["git_sha"]
 
+    def test_run_dir_contains_exported_traces(self, tmp_path):
+        from repro.obs.export import validate_chrome_trace
+
+        _, run_dir, _ = run_bench(
+            smoke=True,
+            names=["engine-equijoin"],
+            runs_dir=tmp_path / "runs",
+            out_dir=None,
+        )
+        perfetto = json.loads((run_dir / "trace.json").read_text())
+        assert validate_chrome_trace(perfetto) == []
+        assert perfetto["traceEvents"]
+        folded = (run_dir / "trace.folded").read_text()
+        assert folded.strip()
+        for line in folded.splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert stack and int(value) >= 0
+
     def test_out_dir_none_skips_bench_file(self, tmp_path):
         _, _, bench_path = run_bench(
             smoke=True, names=["engine-equijoin"], runs_dir=tmp_path, out_dir=None

@@ -1,0 +1,221 @@
+"""Tests for the bench regression gate (tools/bench_diff.py)."""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _load_differ():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import bench_diff
+    finally:
+        sys.path.pop(0)
+    return bench_diff
+
+
+def _payload(scenarios, mode="smoke", schema="repro-bench/v2"):
+    return {
+        "schema": schema,
+        "run_id": "r",
+        "mode": mode,
+        "seed": 0,
+        "git_sha": "abc1234",
+        "scenarios": scenarios,
+    }
+
+
+def _scenario(name, best_ns, status="ok", **extra):
+    scenario = {
+        "name": name,
+        "status": status,
+        "wall_ns": {"best": best_ns, "mean": best_ns * 1.1},
+        **extra,
+    }
+    if status != "ok":
+        scenario["wall_ns"] = {}
+    return scenario
+
+
+def _write(tmp_path, filename, payload):
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASE = _payload([_scenario("alpha", 1_000_000), _scenario("beta", 2_000_000)])
+
+
+class TestDiffScenarios:
+    def test_identical_payloads_no_regressions(self):
+        differ = _load_differ()
+        rows, regressions = differ.diff_scenarios(BASE, copy.deepcopy(BASE))
+        assert regressions == []
+        assert [row[4] for row in rows] == ["ok", "ok"]
+
+    def test_slowdown_beyond_tolerance_regresses(self):
+        differ = _load_differ()
+        slowed = _payload(
+            [_scenario("alpha", 2_000_000), _scenario("beta", 2_000_000)]
+        )
+        rows, regressions = differ.diff_scenarios(BASE, slowed, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "alpha" in regressions[0]
+        assert rows[0][4] == "REGRESSION"
+
+    def test_slowdown_within_tolerance_ok(self):
+        differ = _load_differ()
+        slowed = _payload(
+            [_scenario("alpha", 1_200_000), _scenario("beta", 2_000_000)]
+        )
+        _, regressions = differ.diff_scenarios(BASE, slowed, tolerance=0.25)
+        assert regressions == []
+
+    def test_speedup_reported_not_regressed(self):
+        differ = _load_differ()
+        faster = _payload(
+            [_scenario("alpha", 100_000), _scenario("beta", 2_000_000)]
+        )
+        rows, regressions = differ.diff_scenarios(BASE, faster)
+        assert regressions == []
+        assert rows[0][4] == "faster"
+
+    def test_missing_scenario_is_a_regression(self):
+        differ = _load_differ()
+        partial = _payload([_scenario("alpha", 1_000_000)])
+        rows, regressions = differ.diff_scenarios(BASE, partial)
+        assert any("not in candidate" in r for r in regressions)
+        assert ["beta", "MISSING"] == [rows[1][0], rows[1][4]]
+
+    def test_new_scenario_is_informational(self):
+        differ = _load_differ()
+        extended = _payload(
+            [
+                _scenario("alpha", 1_000_000),
+                _scenario("beta", 2_000_000),
+                _scenario("gamma", 500_000),
+            ]
+        )
+        rows, regressions = differ.diff_scenarios(BASE, extended)
+        assert regressions == []
+        assert [row[4] for row in rows] == ["ok", "ok", "new"]
+
+    def test_candidate_failure_is_a_regression(self):
+        differ = _load_differ()
+        failing = _payload(
+            [
+                _scenario("alpha", 0, status="failed", error="MemoryFault: page 3"),
+                _scenario("beta", 2_000_000),
+            ]
+        )
+        rows, regressions = differ.diff_scenarios(BASE, failing)
+        assert len(regressions) == 1
+        assert "MemoryFault" in regressions[0]
+        assert rows[0][4] == "FAILED"
+
+    def test_baseline_failure_skipped(self):
+        differ = _load_differ()
+        base = _payload(
+            [
+                _scenario("alpha", 0, status="failed", error="boom"),
+                _scenario("beta", 2_000_000),
+            ]
+        )
+        fresh = _payload(
+            [_scenario("alpha", 9_000_000), _scenario("beta", 2_000_000)]
+        )
+        rows, regressions = differ.diff_scenarios(base, fresh)
+        assert regressions == []
+        assert rows[0][4] == "baseline-failed"
+
+    def test_mode_mismatch_refused(self):
+        differ = _load_differ()
+        with pytest.raises(differ.BenchDiffError, match="mode mismatch"):
+            differ.diff_scenarios(BASE, _payload([], mode="full"))
+
+    def test_v1_payload_without_status_accepted(self):
+        differ = _load_differ()
+        v1 = _payload(
+            [
+                {"name": "alpha", "wall_ns": {"best": 1_000_000, "mean": 1_100_000}},
+                {"name": "beta", "wall_ns": {"best": 2_000_000, "mean": 2_200_000}},
+            ],
+            schema="repro-bench/v1",
+        )
+        _, regressions = differ.diff_scenarios(v1, copy.deepcopy(v1))
+        assert regressions == []
+
+    def test_unknown_metric_rejected(self):
+        differ = _load_differ()
+        with pytest.raises(differ.BenchDiffError, match="metric"):
+            differ.diff_scenarios(BASE, copy.deepcopy(BASE), metric="median")
+
+    def test_mean_metric_compares_mean(self):
+        differ = _load_differ()
+        # mean regressed 3x, best unchanged: only --metric mean should fire.
+        fresh = copy.deepcopy(BASE)
+        fresh["scenarios"][0]["wall_ns"]["mean"] = 3_300_000
+        _, by_best = differ.diff_scenarios(BASE, fresh, metric="best")
+        _, by_mean = differ.diff_scenarios(BASE, fresh, metric="mean")
+        assert by_best == []
+        assert len(by_mean) == 1
+
+
+class TestMain:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        differ = _load_differ()
+        base = _write(tmp_path, "base.json", BASE)
+        assert differ.main([base, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        differ = _load_differ()
+        base = _write(tmp_path, "base.json", BASE)
+        slowed = _write(
+            tmp_path,
+            "new.json",
+            _payload([_scenario("alpha", 9_000_000), _scenario("beta", 2_000_000)]),
+        )
+        assert differ.main([base, slowed]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_wider_tolerance_absorbs_slowdown(self, tmp_path):
+        differ = _load_differ()
+        base = _write(tmp_path, "base.json", BASE)
+        slowed = _write(
+            tmp_path,
+            "new.json",
+            _payload([_scenario("alpha", 1_800_000), _scenario("beta", 2_000_000)]),
+        )
+        assert differ.main([base, slowed]) == 1
+        assert differ.main([base, slowed, "--tolerance", "1.0"]) == 0
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        differ = _load_differ()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        good = _write(tmp_path, "base.json", BASE)
+        assert differ.main([str(bad), good]) == 2
+
+    def test_non_bench_payload_exits_two(self, tmp_path):
+        differ = _load_differ()
+        not_bench = _write(tmp_path, "x.json", {"hello": "world"})
+        good = _write(tmp_path, "base.json", BASE)
+        assert differ.main([not_bench, good]) == 2
+
+    def test_negative_tolerance_exits_two(self, tmp_path):
+        differ = _load_differ()
+        base = _write(tmp_path, "base.json", BASE)
+        assert differ.main([base, base, "--tolerance", "-0.5"]) == 2
+
+    def test_mode_mismatch_exits_two(self, tmp_path, capsys):
+        differ = _load_differ()
+        base = _write(tmp_path, "base.json", BASE)
+        full = _write(tmp_path, "full.json", _payload([], mode="full"))
+        assert differ.main([base, full]) == 2
+        assert "mode mismatch" in capsys.readouterr().err

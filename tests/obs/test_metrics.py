@@ -14,7 +14,13 @@ class TestDisabled:
         metrics.set_gauge("g", 1.0)
         metrics.observe("h", 2.0)
         snap = metrics.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snap == {
+            "schema": metrics.SNAPSHOT_SCHEMA,
+            "enabled": False,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
 
 
 class TestCounters:
@@ -56,6 +62,93 @@ class TestGaugesAndHistograms:
         from repro.obs.metrics import HistogramSummary
 
         assert HistogramSummary().mean == 0.0
+
+
+class TestQuantileHistograms:
+    def _hist(self, values):
+        from repro.obs.metrics import HistogramSummary
+
+        h = HistogramSummary()
+        for value in values:
+            h.observe(value)
+        return h
+
+    def test_bucket_counts_sum_to_count(self):
+        h = self._hist([0.1, 1, 5, 5, 90, 1e6, 0, -3])
+        assert sum(h.buckets.values()) == h.count == 8
+
+    def test_bucket_index_boundaries_are_log_spaced(self):
+        from repro.obs.metrics import bucket_index, bucket_upper_bound
+
+        for value in (0.01, 0.5, 1, 2, 3, 1000, 1e9):
+            index = bucket_index(value)
+            assert value <= bucket_upper_bound(index)
+            # The next bucket down would not hold the value.
+            assert value > bucket_upper_bound(index - 1) or value <= 0
+
+    def test_nonpositive_values_share_underflow_bucket(self):
+        from repro.obs.metrics import bucket_index
+
+        assert bucket_index(0) == bucket_index(-7.5)
+        h = self._hist([0, -1, 2])
+        assert h.bucket_counts()["le_0"] == 2
+
+    def test_quantiles_within_observed_range(self):
+        h = self._hist(range(1, 101))
+        for q in (0.5, 0.9, 0.99):
+            estimate = h.quantile(q)
+            assert 1 <= estimate <= 100
+
+    def test_quantile_estimates_are_ordered_and_close(self):
+        h = self._hist(range(1, 101))
+        p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert p50 <= p90 <= p99
+        # Log-spaced buckets bound the error by a factor of sqrt(2).
+        assert 50 / 1.5 <= p50 <= 50 * 1.5
+        assert 90 / 1.5 <= p90 <= 90 * 1.5
+
+    def test_single_value_quantiles_exact(self):
+        h = self._hist([42])
+        assert h.quantile(0.5) == 42
+        assert h.quantile(0.99) == 42
+
+    def test_empty_histogram_quantile_none(self):
+        assert self._hist([]).quantile(0.5) is None
+
+    def test_invalid_quantile_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self._hist([1]).quantile(0.0)
+        with pytest.raises(ValueError):
+            self._hist([1]).quantile(1.5)
+
+    def test_as_dict_carries_buckets_and_quantiles(self):
+        h = self._hist([1, 2, 9])
+        payload = h.as_dict()
+        assert payload["count"] == 3
+        assert sum(payload["buckets"].values()) == 3
+        assert payload["p50"] is not None
+        assert payload["p99"] <= 9
+
+    def test_buckets_deterministic_across_runs(self):
+        first = self._hist([3.7, 0.2, 1e4]).as_dict()
+        second = self._hist([3.7, 0.2, 1e4]).as_dict()
+        assert first == second
+
+
+class TestSnapshotSchema:
+    def test_snapshot_carries_schema_and_enabled_state(self):
+        snap = metrics.snapshot()
+        assert snap["schema"] == "repro-metrics/v2"
+        assert snap["enabled"] is False
+        metrics.enable()
+        assert metrics.snapshot()["enabled"] is True
+
+    def test_to_json_carries_schema(self):
+        metrics.enable()
+        payload = json.loads(metrics.to_json())
+        assert payload["schema"] == metrics.SNAPSHOT_SCHEMA
 
 
 class TestSnapshotDeterminism:

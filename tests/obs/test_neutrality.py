@@ -125,6 +125,81 @@ def test_different_seed_runs_usually_differ(tmp_path):
     assert first != second
 
 
+class TestHotPathInstrumentation:
+    """The per-phase spans added to the solver/engine hot paths must obey
+    the same contract as every other hook: present when collection is on,
+    absent (and behaviour-neutral) when it is off."""
+
+    def test_exact_solver_phase_spans_recorded(self):
+        # Sparse on purpose: a complete-bipartite component would be
+        # answered in closed form without entering the search at all.
+        graph = random_connected_bipartite(4, 4, 3, seed=0)
+        trace.enable()
+        solve(graph, "exact")
+        names = {s.name for s in trace.spans()}
+        assert "solver.exact" in names
+        assert "solver.exact.component" in names
+        assert "solver.exact.level" in names
+
+    def test_exact_solver_counters_flushed(self):
+        graph = random_connected_bipartite(4, 4, 3, seed=0)
+        metrics.enable()
+        solve(graph, "exact")
+        assert metrics.counter("solver.exact.search_nodes") > 0
+        assert metrics.counter("solver.exact.bound_checks") > 0
+        assert metrics.counter("solver.exact.deepening_levels") > 0
+
+    def test_held_karp_phase_spans_recorded(self):
+        from repro.core.solvers.held_karp import held_karp_effective_cost
+
+        graph = random_connected_bipartite(3, 3, 6, seed=1)
+        trace.enable()
+        metrics.enable()
+        held_karp_effective_cost(graph)
+        names = {s.name for s in trace.spans()}
+        assert "solver.held_karp.build" in names
+        assert "solver.held_karp.dp" in names
+        assert metrics.counter("solver.held_karp.memo_cells") > 0
+
+    def test_engine_materialize_span_recorded(self):
+        left, right = zipf_equijoin_workload(10, 10, key_universe=4, seed=0)
+        clear_join_graph_cache()
+        trace.enable()
+        execute(JoinQuery(left, right, Equality()))
+        names = {s.name for s in trace.spans()}
+        assert "engine.materialize" in names
+
+    def test_no_spans_recorded_while_disabled(self):
+        graph = random_connected_bipartite(3, 3, 8, seed=0)
+        left, right = zipf_equijoin_workload(10, 10, key_universe=4, seed=0)
+        clear_join_graph_cache()
+        assert not trace.is_enabled()
+        solve(graph, "exact")
+        execute(JoinQuery(left, right, Equality()))
+        assert trace.spans() == []
+        assert metrics.snapshot()["counters"] == {}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_held_karp_cost_identical_with_and_without_collection(self, seed):
+        from repro.core.solvers.held_karp import held_karp_effective_cost
+
+        graph = random_connected_bipartite(3, 3, 6, seed=seed)
+        trace.disable()
+        metrics.disable()
+        baseline = held_karp_effective_cost(graph)
+        trace.reset()
+        metrics.reset()
+        trace.enable()
+        metrics.enable()
+        try:
+            observed = held_karp_effective_cost(graph)
+        finally:
+            trace.disable()
+            metrics.disable()
+        assert observed == baseline
+
+
 class TestSelectivityModes:
     def test_small_inputs_use_exact_enumeration(self):
         from repro.engine.stats import estimate_selectivity

@@ -73,6 +73,74 @@ class TestRecording:
         (s,) = trace.spans()
         assert s.end_ns is not None
 
+
+class TestErrorMarking:
+    def test_exception_marks_span_as_error(self):
+        trace.enable()
+        try:
+            with trace.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (s,) = trace.spans()
+        assert s.attrs["error"] is True
+        assert s.attrs["error_type"] == "ValueError"
+
+    def test_exception_does_not_swallow(self):
+        import pytest
+
+        trace.enable()
+        with pytest.raises(KeyError):
+            with trace.span("boom"):
+                raise KeyError("k")
+
+    def test_only_the_raising_span_is_marked(self):
+        trace.enable()
+        try:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+                raise RuntimeError("after inner closed")
+        except RuntimeError:
+            pass
+        outer, inner = trace.spans()
+        assert outer.attrs.get("error") is True
+        assert outer.attrs["error_type"] == "RuntimeError"
+        assert "error" not in inner.attrs
+
+    def test_error_propagates_through_nested_spans(self):
+        trace.enable()
+        try:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    raise OSError("disk")
+        except OSError:
+            pass
+        outer, inner = trace.spans()
+        # The exception crossed both spans, so both are marked.
+        assert inner.attrs["error_type"] == "OSError"
+        assert outer.attrs["error_type"] == "OSError"
+
+    def test_success_leaves_no_error_attrs(self):
+        trace.enable()
+        with trace.span("fine", method="exact"):
+            pass
+        (s,) = trace.spans()
+        assert s.attrs == {"method": "exact"}
+
+    def test_error_attrs_survive_export(self):
+        from repro.obs.export import to_chrome_trace
+
+        trace.enable()
+        try:
+            with trace.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (event,) = to_chrome_trace(trace.spans())["traceEvents"]
+        assert event["args"]["error"] is True
+        assert event["args"]["error_type"] == "ValueError"
+
     def test_total_ns_sums_by_name(self):
         trace.enable()
         for _ in range(3):

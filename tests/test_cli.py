@@ -89,3 +89,99 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hash:" in out
         assert "active cells:" in out
+
+
+class TestProfileCommand:
+    def test_profile_smoke_prints_table(self, capsys):
+        assert main(["profile", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "self-time profile" in out
+        assert "workload.engine-equijoin" in out
+        assert "self %" in out
+
+    def test_profile_graph_file(self, tmp_path, capsys):
+        graph = complete_bipartite(2, 3)
+        path = tmp_path / "graph.txt"
+        path.write_text(dump_bipartite(graph))
+        assert main(["profile", "--graph", str(path), "--method", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "workload.pebble" in out
+        assert "solver.exact" in out
+
+    def test_profile_top_limits_rows(self, capsys):
+        assert main(["profile", "--smoke", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # One header line plus exactly one data row.
+        table_lines = [line for line in out.splitlines() if " | " in line]
+        assert len(table_lines) == 2
+
+    def test_profile_unknown_scenario_exits_two(self, capsys):
+        assert main(["profile", "--scenario", "no-such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profile_restores_disabled_collection(self):
+        from repro.obs import metrics, trace
+
+        assert main(["profile", "--smoke"]) == 0
+        assert not trace.is_enabled()
+        assert not metrics.is_enabled()
+        assert trace.spans() == []
+
+
+class TestTraceCommand:
+    def test_trace_perfetto_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--smoke", "--format", "perfetto", "-o", str(out_path)]
+        )
+        assert code == 0
+        assert "open in https://ui.perfetto.dev" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["traceEvents"]
+
+    def test_trace_folded_output(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.folded"
+        code = main(["trace", "--smoke", "--format", "folded", "-o", str(out_path)])
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) >= 0
+        assert any(stack.startswith("workload.") for stack in lines)
+
+    def test_trace_jsonl_output(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        code = main(["trace", "--smoke", "--format", "jsonl", "-o", str(out_path)])
+        assert code == 0
+        parsed = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert any(d["name"] == "workload.engine-equijoin" for d in parsed)
+
+    def test_trace_graph_workload(self, tmp_path):
+        import json
+
+        graph = complete_bipartite(2, 2)
+        graph_path = tmp_path / "graph.txt"
+        graph_path.write_text(dump_bipartite(graph))
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--graph", str(graph_path), "-o", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "workload.pebble" in names
+
+    def test_trace_unknown_scenario_exits_two(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert main(["trace", "--scenario", "no-such", "-o", str(out_path)]) == 2
+        assert not out_path.exists()
+
+    def test_trace_unknown_format_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--format", "svg"])

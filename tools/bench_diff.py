@@ -1,0 +1,203 @@
+"""Compare two BENCH_*.json files scenario by scenario: the perf gate.
+
+Usage::
+
+    python tools/bench_diff.py benchmarks/baseline.json NEW.json \
+        [--tolerance 0.25] [--metric best|mean]
+
+For every scenario present in the baseline, the candidate's wall-clock
+(``best`` nanoseconds by default — the repeat least disturbed by noise)
+is compared against the baseline's.  A scenario **regresses** when
+
+- its timing ratio exceeds ``1 + tolerance``,
+- it failed in the candidate but was ok in the baseline, or
+- it disappeared from the candidate entirely (coverage loss).
+
+Scenarios that only exist in the candidate are reported informationally;
+scenarios that already failed in the baseline are skipped (nothing sound
+to compare against).  Both ``repro-bench/v1`` and ``v2`` payloads are
+accepted; v1 scenarios are treated as ok.
+
+Comparing runs of different modes (smoke vs full) is refused — their
+input sizes differ, so every ratio would be meaningless.
+
+Exit status: 0 when no scenario regresses (identical files always exit
+0), 1 on any regression, 2 on unreadable/invalid inputs or usage errors.
+
+Like every ``tools/`` script this is dependency-free and standalone, so
+CI can run it before the package is even installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.25
+METRICS = ("best", "mean")
+
+
+class BenchDiffError(Exception):
+    """Unusable input: unreadable file, bad schema, mode mismatch."""
+
+
+def load_bench(path: str | Path) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchDiffError(f"{path}: unreadable ({exc})") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("scenarios"), list
+    ):
+        raise BenchDiffError(f"{path}: not a bench payload (no scenario list)")
+    return payload
+
+
+def scenario_map(payload: dict) -> dict[str, dict]:
+    scenarios = {}
+    for scenario in payload["scenarios"]:
+        if isinstance(scenario, dict) and isinstance(scenario.get("name"), str):
+            scenarios[scenario["name"]] = scenario
+    return scenarios
+
+
+def _wall(scenario: dict, metric: str) -> float | None:
+    wall = scenario.get("wall_ns")
+    if not isinstance(wall, dict):
+        return None
+    value = wall.get(metric)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _status(scenario: dict) -> str:
+    return scenario.get("status", "ok")  # v1 payloads carry no status
+
+
+def diff_scenarios(
+    base: dict,
+    new: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    metric: str = "best",
+) -> tuple[list[list], list[str]]:
+    """Per-scenario comparison rows plus the list of regression messages.
+
+    Rows are ``[name, base_ms, new_ms, ratio, verdict]`` (``-`` where a
+    side has no timing), ordered by scenario name.
+    """
+    if metric not in METRICS:
+        raise BenchDiffError(f"metric must be one of {METRICS}, got {metric!r}")
+    base_mode, new_mode = base.get("mode"), new.get("mode")
+    if base_mode != new_mode:
+        raise BenchDiffError(
+            f"mode mismatch: baseline is {base_mode!r}, candidate is "
+            f"{new_mode!r} — compare like against like"
+        )
+    base_map, new_map = scenario_map(base), scenario_map(new)
+    rows: list[list] = []
+    regressions: list[str] = []
+    for name in sorted(base_map.keys() | new_map.keys()):
+        old, fresh = base_map.get(name), new_map.get(name)
+        if old is None:
+            assert fresh is not None
+            rows.append([name, "-", _fmt_ms(_wall(fresh, metric)), "-", "new"])
+            continue
+        if fresh is None:
+            rows.append([name, _fmt_ms(_wall(old, metric)), "-", "-", "MISSING"])
+            regressions.append(f"{name}: present in baseline but not in candidate")
+            continue
+        if _status(old) != "ok":
+            rows.append([name, "-", "-", "-", "baseline-failed"])
+            continue
+        if _status(fresh) != "ok":
+            rows.append([name, _fmt_ms(_wall(old, metric)), "-", "-", "FAILED"])
+            regressions.append(
+                f"{name}: ok in baseline but failed in candidate "
+                f"({fresh.get('error') or 'no error recorded'})"
+            )
+            continue
+        old_ns, new_ns = _wall(old, metric), _wall(fresh, metric)
+        if old_ns is None or new_ns is None or old_ns <= 0:
+            rows.append([name, _fmt_ms(old_ns), _fmt_ms(new_ns), "-", "no-timing"])
+            continue
+        ratio = new_ns / old_ns
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {metric} {new_ns / 1e6:.3f} ms vs baseline "
+                f"{old_ns / 1e6:.3f} ms ({ratio:.2f}x > "
+                f"{1.0 + tolerance:.2f}x tolerance)"
+            )
+        elif ratio < 1.0 - tolerance:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        rows.append([name, _fmt_ms(old_ns), _fmt_ms(new_ns), f"{ratio:.2f}x", verdict])
+    return rows, regressions
+
+
+def _fmt_ms(ns: float | None) -> str:
+    return "-" if ns is None else f"{ns / 1e6:.3f}"
+
+
+def render_rows(rows: list[list], metric: str) -> str:
+    header = ["scenario", f"base {metric} ms", f"new {metric} ms", "ratio", "verdict"]
+    table = [header] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_diff",
+        description="Compare two bench JSON files and fail on regression.",
+    )
+    parser.add_argument("baseline", help="baseline BENCH json (e.g. benchmarks/baseline.json)")
+    parser.add_argument("candidate", help="fresh BENCH json to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slowdown fraction (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--metric", default="best", choices=list(METRICS),
+        help="which wall_ns statistic to compare (default best)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("error: tolerance must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        base = load_bench(args.baseline)
+        new = load_bench(args.candidate)
+        rows, regressions = diff_scenarios(
+            base, new, tolerance=args.tolerance, metric=args.metric
+        )
+    except BenchDiffError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"bench diff: {args.baseline} ({base.get('git_sha', '?')}) -> "
+        f"{args.candidate} ({new.get('git_sha', '?')}), "
+        f"tolerance {args.tolerance:.0%}"
+    )
+    print(render_rows(rows, args.metric))
+    if regressions:
+        print()
+        for message in regressions:
+            print(f"regression: {message}", file=sys.stderr)
+        print(f"{len(regressions)} regression(s)", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

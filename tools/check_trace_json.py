@@ -1,0 +1,58 @@
+"""Validate exported Chrome trace-event files (``repro trace --format
+perfetto`` output) against the structural schema check.
+
+The companion of ``tools/check_bench_json.py`` for traces::
+
+    python tools/check_trace_json.py trace.json runs/*/trace.json
+
+Every event must be a complete ``ph: "X"`` event with a non-negative
+``dur``, or one half of a correctly nested ``B``/``E`` pair — the
+invariant Perfetto and ``chrome://tracing`` rely on.  The validator
+itself lives in :mod:`repro.obs.export` so the library, the test-suite,
+and this CLI agree on one definition.
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+
+def validate_file(path: Path) -> list[str]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    return validate_chrome_trace(payload, context=str(path))
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: python tools/check_trace_json.py TRACE.json [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for name in argv:
+        problems = validate_file(Path(name))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{name}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
