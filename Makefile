@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
-	chaos-smoke examples docs check clean
+	chaos-smoke report-smoke runs-index examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,13 +16,17 @@ bench:
 
 # Bench artifacts go to a scratch directory so repo-root BENCH_<date>.json
 # files stop churning in every PR; the committed comparison point is
-# benchmarks/baseline.json (refresh it with `make bench-baseline`).
+# benchmarks/baseline.json (refresh it with `make bench-baseline`), and the
+# canonical trajectory feed is benchmarks/results/ (committed snapshots,
+# published here and by the CI bench-smoke job).
 bench-smoke:
 	rm -rf .bench-smoke
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
-		--out-dir .bench-smoke --runs-dir .bench-smoke/runs
+		--out-dir .bench-smoke --runs-dir .bench-smoke/runs \
+		--publish-dir benchmarks/results
 	$(PYTHON) tools/check_bench_json.py .bench-smoke/BENCH_*.json
 	$(PYTHON) tools/check_trace_json.py .bench-smoke/runs/*/trace.json
+	$(PYTHON) tools/check_events_jsonl.py .bench-smoke/runs/*/events.jsonl
 	rm -rf .bench-smoke
 
 # Refresh the committed perf baseline (smoke mode, the size perf-gate
@@ -32,7 +36,8 @@ bench-smoke:
 bench-baseline:
 	rm -rf .bench-baseline
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --repeat 5 \
-		--out-dir .bench-baseline --runs-dir .bench-baseline/runs
+		--out-dir .bench-baseline --runs-dir .bench-baseline/runs \
+		--no-publish
 	$(PYTHON) tools/check_bench_json.py .bench-baseline/BENCH_*.json
 	cp .bench-baseline/BENCH_*.json benchmarks/baseline.json
 	rm -rf .bench-baseline
@@ -43,7 +48,8 @@ bench-baseline:
 perf-gate:
 	rm -rf .perf-gate
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --repeat 5 \
-		--out-dir .perf-gate --runs-dir .perf-gate/runs
+		--out-dir .perf-gate --runs-dir .perf-gate/runs \
+		--no-publish
 	$(PYTHON) tools/bench_diff.py benchmarks/baseline.json \
 		.perf-gate/BENCH_*.json --tolerance 0.25
 	rm -rf .perf-gate
@@ -67,6 +73,7 @@ chaos-smoke:
 		PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
 			--scenario storage-paging --no-bench-file \
 			--runs-dir .chaos-runs \
+			--no-publish \
 			--fault-seed $$seed --fault-rate 1.0 \
 			2> .chaos-stderr.txt; \
 		status=$$?; \
@@ -75,6 +82,32 @@ chaos-smoke:
 		grep -q Traceback .chaos-stderr.txt && exit 1 || true; \
 	done
 	rm -rf .chaos-runs .chaos-stderr.txt
+
+# Cross-run report smoke: three seeded smoke benches into a scratch runs
+# dir, a trend query over them, and the HTML dashboard — with every
+# artifact (events.jsonl, report.html links) validated.
+report-smoke:
+	rm -rf .report-smoke
+	@for seed in 0 1 2; do \
+		echo "== report-smoke bench seed $$seed"; \
+		PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+			--scenario solver-exact --scenario engine-equijoin \
+			--seed $$seed --runs-dir .report-smoke/runs \
+			--no-bench-file --no-publish || exit 1; \
+		sleep 1; \
+	done
+	$(PYTHON) tools/check_events_jsonl.py .report-smoke/runs/*/events.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro runs list --runs-dir .report-smoke/runs
+	PYTHONPATH=src $(PYTHON) -m repro runs trend --scenario solver-exact \
+		--runs-dir .report-smoke/runs
+	PYTHONPATH=src $(PYTHON) -m repro report --html \
+		-o .report-smoke/report.html --runs-dir .report-smoke/runs
+	$(PYTHON) tools/check_report_html.py .report-smoke/report.html
+	rm -rf .report-smoke
+
+# Build (or refresh) the queryable SQLite index over runs/.
+runs-index:
+	PYTHONPATH=src $(PYTHON) -m repro runs index --runs-dir runs
 
 examples:
 	@for script in examples/*.py; do \
@@ -88,6 +121,8 @@ docs:
 check: test bench examples docs
 	git diff --exit-code docs/API.md
 
+# benchmarks/results/ is the committed perf-trajectory feed — never clean it.
 clean:
-	rm -rf .pytest_cache benchmarks/results src/repro.egg-info
+	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
+		.report-smoke src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

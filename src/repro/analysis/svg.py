@@ -5,7 +5,9 @@ Produces standalone SVG documents for:
 - spatial join instances (rectangles / comb polygons) — the Lemma 3.4 and
   comb-universality constructions become visually checkable;
 - bipartite join graphs — two vertex columns with edge lines;
-- pebbling schemes — the join graph with edges numbered in visit order.
+- pebbling schemes — the join graph with edges numbered in visit order;
+- trend sparklines — compact inline series for the cross-run HTML report
+  (:mod:`repro.obs.report_html`).
 
 The output is deliberately minimal, valid SVG 1.1; tests assert structure
 rather than pixels.
@@ -24,6 +26,9 @@ from repro.core.scheme import PebblingScheme
 LEFT_COLOR = "#3366cc"
 RIGHT_COLOR = "#cc6633"
 EDGE_COLOR = "#888888"
+SPARK_LINE_COLOR = "#3366cc"
+SPARK_FLAG_COLOR = "#cc3333"
+SPARK_GAP_COLOR = "#aaaaaa"
 
 
 def _document(width: float, height: float, body: Iterable[str]) -> str:
@@ -100,6 +105,80 @@ def spatial_instance_svg(
 
     body = [shape(v, LEFT_COLOR) for v in left.values]
     body.extend(shape(v, RIGHT_COLOR) for v in right.values)
+    return _document(width, height, body)
+
+
+def sparkline_svg(
+    values: list[float | None],
+    flags: list[bool] | None = None,
+    width: float = 220.0,
+    height: float = 40.0,
+    margin: float = 4.0,
+) -> str:
+    """A compact inline sparkline of one numeric series.
+
+    ``None`` values are gaps (a failed run's missing timing) drawn as
+    grey ticks on the baseline; ``flags[i]`` marks point ``i`` with a red
+    circle — the report uses it for regression verdicts.  The document is
+    self-contained SVG 1.1, suitable for direct embedding in HTML.
+    """
+    flags = flags or [False] * len(values)
+    if len(flags) != len(values):
+        raise ValueError(
+            f"flags has {len(flags)} entries for {len(values)} values"
+        )
+    present = [v for v in values if v is not None]
+    low = min(present, default=0.0)
+    high = max(present, default=1.0)
+    span = max(high - low, 1e-9)
+    count = max(len(values), 1)
+    step = (width - 2 * margin) / max(count - 1, 1)
+
+    def x_of(i: int) -> float:
+        return margin + i * step
+
+    def y_of(v: float) -> float:
+        return height - margin - (v - low) / span * (height - 2 * margin)
+
+    body = []
+    segment: list[str] = []
+    for i, value in enumerate(values):
+        if value is None:
+            if len(segment) >= 2:
+                body.append(
+                    f'<polyline points="{" ".join(segment)}" fill="none" '
+                    f'stroke="{SPARK_LINE_COLOR}" stroke-width="1.5"/>'
+                )
+            segment = []
+            body.append(
+                f'<line x1="{x_of(i):.2f}" y1="{height - margin:.2f}" '
+                f'x2="{x_of(i):.2f}" y2="{height - margin - 4:.2f}" '
+                f'stroke="{SPARK_GAP_COLOR}"/>'
+            )
+            continue
+        segment.append(f"{x_of(i):.2f},{y_of(value):.2f}")
+    if len(segment) >= 2:
+        body.append(
+            f'<polyline points="{" ".join(segment)}" fill="none" '
+            f'stroke="{SPARK_LINE_COLOR}" stroke-width="1.5"/>'
+        )
+    for i, (value, flagged) in enumerate(zip(values, flags)):
+        if value is None:
+            continue
+        if flagged:
+            body.append(
+                f'<circle cx="{x_of(i):.2f}" cy="{y_of(value):.2f}" r="3" '
+                f'fill="{SPARK_FLAG_COLOR}"/>'
+            )
+    if present:
+        # Always mark the latest point so single-run series stay visible.
+        last_index = max(i for i, v in enumerate(values) if v is not None)
+        last_value = values[last_index]
+        assert last_value is not None
+        body.append(
+            f'<circle cx="{x_of(last_index):.2f}" '
+            f'cy="{y_of(last_value):.2f}" r="2" fill="{SPARK_LINE_COLOR}"/>'
+        )
     return _document(width, height, body)
 
 

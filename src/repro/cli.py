@@ -43,6 +43,15 @@ Commands
     span forest: Chrome trace-event JSON for Perfetto/chrome://tracing,
     folded stacks for flamegraph.pl, or raw JSONL
     (:mod:`repro.obs.export`).
+``runs {index,list,show,compare,trend} [--runs-dir DIR]``
+    Query the cross-run registry (:mod:`repro.obs.registry`): persist the
+    SQLite index, list runs, drill into one run (including its event
+    log), compare two runs scenario-by-scenario, or print a scenario's
+    timing trend with perf-gate regression flags.
+``report [--html] [-o OUT] [--runs-dir DIR]``
+    Render the self-contained cross-run HTML dashboard
+    (:mod:`repro.obs.report_html`): run overview with artifact links plus
+    per-scenario trend sparklines.
 """
 
 from __future__ import annotations
@@ -290,6 +299,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         harness = inject(
             FaultPlan(seed=args.fault_seed, rates={"*": args.fault_rate})
         )
+    publish_dir = None if args.no_publish else args.publish_dir
     try:
         with harness:
             report, run_dir, bench_path = run_bench(
@@ -300,6 +310,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 runs_dir=args.runs_dir,
                 out_dir=None if args.no_bench_file else args.out_dir,
                 scenario_deadline=args.scenario_deadline,
+                publish_dir=publish_dir,
             )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -309,6 +320,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nrun artifacts: {run_dir}/")
     if bench_path is not None:
         print(f"perf trajectory point: {bench_path}")
+    if publish_dir is not None:
+        print(f"trajectory feed: {publish_dir}/BENCH_*.json (commit to extend)")
     if report.failed:
         names = ", ".join(s.name for s in report.failed)
         print(
@@ -439,6 +452,231 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_for(args: argparse.Namespace):
+    """An up-to-date in-memory registry over ``--runs-dir``.
+
+    Read-only query commands rebuild from artifacts each invocation (the
+    artifacts are the source of truth); only ``runs index`` persists the
+    SQLite file for external tooling.
+    """
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(":memory:")
+    registry.rebuild(args.runs_dir)
+    return registry
+
+
+def _cmd_runs_index(args: argparse.Namespace) -> int:
+    from repro.obs.registry import open_registry
+
+    with open_registry(args.runs_dir, db_path=args.db, refresh=True) as registry:
+        indexed = registry.runs()
+        partial = [r for r in indexed if r["status"] == "partial"]
+        print(
+            f"indexed {len(indexed)} run(s) from {args.runs_dir}/ "
+            f"into {registry.path}"
+        )
+        for run in partial:
+            problems = "; ".join(run["problems"]) or "incomplete artifacts"
+            print(f"  partial: {run['run_id']} ({problems})")
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.analysis.report import Table
+
+    registry = _registry_for(args)
+    indexed = registry.runs(limit=args.limit)
+    if not indexed:
+        print(f"no runs indexed under {args.runs_dir}/")
+        return 0
+    table = Table(
+        ["run", "created (UTC)", "commit", "seed", "mode", "status", "scenarios"],
+        title=f"runs in {args.runs_dir}/",
+    )
+    for run in indexed:
+        created = (
+            "-"
+            if run["created_unix"] is None
+            else _time.strftime(
+                "%Y-%m-%d %H:%M:%S", _time.gmtime(run["created_unix"])
+            )
+        )
+        sha = run["git_sha"]
+        table.add_row(
+            [
+                run["run_id"],
+                created,
+                sha[:10] + ("-dirty" if sha.endswith("-dirty") else ""),
+                run["seed"] if run["seed"] is not None else "-",
+                run["mode"] or "-",
+                run["status"],
+                len(registry.scenarios_for(run["run_id"])),
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.report import Table
+
+    registry = _registry_for(args)
+    run = registry.run(args.run_id)
+    if run is None:
+        print(f"error: no run {args.run_id!r} under {args.runs_dir}/", file=sys.stderr)
+        return 2
+    print(f"run {run['run_id']}  [{run['status']}]")
+    print(f"  git SHA: {run['git_sha']}")
+    print(f"  seed: {run['seed']}  mode: {run['mode'] or '-'}")
+    print(f"  path: {run['path']}")
+    print(f"  artifacts: {', '.join(run['artifacts']) or 'none'}")
+    for problem in run["problems"]:
+        print(f"  problem: {problem}")
+    scenarios = registry.scenarios_for(run["run_id"])
+    if scenarios:
+        table = Table(["scenario", "status", "best ms", "mean ms", "repeats"])
+        for entry in scenarios:
+            table.add_row(
+                [
+                    entry["scenario"],
+                    entry["status"],
+                    "-" if entry["best_ns"] is None else round(entry["best_ns"] / 1e6, 3),
+                    "-" if entry["mean_ns"] is None else round(entry["mean_ns"] / 1e6, 3),
+                    entry["repeats"] if entry["repeats"] is not None else "-",
+                ]
+            )
+        print()
+        print(table.render())
+    events_path = Path(run["path"]) / "events.jsonl"
+    if events_path.is_file():
+        counts: dict[str, int] = {}
+        for line in events_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = _json.loads(line)
+            except _json.JSONDecodeError:
+                continue
+            name = record.get("name", "?")
+            counts[name] = counts.get(name, 0) + 1
+        print()
+        print(f"events ({sum(counts.values())} recorded):")
+        for name in sorted(counts):
+            print(f"  {name}: {counts[name]}")
+    return 0
+
+
+def _cmd_runs_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.report import Table
+
+    registry = _registry_for(args)
+    for run_id in (args.run_a, args.run_b):
+        if registry.run(run_id) is None:
+            print(
+                f"error: no run {run_id!r} under {args.runs_dir}/", file=sys.stderr
+            )
+            return 2
+    from repro.obs.registry import DEFAULT_TOLERANCE
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    rows = registry.compare(args.run_a, args.run_b, tolerance=tolerance)
+    table = Table(
+        ["scenario", "a best ms", "b best ms", "ratio", "verdict"],
+        title=f"{args.run_a} -> {args.run_b}",
+    )
+    regressions = 0
+    for row in rows:
+        if row["verdict"] in ("REGRESSION", "FAILED", "MISSING"):
+            regressions += 1
+        table.add_row(
+            [
+                row["scenario"],
+                "-" if row["a_ns"] is None else round(row["a_ns"] / 1e6, 3),
+                "-" if row["b_ns"] is None else round(row["b_ns"] / 1e6, 3),
+                "-" if row["ratio"] is None else f"{row['ratio']:.2f}x",
+                row["verdict"],
+            ]
+        )
+    print(table.render())
+    if regressions:
+        print(f"{regressions} regression(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_runs_trend(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.analysis.report import Table
+
+    registry = _registry_for(args)
+    scenario_names = registry.scenario_names()
+    if args.scenario not in scenario_names:
+        known = ", ".join(scenario_names) or "none indexed"
+        print(
+            f"error: no runs recorded scenario {args.scenario!r} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs.registry import DEFAULT_TOLERANCE
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    points = registry.trend(
+        args.scenario,
+        metric=f"{args.metric}_ns",
+        tolerance=tolerance,
+        limit=args.limit,
+    )
+    table = Table(
+        ["run", "created (UTC)", "commit", f"{args.metric} ms", "vs prev", "verdict"],
+        title=f"trend: {args.scenario} ({len(points)} run(s))",
+    )
+    for point in points:
+        created = (
+            "-"
+            if point["created_unix"] is None
+            else _time.strftime(
+                "%Y-%m-%d %H:%M:%S", _time.gmtime(point["created_unix"])
+            )
+        )
+        table.add_row(
+            [
+                point["run_id"],
+                created,
+                point["git_sha"][:10],
+                "-"
+                if point["value_ns"] is None
+                else round(point["value_ns"] / 1e6, 3),
+                "-" if point["ratio"] is None else f"{point['ratio']:.2f}x",
+                point["verdict"],
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.registry import DEFAULT_TOLERANCE
+    from repro.obs.report_html import write_report
+
+    registry = _registry_for(args)
+    runs = registry.runs()
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    path = write_report(registry, args.output, tolerance=tolerance)
+    print(
+        f"report written to {path} ({len(runs)} run(s), "
+        f"{len(registry.scenario_names())} scenario(s))"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -561,6 +799,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="per-site failure probability in chaos mode (default 0.2)",
     )
+    bench.add_argument(
+        "--publish-dir",
+        default="benchmarks/results",
+        help=(
+            "tracked perf-trajectory directory the canonical snapshot is "
+            "published to (default benchmarks/results)"
+        ),
+    )
+    bench.add_argument(
+        "--no-publish",
+        action="store_true",
+        help="skip publishing the snapshot to the trajectory feed",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     profile = commands.add_parser(
@@ -588,6 +839,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="output file (default: trace.json / trace.folded / trace.jsonl)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    runs = commands.add_parser(
+        "runs", help="query the cross-run registry (runs/ directories)"
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--runs-dir", default="runs", help="run-manifest directory (default runs)"
+        )
+
+    runs_index = runs_commands.add_parser(
+        "index", help="(re)build the persistent SQLite index runs/registry.db"
+    )
+    _runs_common(runs_index)
+    runs_index.add_argument(
+        "--db", help="registry database path (default <runs-dir>/registry.db)"
+    )
+    runs_index.set_defaults(func=_cmd_runs_index)
+
+    runs_list = runs_commands.add_parser("list", help="list indexed runs")
+    _runs_common(runs_list)
+    runs_list.add_argument(
+        "--limit", type=int, help="show only the newest N runs"
+    )
+    runs_list.set_defaults(func=_cmd_runs_list)
+
+    runs_show = runs_commands.add_parser(
+        "show", help="one run's provenance, scenarios, and event summary"
+    )
+    _runs_common(runs_show)
+    runs_show.add_argument("run_id")
+    runs_show.set_defaults(func=_cmd_runs_show)
+
+    runs_compare = runs_commands.add_parser(
+        "compare", help="scenario-by-scenario diff of two runs"
+    )
+    _runs_common(runs_compare)
+    runs_compare.add_argument("run_a")
+    runs_compare.add_argument("run_b")
+    runs_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed slowdown fraction (default: the perf-gate threshold)",
+    )
+    runs_compare.set_defaults(func=_cmd_runs_compare)
+
+    runs_trend = runs_commands.add_parser(
+        "trend", help="one scenario's timing series across runs"
+    )
+    _runs_common(runs_trend)
+    runs_trend.add_argument(
+        "--scenario", required=True, help="bench scenario name"
+    )
+    runs_trend.add_argument(
+        "--metric", default="best", choices=["best", "mean"],
+        help="wall-clock statistic to trend (default best)",
+    )
+    runs_trend.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed slowdown fraction (default: the perf-gate threshold)",
+    )
+    runs_trend.add_argument(
+        "--limit", type=int, help="only the newest N points"
+    )
+    runs_trend.set_defaults(func=_cmd_runs_trend)
+
+    report = commands.add_parser(
+        "report", help="render the cross-run HTML dashboard"
+    )
+    report.add_argument(
+        "--html",
+        action="store_true",
+        help="emit the self-contained HTML dashboard (the only format; "
+        "accepted for forward compatibility)",
+    )
+    report.add_argument(
+        "-o", "--output", default="report.html", help="output file (default report.html)"
+    )
+    report.add_argument(
+        "--runs-dir", default="runs", help="run-manifest directory (default runs)"
+    )
+    report.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="regression threshold (default: the perf-gate threshold)",
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -34,6 +34,7 @@ from repro.graphs.simple import Graph
 from repro.core.scheme import PebblingScheme
 from repro.core.solvers.equijoin import biclique_tour
 from repro.core.tsp import tour_cost, tour_from_paths
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.budget import Budget
@@ -244,6 +245,12 @@ def minimum_path_partition(
     lower = search._partition_lb(search.full)
     for p in range(lower, search.n + 1):
         with obs_trace.span("solver.exact.level", paths=p):
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SOLVER_PHASE,
+                    phase="exact.deepening",
+                    paths=p,
+                )
             partition = search.solve(p)
         if partition is not None:
             return [[search.order[i] for i in path] for path in partition]
@@ -273,6 +280,12 @@ def optimal_component_tour(
         # One span per iterative-deepening level: the profile shows how
         # much of the exponential blow-up each extra path level costs.
         with obs_trace.span("solver.exact.level", paths=p):
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SOLVER_PHASE,
+                    phase="exact.deepening",
+                    paths=p,
+                )
             partition = search.solve(p)
         if partition is not None:
             if obs_metrics.METRICS.enabled:

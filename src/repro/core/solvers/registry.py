@@ -40,6 +40,7 @@ from repro.core.solvers.equijoin import is_union_of_bicliques, solve_equijoin
 from repro.core.solvers.greedy import solve_greedy
 from repro.core.solvers.local_search import polish_scheme
 from repro.core.solvers.matching_stitch import solve_matching_stitch
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.anytime import (
@@ -118,9 +119,20 @@ def _count_exhaustion(exc: Exception) -> None:
         obs_metrics.inc("solver.budget_exhausted")
 
 
-def _count_degradation(src: str, dst: str) -> None:
+def _count_degradation(src: str, dst: str, exc: Exception | None = None) -> None:
+    """Record one degradation-ladder step: a counter for the metrics
+    snapshot plus a structured ``ladder.degraded`` event carrying the
+    triggering status, so anytime behaviour is greppable per run."""
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc(f"solver.degraded.{src}_to_{dst}")
+    if obs_events.EVENTS.enabled:
+        obs_events.emit(
+            obs_events.EVENT_LADDER_DEGRADED,
+            src=src,
+            dst=dst,
+            status=_status_of(exc) if exc is not None else None,
+            error_type=type(exc).__name__ if exc is not None else None,
+        )
 
 
 def _wrap(
@@ -211,6 +223,10 @@ def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc(f"solver.method.{method}")
     with obs_trace.span("solver.solve", method=method):
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_SOLVER_PHASE, phase="solve", method=method
+            )
         return _solve(graph, method, budget, **options)
 
 
@@ -240,7 +256,7 @@ def _solve_exact(
                      budget=budget, degradations=degradations)
     except (BudgetExhaustedError, InstanceTooLargeError) as exc:
         _count_exhaustion(exc)
-        _count_degradation("exact", "dfs+polish")
+        _count_degradation("exact", "dfs+polish", exc)
         forced = _status_of(exc)
         degradations = degradations + ("exact->dfs+polish",)
         # The guarantee rung: unbudgeted so it always completes (linear
@@ -271,7 +287,7 @@ def _solve(
                 return _solve_exact(graph, budget, degradations, **options)
             except InstanceTooLargeError as exc:
                 _count_exhaustion(exc)
-                _count_degradation("exact", "dfs+polish")
+                _count_degradation("exact", "dfs+polish", exc)
                 degradations = degradations + ("exact->dfs+polish",)
                 forced = _status_of(exc)
                 result = _solve(
@@ -288,7 +304,7 @@ def _solve(
             # Defensive final rung: dfs+polish only polls today, but if a
             # future checkpoint raises, greedy still serves an answer.
             _count_exhaustion(exc)
-            _count_degradation("dfs+polish", "greedy")
+            _count_degradation("dfs+polish", "greedy", exc)
             degradations = degradations + ("dfs+polish->greedy",)
             result = solve_greedy(graph)
             return _wrap(

@@ -6,18 +6,25 @@ The measurement layer the perf roadmap hangs off.  Four pieces:
   ``perf_counter_ns`` durations, process-global collector);
 - :mod:`repro.obs.metrics` — named counters/gauges/histogram summaries
   with deterministic, byte-stable JSON snapshots;
+- :mod:`repro.obs.events` — the structured event log (``events.jsonl``:
+  budget trips, ladder degradations, solver phases, injected faults),
+  seq-ordered and span/run correlated;
 - :mod:`repro.obs.manifest` — per-run artifact directories
   (``runs/{run_id}/manifest.json`` + ``metrics.json`` + ``report.md``)
-  carrying git SHA, seed, and python version;
+  carrying git SHA, seed, and python version, written atomically;
 - :mod:`repro.obs.bench` — the ``repro bench`` harness that feeds the
-  top-level ``BENCH_<date>.json`` perf trajectory;
+  ``BENCH_<date>.json`` perf trajectory (``benchmarks/results/``);
+- :mod:`repro.obs.registry` — the SQLite run registry over ``runs/``
+  plus trend/compare analytics (the ``repro runs`` commands);
+- :mod:`repro.obs.report_html` — the self-contained cross-run HTML
+  dashboard (``repro report --html``);
 - :mod:`repro.obs.profile` — self-time attribution over recorded spans
   (the ``repro profile`` table);
 - :mod:`repro.obs.export` — trace serialization to Chrome trace-event
   JSON (Perfetto), folded stacks (flamegraphs), and JSONL
   (the ``repro trace`` command).
 
-Both collectors are **off by default**, and every instrumentation hook in
+All collectors are **off by default**, and every instrumentation hook in
 the solvers, engine, joins, and storage layers is behaviour-neutral: with
 observability disabled the hooks cost one attribute check, and with it
 enabled they record without perturbing any result (property-tested).
@@ -47,31 +54,35 @@ from repro.obs.export import export_trace, write_trace
 # re-exported: binding it here would shadow the ``repro.obs.profile``
 # module attribute.  Call ``repro.obs.profile.profile()`` instead.
 from repro.obs.profile import Profile, ProfileRow, profile_spans
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
 
 def enable() -> None:
-    """Turn on both span and metric collection (process-global)."""
+    """Turn on span, metric, and event collection (process-global)."""
     _trace.enable()
     _metrics.enable()
+    _events.enable()
 
 
 def disable() -> None:
-    """Turn off both span and metric collection."""
+    """Turn off span, metric, and event collection."""
     _trace.disable()
     _metrics.disable()
+    _events.disable()
 
 
 def is_enabled() -> bool:
-    """True if either collector is currently recording."""
-    return _trace.is_enabled() or _metrics.is_enabled()
+    """True if any collector is currently recording."""
+    return _trace.is_enabled() or _metrics.is_enabled() or _events.is_enabled()
 
 
 def reset() -> None:
-    """Drop all recorded spans and metrics (flags are unchanged)."""
+    """Drop all recorded spans, metrics, and events (flags unchanged)."""
     _trace.reset()
     _metrics.reset()
+    _events.reset()
 
 
 __all__ = [

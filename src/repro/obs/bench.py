@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.analysis.report import Table
+from repro.obs import events as obs_events
 from repro.obs import export as obs_export
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
@@ -36,6 +37,11 @@ BENCH_SCHEMA = "repro-bench/v2"
 # One wall-clock budget per scenario attempt, installed ambiently so the
 # solving stack degrades (it is cooperative, not preemptive).
 DEFAULT_SCENARIO_DEADLINE = 60.0
+
+# The tracked perf-trajectory feed: every bench run publishes its
+# canonical BENCH_<date>.json here (in addition to the scratch out_dir),
+# so the longitudinal record survives scratch-dir cleanup.
+DEFAULT_PUBLISH_DIR = "benchmarks/results"
 
 
 @dataclass(frozen=True)
@@ -392,6 +398,13 @@ def _run_one(
         attempts = attempt
         wall.clear()
         budget = Budget(deadline=deadline) if deadline is not None else None
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_SCENARIO_START,
+                scenario=name,
+                attempt=attempt,
+                repeats=repeats,
+            )
         try:
             for _ in range(repeats):
                 with obs_trace.span(
@@ -403,12 +416,27 @@ def _run_one(
                         wall.append(time.perf_counter_ns() - start)
             status = "ok"
             error = None
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SCENARIO_END,
+                    scenario=name,
+                    attempt=attempt,
+                    status=status,
+                )
             break
         except Exception as exc:  # noqa: BLE001 — bench must survive anything
             status = "failed"
             error = f"{type(exc).__name__}: {exc}"
             if obs_metrics.METRICS.enabled:
                 obs_metrics.inc(f"bench.scenario_failed.{name}")
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SCENARIO_END,
+                    scenario=name,
+                    attempt=attempt,
+                    status=status,
+                    error=error,
+                )
     after = obs_metrics.snapshot()["counters"]
     delta = {
         key: after[key] - before.get(key, 0)
@@ -436,12 +464,17 @@ def run_bench(
     out_dir: str | Path | None = ".",
     run_id: str | None = None,
     scenario_deadline: float | None = DEFAULT_SCENARIO_DEADLINE,
+    publish_dir: str | Path | None = None,
 ) -> tuple[BenchReport, Path, Path | None]:
     """Run the harness end to end.
 
-    Enables span/metric collection for the duration, runs the selected
-    scenarios, writes ``runs/{run_id}/`` artifacts, and — unless
-    ``out_dir`` is None — a top-level ``BENCH_<date>.json``.  Returns
+    Enables span/metric/event collection for the duration, runs the
+    selected scenarios, writes ``runs/{run_id}/`` artifacts (manifest,
+    metrics, tables, ``bench.json``, ``events.jsonl``, traces), and —
+    unless ``out_dir`` is None — a top-level ``BENCH_<date>.json``.
+    With ``publish_dir`` set, the same snapshot is also published there:
+    the CLI points it at the tracked ``benchmarks/results/`` directory so
+    the perf-trajectory feed is never empty.  Returns
     ``(report, run_dir, bench_path)``.
 
     Each scenario gets ``scenario_deadline`` seconds of ambient budget and
@@ -465,20 +498,33 @@ def run_bench(
 
     was_trace = obs_trace.is_enabled()
     was_metrics = obs_metrics.is_enabled()
+    was_events = obs_events.is_enabled()
     obs_trace.reset()
     obs_metrics.reset()
+    obs_events.reset()
     obs_trace.enable()
     obs_metrics.enable()
+    obs_events.enable()
+    obs_events.set_run_id(the_run_id)
+    obs_events.emit(
+        obs_events.EVENT_RUN_START, mode=mode, seed=seed, scenarios=chosen
+    )
     try:
         for name in chosen:
             report.scenarios.append(
                 _run_one(name, config, repeats, deadline=scenario_deadline)
             )
     finally:
+        obs_events.emit(
+            obs_events.EVENT_RUN_END,
+            failed=[s.name for s in report.failed],
+        )
         if not was_trace:
             obs_trace.disable()
         if not was_metrics:
             obs_metrics.disable()
+        if not was_events:
+            obs_events.disable()
 
     run_dir = obs_manifest.write_run(
         the_run_id,
@@ -492,13 +538,22 @@ def run_bench(
         tables=[report.table()],
         extra={"mode": mode, "failed": [s.name for s in report.failed]},
     )
+    # The full structured report lives next to the manifest, so the run
+    # registry indexes exact nanosecond timings instead of re-parsing
+    # rounded table cells.
+    obs_manifest.write_atomic(run_dir / "bench.json", report.to_json())
     # Every bench run leaves an inspectable trace next to its manifest:
     # open trace.json in Perfetto, feed trace.folded to flamegraph.pl.
     obs_export.write_trace(run_dir / "trace.json", "perfetto")
     obs_export.write_trace(run_dir / "trace.folded", "folded")
     bench_path: Path | None = None
+    payload_json = report.to_json()
+    filename = f"BENCH_{report.as_dict()['date']}.json"
     if out_dir is not None:
-        payload = report.as_dict()
-        bench_path = Path(out_dir) / f"BENCH_{payload['date']}.json"
-        bench_path.write_text(report.to_json())
+        bench_path = Path(out_dir) / filename
+        bench_path.write_text(payload_json)
+    if publish_dir is not None:
+        publish_root = Path(publish_dir)
+        publish_root.mkdir(parents=True, exist_ok=True)
+        obs_manifest.write_atomic(publish_root / filename, payload_json)
     return report, run_dir, bench_path

@@ -10,11 +10,18 @@ regeneration, any CLI invocation that opts in.  Its artifacts land under
   (:meth:`repro.obs.metrics.MetricsRegistry.to_json`); byte-identical
   across same-seed runs;
 - ``report.md`` — a human-readable report rendered with the repo's own
-  :class:`repro.analysis.report.Table`.
+  :class:`repro.analysis.report.Table`;
+- ``events.jsonl`` — the structured event log
+  (:mod:`repro.obs.events`), when any events were recorded.
 
 The layout follows the manifest-per-run convention of reproducible-ML
 harnesses: one directory per run, provenance separated from measurements,
 everything plain JSON/markdown so artifacts diff cleanly in review.
+
+Every artifact is written **atomically** (write to a sibling temp file,
+``fsync``, then ``os.replace``), so a run killed mid-write leaves either
+the previous complete file or nothing — never a truncated
+``manifest.json`` that would poison the run registry's index.
 """
 
 from __future__ import annotations
@@ -30,10 +37,32 @@ from pathlib import Path
 from typing import Any
 
 from repro.analysis.report import Table
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 DEFAULT_RUNS_DIR = "runs"
+
+
+def write_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file + fsync + rename.
+
+    The temp file lives in the same directory (rename must not cross
+    filesystems); on any failure mid-write the target is untouched and
+    the temp file is removed.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target
 
 
 def git_sha(cwd: str | Path | None = None) -> str:
@@ -205,12 +234,17 @@ def write_run(
     run_dir.mkdir(parents=True, exist_ok=True)
     manifest = RunManifest.collect(run_id, seed=seed, args=args, extra=extra)
     snapshot = obs_metrics.snapshot()
-    (run_dir / "manifest.json").write_text(manifest.to_json())
-    (run_dir / "metrics.json").write_text(obs_metrics.to_json())
-    (run_dir / "report.md").write_text(render_report(manifest, snapshot, tables))
+    write_atomic(run_dir / "manifest.json", manifest.to_json())
+    write_atomic(run_dir / "metrics.json", obs_metrics.to_json())
+    write_atomic(
+        run_dir / "report.md", render_report(manifest, snapshot, tables)
+    )
     if tables:
         payload = [t.as_dict() for t in tables]
-        (run_dir / "tables.json").write_text(
-            json.dumps(payload, sort_keys=True, indent=2, default=str) + "\n"
+        write_atomic(
+            run_dir / "tables.json",
+            json.dumps(payload, sort_keys=True, indent=2, default=str) + "\n",
         )
+    if obs_events.events():
+        obs_events.write_events(run_dir / "events.jsonl")
     return run_dir

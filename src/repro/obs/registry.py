@@ -1,0 +1,619 @@
+"""The run registry: every ``runs/<id>/`` directory, queryable as SQLite.
+
+PRs 1–3 made each observed run leave an artifact trail (``manifest.json``,
+``metrics.json``, ``tables.json``, ``events.jsonl``, traces); this module
+turns the pile of directories into one longitudinal store so questions
+like "how did exact-solver timing move over the last N runs" are a query,
+not a shell loop.
+
+Three tables in ``runs/registry.db`` (see ``docs/OBSERVABILITY.md``):
+
+- ``runs`` — one row per run directory: id, git SHA, seed, mode, status,
+  creation time, artifact inventory;
+- ``scenarios`` — per-run bench scenario rows (status, best/mean wall
+  nanoseconds, repeats, result scalars);
+- ``metrics`` — flattened ``metrics.json`` values (counters, gauges, and
+  histogram count/mean/p50/p90/p99).
+
+The database is a **cache, never a source of truth**: it is rebuilt from
+the artifacts alone (:meth:`RunRegistry.rebuild`), so deleting it loses
+nothing and the round-trip property — index, query, rebuild-from-scratch,
+same answers — is tested.  Partial run directories (a run killed
+mid-write, a corrupt manifest) index with ``status='partial'`` instead of
+crashing the scan.
+
+Trend analytics (:meth:`RunRegistry.trend`) compute per-scenario timing
+series across runs and flag regressions with the same threshold as the
+perf gate (``tools/bench_diff.py``), so "REGRESSION" means one thing
+across CI, ``repro runs trend``, and the HTML report.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+REGISTRY_SCHEMA = "repro-registry/v1"
+DB_FILENAME = "registry.db"
+
+# Artifact files a complete run directory may carry; the inventory column
+# records which ones exist so report links never dangle.
+ARTIFACT_FILES = (
+    "manifest.json",
+    "metrics.json",
+    "tables.json",
+    "report.md",
+    "bench.json",
+    "events.jsonl",
+    "trace.json",
+    "trace.folded",
+)
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_PARTIAL = "partial"
+
+
+def _load_bench_diff_tolerance() -> float:
+    """The perf gate's slowdown threshold, imported from
+    ``tools/bench_diff.py`` when the checkout is available (installed
+    packages without the tools tree fall back to the same literal)."""
+    path = Path(__file__).resolve().parents[3] / "tools" / "bench_diff.py"
+    try:
+        spec = importlib.util.spec_from_file_location("_repro_bench_diff", path)
+        if spec is None or spec.loader is None:
+            return 0.25
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return float(module.DEFAULT_TOLERANCE)
+    except (OSError, AttributeError, TypeError, ValueError, SyntaxError):
+        return 0.25
+
+
+DEFAULT_TOLERANCE = _load_bench_diff_tolerance()
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    git_sha TEXT NOT NULL,
+    seed INTEGER,
+    mode TEXT,
+    status TEXT NOT NULL,
+    created_unix REAL,
+    python_version TEXT,
+    platform TEXT,
+    span_count INTEGER,
+    path TEXT NOT NULL,
+    artifacts TEXT NOT NULL,
+    args_json TEXT NOT NULL,
+    problems TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS scenarios (
+    run_id TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    status TEXT NOT NULL,
+    best_ns REAL,
+    mean_ns REAL,
+    repeats INTEGER,
+    results_json TEXT NOT NULL,
+    PRIMARY KEY (run_id, scenario)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    value REAL,
+    PRIMARY KEY (run_id, kind, name)
+);
+CREATE INDEX IF NOT EXISTS idx_scenarios_by_name ON scenarios (scenario);
+CREATE INDEX IF NOT EXISTS idx_metrics_by_name ON metrics (name);
+"""
+
+
+@dataclass
+class IndexedRun:
+    """The parsed view of one run directory, pre-insertion."""
+
+    run_id: str
+    path: Path
+    git_sha: str = "unknown"
+    seed: int | None = None
+    mode: str | None = None
+    status: str = STATUS_PARTIAL
+    created_unix: float | None = None
+    python_version: str | None = None
+    platform: str | None = None
+    span_count: int | None = None
+    artifacts: list[str] = field(default_factory=list)
+    args: dict[str, Any] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+    scenarios: list[dict[str, Any]] = field(default_factory=list)
+    metrics: list[tuple[str, str, float]] = field(default_factory=list)
+
+
+def _read_json(path: Path, problems: list[str]) -> Any | None:
+    """Parse one artifact file; unreadable/corrupt becomes a problem note
+    (how mid-write-killed runs surface) instead of an exception."""
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"{path.name}: unreadable ({exc})")
+        return None
+
+
+def _scenarios_from_bench(payload: Any, problems: list[str]) -> list[dict[str, Any]]:
+    """Scenario rows from a ``bench.json`` (a ``BenchReport.as_dict``)."""
+    rows: list[dict[str, Any]] = []
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("scenarios"), list
+    ):
+        problems.append("bench.json: no scenario list")
+        return rows
+    for entry in payload["scenarios"]:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            continue
+        wall = entry.get("wall_ns") if isinstance(entry.get("wall_ns"), dict) else {}
+        rows.append(
+            {
+                "scenario": entry["name"],
+                "status": entry.get("status", STATUS_OK),
+                "best_ns": _as_float(wall.get("best")),
+                "mean_ns": _as_float(wall.get("mean")),
+                "repeats": entry.get("repeats"),
+                "results": entry.get("results") or {},
+            }
+        )
+    return rows
+
+
+def _scenarios_from_tables(payload: Any) -> list[dict[str, Any]]:
+    """Scenario rows recovered from ``tables.json`` (pre-``bench.json``
+    run dirs): the bench table's raw rows are
+    ``[scenario, status, best_ms, mean_ms, repeats, summary]``."""
+    rows: list[dict[str, Any]] = []
+    if not isinstance(payload, list):
+        return rows
+    for table in payload:
+        if not isinstance(table, dict):
+            continue
+        columns = table.get("columns")
+        if not isinstance(columns, list) or columns[:2] != ["scenario", "status"]:
+            continue
+        for raw in table.get("rows") or []:
+            if not isinstance(raw, list) or len(raw) < 5:
+                continue
+            best_ms, mean_ms = _as_float(raw[2]), _as_float(raw[3])
+            rows.append(
+                {
+                    "scenario": str(raw[0]),
+                    "status": str(raw[1]),
+                    "best_ns": None if best_ms is None else best_ms * 1e6,
+                    "mean_ns": None if mean_ms is None else mean_ms * 1e6,
+                    "repeats": raw[4] if isinstance(raw[4], int) else None,
+                    "results": {},
+                }
+            )
+    return rows
+
+
+def _as_float(value: Any) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _metrics_rows(payload: Any) -> list[tuple[str, str, float]]:
+    """Flatten a ``metrics.json`` snapshot into (kind, name, value) rows."""
+    rows: list[tuple[str, str, float]] = []
+    if not isinstance(payload, dict):
+        return rows
+    for name, value in (payload.get("counters") or {}).items():
+        if (converted := _as_float(value)) is not None:
+            rows.append(("counter", str(name), converted))
+    for name, value in (payload.get("gauges") or {}).items():
+        if (converted := _as_float(value)) is not None:
+            rows.append(("gauge", str(name), converted))
+    for name, summary in (payload.get("histograms") or {}).items():
+        if not isinstance(summary, dict):
+            continue
+        for stat in ("count", "mean", "p50", "p90", "p99"):
+            if (converted := _as_float(summary.get(stat))) is not None:
+                rows.append(("histogram", f"{name}.{stat}", converted))
+    return rows
+
+
+def parse_run_dir(run_dir: str | Path) -> IndexedRun:
+    """Parse one run directory into an :class:`IndexedRun`.
+
+    Never raises on artifact content: a directory with a missing or
+    truncated ``manifest.json`` still indexes (run id falls back to the
+    directory name, ``status='partial'``, problems recorded), so one run
+    killed mid-write cannot poison the whole index.
+    """
+    run_dir = Path(run_dir)
+    problems: list[str] = []
+    run = IndexedRun(run_id=run_dir.name, path=run_dir, problems=problems)
+    run.artifacts = [
+        name for name in ARTIFACT_FILES if (run_dir / name).is_file()
+    ]
+
+    manifest = _read_json(run_dir / "manifest.json", problems)
+    extra: dict[str, Any] = {}
+    if isinstance(manifest, dict):
+        if isinstance(manifest.get("run_id"), str) and manifest["run_id"]:
+            run.run_id = manifest["run_id"]
+        if isinstance(manifest.get("git_sha"), str):
+            run.git_sha = manifest["git_sha"]
+        if isinstance(manifest.get("seed"), int):
+            run.seed = manifest["seed"]
+        run.created_unix = _as_float(manifest.get("created_unix"))
+        if isinstance(manifest.get("python_version"), str):
+            run.python_version = manifest["python_version"]
+        if isinstance(manifest.get("platform"), str):
+            run.platform = manifest["platform"]
+        if isinstance(manifest.get("span_count"), int):
+            run.span_count = manifest["span_count"]
+        if isinstance(manifest.get("args"), dict):
+            run.args = manifest["args"]
+        if isinstance(manifest.get("extra"), dict):
+            extra = manifest["extra"]
+    elif manifest is None and "manifest.json" not in run.artifacts:
+        problems.append("manifest.json: missing")
+    if isinstance(extra.get("mode"), str):
+        run.mode = extra["mode"]
+
+    metrics = _read_json(run_dir / "metrics.json", problems)
+    if metrics is None and "metrics.json" not in run.artifacts:
+        problems.append("metrics.json: missing")
+    run.metrics = _metrics_rows(metrics)
+
+    bench = _read_json(run_dir / "bench.json", problems)
+    if bench is not None:
+        run.scenarios = _scenarios_from_bench(bench, problems)
+    else:
+        run.scenarios = _scenarios_from_tables(
+            _read_json(run_dir / "tables.json", problems)
+        )
+
+    if problems:
+        run.status = STATUS_PARTIAL
+    elif any(s["status"] != STATUS_OK for s in run.scenarios) or (
+        isinstance(extra.get("failed"), list) and extra["failed"]
+    ):
+        run.status = STATUS_FAILED
+    else:
+        run.status = STATUS_OK
+    return run
+
+
+class RunRegistry:
+    """The SQLite-backed index over a ``runs/`` directory.
+
+    ``path`` may be a filesystem path or ``":memory:"``; in either case
+    the store is disposable — :meth:`rebuild` reconstructs it from the
+    run directories alone.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA_SQL)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- indexing ------------------------------------------------------
+    def index_run(self, run_dir: str | Path) -> IndexedRun:
+        """Parse and upsert one run directory; returns the parsed view."""
+        run = parse_run_dir(run_dir)
+        with self._conn:
+            self._conn.execute(
+                "REPLACE INTO runs (run_id, git_sha, seed, mode, status,"
+                " created_unix, python_version, platform, span_count, path,"
+                " artifacts, args_json, problems)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run.run_id,
+                    run.git_sha,
+                    run.seed,
+                    run.mode,
+                    run.status,
+                    run.created_unix,
+                    run.python_version,
+                    run.platform,
+                    run.span_count,
+                    str(run.path),
+                    json.dumps(run.artifacts),
+                    json.dumps(run.args, sort_keys=True),
+                    json.dumps(run.problems),
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM scenarios WHERE run_id = ?", (run.run_id,)
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO scenarios (run_id, scenario, status,"
+                " best_ns, mean_ns, repeats, results_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run.run_id,
+                        s["scenario"],
+                        s["status"],
+                        s["best_ns"],
+                        s["mean_ns"],
+                        s["repeats"],
+                        json.dumps(s["results"], sort_keys=True, default=str),
+                    )
+                    for s in run.scenarios
+                ],
+            )
+            self._conn.execute(
+                "DELETE FROM metrics WHERE run_id = ?", (run.run_id,)
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO metrics (run_id, kind, name, value)"
+                " VALUES (?, ?, ?, ?)",
+                [(run.run_id, kind, name, value) for kind, name, value in run.metrics],
+            )
+        return run
+
+    def rebuild(self, runs_dir: str | Path) -> list[IndexedRun]:
+        """Drop everything and re-index every subdirectory of ``runs_dir``.
+
+        Non-directories (e.g. ``registry.db`` itself) are skipped; a
+        missing ``runs_dir`` just yields an empty index.
+        """
+        with self._conn:
+            for table in ("runs", "scenarios", "metrics"):
+                self._conn.execute(f"DELETE FROM {table}")
+        runs_dir = Path(runs_dir)
+        if not runs_dir.is_dir():
+            return []
+        return [
+            self.index_run(entry)
+            for entry in sorted(runs_dir.iterdir())
+            if entry.is_dir()
+        ]
+
+    # -- queries -------------------------------------------------------
+    def runs(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """All indexed runs, oldest first (created time, then id)."""
+        rows = self._conn.execute(
+            "SELECT run_id, git_sha, seed, mode, status, created_unix,"
+            " python_version, platform, span_count, path, artifacts,"
+            " args_json, problems FROM runs"
+            " ORDER BY created_unix IS NULL, created_unix, run_id"
+        ).fetchall()
+        result = [
+            {
+                "run_id": r[0],
+                "git_sha": r[1],
+                "seed": r[2],
+                "mode": r[3],
+                "status": r[4],
+                "created_unix": r[5],
+                "python_version": r[6],
+                "platform": r[7],
+                "span_count": r[8],
+                "path": r[9],
+                "artifacts": json.loads(r[10]),
+                "args": json.loads(r[11]),
+                "problems": json.loads(r[12]),
+            }
+            for r in rows
+        ]
+        if limit is not None:
+            result = result[-limit:]
+        return result
+
+    def run(self, run_id: str) -> dict[str, Any] | None:
+        """One run row by id, or None."""
+        for entry in self.runs():
+            if entry["run_id"] == run_id:
+                return entry
+        return None
+
+    def scenarios_for(self, run_id: str) -> list[dict[str, Any]]:
+        """Scenario rows of one run, by scenario name."""
+        rows = self._conn.execute(
+            "SELECT scenario, status, best_ns, mean_ns, repeats, results_json"
+            " FROM scenarios WHERE run_id = ? ORDER BY scenario",
+            (run_id,),
+        ).fetchall()
+        return [
+            {
+                "scenario": r[0],
+                "status": r[1],
+                "best_ns": r[2],
+                "mean_ns": r[3],
+                "repeats": r[4],
+                "results": json.loads(r[5]),
+            }
+            for r in rows
+        ]
+
+    def scenario_names(self) -> list[str]:
+        """Every scenario name seen across all indexed runs."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT scenario FROM scenarios ORDER BY scenario"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def metrics_for(self, run_id: str) -> list[dict[str, Any]]:
+        """Flattened metric rows of one run."""
+        rows = self._conn.execute(
+            "SELECT kind, name, value FROM metrics WHERE run_id = ?"
+            " ORDER BY kind, name",
+            (run_id,),
+        ).fetchall()
+        return [{"kind": r[0], "name": r[1], "value": r[2]} for r in rows]
+
+    def series(
+        self, scenario: str, metric: str = "best_ns", limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """The timing series of one scenario across runs, oldest first.
+
+        Each point carries run provenance plus ``value_ns`` (None for
+        failed/partial points — they stay in the series so gaps are
+        visible rather than silently compacted).
+        """
+        if metric not in ("best_ns", "mean_ns"):
+            raise ValueError(f"metric must be best_ns or mean_ns, got {metric!r}")
+        points = []
+        for run in self.runs():
+            for entry in self.scenarios_for(run["run_id"]):
+                if entry["scenario"] != scenario:
+                    continue
+                points.append(
+                    {
+                        "run_id": run["run_id"],
+                        "git_sha": run["git_sha"],
+                        "created_unix": run["created_unix"],
+                        "mode": run["mode"],
+                        "status": entry["status"],
+                        "value_ns": entry[metric]
+                        if entry["status"] == STATUS_OK
+                        else None,
+                    }
+                )
+        if limit is not None:
+            points = points[-limit:]
+        return points
+
+    # -- analytics -----------------------------------------------------
+    def trend(
+        self,
+        scenario: str,
+        metric: str = "best_ns",
+        tolerance: float = DEFAULT_TOLERANCE,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """The scenario series with per-point regression verdicts.
+
+        Each point is compared against the **previous ok point** with the
+        perf gate's rule: ratio above ``1 + tolerance`` is a REGRESSION,
+        below ``1 - tolerance`` is faster, a failed point after an ok one
+        is FAILED.  The first comparable point is the baseline.
+        """
+        points = self.series(scenario, metric=metric, limit=limit)
+        previous: float | None = None
+        for point in points:
+            value = point["value_ns"]
+            if value is None:
+                point["ratio"] = None
+                point["verdict"] = (
+                    "FAILED" if point["status"] != STATUS_OK else "no-timing"
+                )
+                continue
+            if previous is None or previous <= 0:
+                point["ratio"] = None
+                point["verdict"] = "baseline"
+            else:
+                ratio = value / previous
+                point["ratio"] = ratio
+                if ratio > 1.0 + tolerance:
+                    point["verdict"] = "REGRESSION"
+                elif ratio < 1.0 - tolerance:
+                    point["verdict"] = "faster"
+                else:
+                    point["verdict"] = "ok"
+            previous = value
+        return points
+
+    def compare(
+        self,
+        run_a: str,
+        run_b: str,
+        metric: str = "best_ns",
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> list[dict[str, Any]]:
+        """Scenario-by-scenario comparison of two indexed runs.
+
+        The same verdict vocabulary as ``tools/bench_diff.py``: MISSING
+        (coverage loss), FAILED (ok -> failed), REGRESSION (past
+        tolerance), faster, ok.
+        """
+        a_map = {s["scenario"]: s for s in self.scenarios_for(run_a)}
+        b_map = {s["scenario"]: s for s in self.scenarios_for(run_b)}
+        rows = []
+        for name in sorted(a_map.keys() | b_map.keys()):
+            old, fresh = a_map.get(name), b_map.get(name)
+            row: dict[str, Any] = {
+                "scenario": name,
+                "a_ns": None if old is None else old[metric],
+                "b_ns": None if fresh is None else fresh[metric],
+                "ratio": None,
+            }
+            if old is None:
+                row["verdict"] = "new"
+            elif fresh is None:
+                row["verdict"] = "MISSING"
+            elif old["status"] != STATUS_OK:
+                row["verdict"] = "baseline-failed"
+            elif fresh["status"] != STATUS_OK:
+                row["verdict"] = "FAILED"
+            elif not row["a_ns"] or row["b_ns"] is None:
+                row["verdict"] = "no-timing"
+            else:
+                ratio = row["b_ns"] / row["a_ns"]
+                row["ratio"] = ratio
+                if ratio > 1.0 + tolerance:
+                    row["verdict"] = "REGRESSION"
+                elif ratio < 1.0 - tolerance:
+                    row["verdict"] = "faster"
+                else:
+                    row["verdict"] = "ok"
+            rows.append(row)
+        return rows
+
+    def dump(self) -> dict[str, Any]:
+        """A deterministic full-content view (the round-trip test's
+        equality witness): every table, sorted."""
+        return {
+            "schema": REGISTRY_SCHEMA,
+            "runs": self.runs(),
+            "scenarios": {
+                run["run_id"]: self.scenarios_for(run["run_id"])
+                for run in self.runs()
+            },
+            "metrics": {
+                run["run_id"]: self.metrics_for(run["run_id"])
+                for run in self.runs()
+            },
+        }
+
+
+def open_registry(
+    runs_dir: str | Path,
+    db_path: str | Path | None = None,
+    refresh: bool = True,
+) -> RunRegistry:
+    """Open (and by default rebuild) the registry for ``runs_dir``.
+
+    The database defaults to ``<runs_dir>/registry.db``; when that
+    location is unwritable (read-only checkout, missing directory) the
+    registry silently degrades to an in-memory store — queries work
+    either way because the artifacts are the source of truth.
+    """
+    runs_dir = Path(runs_dir)
+    target = Path(db_path) if db_path is not None else runs_dir / DB_FILENAME
+    try:
+        registry = RunRegistry(target)
+    except sqlite3.Error:
+        registry = RunRegistry(":memory:")
+    if refresh:
+        registry.rebuild(runs_dir)
+    return registry

@@ -182,6 +182,14 @@ class Tracer:
                 break
 
     # -- inspection ----------------------------------------------------
+    def current_span(self) -> Span | None:
+        """The innermost span currently open, or None at top level.
+
+        The event log (:mod:`repro.obs.events`) reads this at emission
+        time to stamp each event with its enclosing span's index.
+        """
+        return self._stack[-1] if self._stack else None
+
     def spans(self) -> list[Span]:
         """All recorded spans in start order."""
         return list(self._completed)
@@ -230,6 +238,11 @@ def span(name: str, **attrs: Any):
     is disabled (the default) it is a near-free no-op.
     """
     return TRACER.span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on the global tracer (None at top level)."""
+    return TRACER.current_span()
 
 
 def spans() -> list[Span]:

@@ -26,6 +26,7 @@ import contextlib
 from typing import Iterator
 
 from repro.errors import BudgetExhaustedError
+from repro.obs import events as obs_events
 from repro.runtime.clock import MONOTONIC_CLOCK
 
 REASON_DEADLINE = "deadline"
@@ -91,6 +92,22 @@ class Budget:
 
     # -- checks ------------------------------------------------------------
 
+    def _trip(self, reason: str) -> str:
+        """Record first exhaustion; the transition emits one structured
+        event (:data:`repro.obs.events.EVENT_BUDGET_TRIPPED`) so budget
+        trips are greppable in ``events.jsonl`` — a no-op when the event
+        log is disabled, like every observability hook."""
+        self.exhausted_reason = reason
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_BUDGET_TRIPPED,
+                reason=reason,
+                nodes_charged=self.nodes_charged,
+                memo_cells=self.memo_cells,
+                elapsed_seconds=self.elapsed(),
+            )
+        return reason
+
     def _check(self, cost: int) -> str | None:
         """Charge ``cost`` nodes; return the tripped reason, if any."""
         self.start()
@@ -98,15 +115,13 @@ class Budget:
             return self.exhausted_reason
         self.nodes_charged += cost
         if self.node_budget is not None and self.nodes_charged > self.node_budget:
-            self.exhausted_reason = REASON_NODES
-            return REASON_NODES
+            return self._trip(REASON_NODES)
         if self._deadline_at is not None:
             self._since_clock_check += cost
             if self._since_clock_check >= self.check_interval:
                 self._since_clock_check = 0
                 if self.clock.now() >= self._deadline_at:
-                    self.exhausted_reason = REASON_DEADLINE
-                    return REASON_DEADLINE
+                    return self._trip(REASON_DEADLINE)
         return None
 
     def checkpoint(self, cost: int = 1) -> None:
@@ -128,7 +143,8 @@ class Budget:
         self.start()
         self.memo_cells += cells
         if self.memo_cap is not None and self.memo_cells > self.memo_cap:
-            self.exhausted_reason = REASON_MEMO
+            if self.exhausted_reason != REASON_MEMO:
+                self._trip(REASON_MEMO)
             raise BudgetExhaustedError(
                 f"memo cap exceeded ({self.memo_cells} > {self.memo_cap} cells)",
                 reason=REASON_MEMO,

@@ -26,6 +26,7 @@ import random
 from typing import Iterator, Mapping
 
 from repro.errors import InjectedFaultError
+from repro.obs import events as obs_events
 from repro.runtime.budget import Budget
 
 
@@ -133,6 +134,17 @@ def maybe_fail(site: str) -> None:
     if plan is None:
         return
     if plan.should_fail(site):
+        # Every injected fault leaves a correlated event, so chaos runs
+        # can be replayed from events.jsonl (site + seed + call number
+        # pins down the exact draw).
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_FAULT_INJECTED,
+                site=site,
+                seed=plan.seed,
+                call=plan.calls,
+                injected=plan.injected,
+            )
         raise InjectedFaultError(
             f"injected fault at {site} (seed={plan.seed}, call #{plan.calls})"
         )

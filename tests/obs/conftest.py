@@ -10,20 +10,23 @@ from __future__ import annotations
 import pytest
 
 from repro.joins.join_graph import clear_join_graph_cache
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 
+def _reset_collectors() -> None:
+    obs_trace.disable()
+    obs_metrics.disable()
+    obs_events.disable()
+    obs_trace.reset()
+    obs_metrics.reset()
+    obs_events.reset()
+    clear_join_graph_cache()
+
+
 @pytest.fixture(autouse=True)
 def clean_obs_state():
-    obs_trace.disable()
-    obs_metrics.disable()
-    obs_trace.reset()
-    obs_metrics.reset()
-    clear_join_graph_cache()
+    _reset_collectors()
     yield
-    obs_trace.disable()
-    obs_metrics.disable()
-    obs_trace.reset()
-    obs_metrics.reset()
-    clear_join_graph_cache()
+    _reset_collectors()

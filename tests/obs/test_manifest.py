@@ -88,3 +88,86 @@ class TestWriteRun:
         m = RunManifest.collect("rid")
         text = manifest.render_report(m, {"counters": {}, "gauges": {}, "histograms": {}})
         assert "Slowest spans" not in text
+
+
+class TestAtomicWrites:
+    def test_write_atomic_writes_content_and_no_temp(self, tmp_path):
+        target = manifest.write_atomic(tmp_path / "out.json", '{"a": 1}\n')
+        assert target.read_text() == '{"a": 1}\n'
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_interrupted_write_leaves_previous_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "manifest.json"
+        target.write_text("previous complete content\n")
+
+        import os as _os
+
+        real_fsync = _os.fsync
+
+        def exploding_fsync(fd):
+            real_fsync(fd)
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(manifest.os, "fsync", exploding_fsync)
+        import pytest
+
+        with pytest.raises(OSError, match="simulated crash"):
+            manifest.write_atomic(target, "half-writ")
+        # the previous file survives intact and no temp file is left behind
+        assert target.read_text() == "previous complete content\n"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_interrupted_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            manifest.os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("boom"))
+        )
+        import pytest
+
+        with pytest.raises(OSError):
+            manifest.write_atomic(tmp_path / "fresh.json", "data")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_run_artifacts_are_atomic(self, tmp_path, monkeypatch):
+        """A run killed while writing artifacts never leaves a truncated
+        JSON file — the registry's partial-dir tolerance is the backstop,
+        but atomicity means it is rarely needed."""
+        calls = {"n": 0}
+        real_replace = manifest.os.replace
+
+        def failing_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 2:  # die while committing metrics.json
+                raise OSError("simulated kill")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(manifest.os, "replace", failing_replace)
+        import pytest
+
+        metrics.enable()
+        with pytest.raises(OSError):
+            write_run("run-killed", runs_dir=tmp_path)
+        run_dir = tmp_path / "run-killed"
+        # manifest.json committed whole; metrics.json absent, not truncated
+        json.loads((run_dir / "manifest.json").read_text())
+        assert not (run_dir / "metrics.json").exists()
+        leftovers = [p.name for p in run_dir.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestEventsArtifact:
+    def test_write_run_emits_events_jsonl_when_events_recorded(self, tmp_path):
+        from repro.obs import events
+
+        events.enable()
+        events.set_run_id("run-ev")
+        events.emit(events.EVENT_RUN_START, mode="test")
+        run_dir = write_run("run-ev", runs_dir=tmp_path)
+        text = (run_dir / "events.jsonl").read_text()
+        assert events.validate_jsonl(text) == []
+        (record,) = [json.loads(line) for line in text.splitlines()]
+        assert record["name"] == "run.start"
+        assert record["run_id"] == "run-ev"
+
+    def test_write_run_skips_events_jsonl_when_log_empty(self, tmp_path):
+        run_dir = write_run("run-quiet", runs_dir=tmp_path)
+        assert not (run_dir / "events.jsonl").exists()

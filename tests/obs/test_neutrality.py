@@ -14,7 +14,7 @@ from repro.engine import JoinQuery, execute
 from repro.graphs.generators import random_connected_bipartite
 from repro.joins.join_graph import build_join_graph_cached, clear_join_graph_cache
 from repro.joins.predicates import Equality
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
 from repro.workloads.equijoin import zipf_equijoin_workload
 
 import pytest
@@ -62,6 +62,60 @@ def test_every_solver_identical_with_and_without_collection(method, seed):
         trace.disable()
         metrics.disable()
 
+    assert observed == baseline
+
+
+@pytest.mark.parametrize("method", METHODS)
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_every_solver_identical_with_event_log_enabled(method, seed):
+    """The event-log emission sites (solver.phase, ladder.degraded,
+    budget.tripped) must observe without perturbing, exactly like spans
+    and counters."""
+    graph = _graph_for(method, seed)
+
+    events.disable()
+    baseline = _solve_fingerprint(graph, method)
+
+    events.reset()
+    events.enable()
+    try:
+        observed = _solve_fingerprint(graph, method)
+    finally:
+        events.disable()
+
+    assert observed == baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_budget_ladder_identical_with_event_log_enabled(seed):
+    """Budget-starved solves degrade through the ladder identically with
+    the event log on — budget.tripped / ladder.degraded are pure
+    observations."""
+    from repro.runtime import Budget
+
+    graph = random_connected_bipartite(4, 4, 10, seed=seed)
+
+    def fingerprint():
+        result = solve(graph, budget=Budget(node_budget=5))
+        return (
+            result.scheme,
+            result.effective_cost,
+            result.method,
+            None
+            if result.provenance is None
+            else tuple(result.provenance.degradations),
+        )
+
+    events.disable()
+    baseline = fingerprint()
+    events.reset()
+    events.enable()
+    try:
+        observed = fingerprint()
+    finally:
+        events.disable()
     assert observed == baseline
 
 

@@ -1,0 +1,188 @@
+"""The run registry: indexing run directories into SQLite, the
+rebuild-from-artifacts round-trip, partial-directory tolerance, and the
+trend/compare analytics sharing the perf gate's thresholds."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TOLERANCE,
+    RunRegistry,
+    open_registry,
+    parse_run_dir,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "runs"
+
+
+@pytest.fixture()
+def registry():
+    with RunRegistry() as reg:
+        reg.rebuild(FIXTURES)
+        yield reg
+
+
+class TestParseRunDir:
+    def test_complete_run_parses_ok(self):
+        run = parse_run_dir(FIXTURES / "run-a-baseline")
+        assert run.run_id == "run-a-baseline"
+        assert run.status == "ok"
+        assert run.git_sha == "aaaa111fixture"
+        assert run.seed == 1
+        assert run.mode == "smoke"
+        assert run.problems == []
+        assert {s["scenario"] for s in run.scenarios} == {"alpha", "beta"}
+        assert "events.jsonl" in run.artifacts
+
+    def test_failed_scenario_marks_run_failed(self):
+        run = parse_run_dir(FIXTURES / "run-c-regressed")
+        assert run.status == "failed"
+        by_name = {s["scenario"]: s for s in run.scenarios}
+        assert by_name["beta"]["status"] == "failed"
+        assert by_name["beta"]["best_ns"] is None
+
+    def test_truncated_manifest_indexes_as_partial(self):
+        run = parse_run_dir(FIXTURES / "run-d-partial")
+        assert run.status == "partial"
+        assert run.run_id == "run-d-partial"  # falls back to the dir name
+        assert any("manifest.json" in p for p in run.problems)
+        # scenarios recovered from tables.json (ms -> ns)
+        (alpha,) = run.scenarios
+        assert alpha["scenario"] == "alpha"
+        assert alpha["best_ns"] == pytest.approx(12.5e6)
+
+    def test_empty_directory_indexes_without_crashing(self, tmp_path):
+        empty = tmp_path / "run-empty"
+        empty.mkdir()
+        run = parse_run_dir(empty)
+        assert run.status == "partial"
+        assert run.scenarios == []
+        assert "manifest.json: missing" in run.problems
+
+    def test_metrics_flattened(self):
+        run = parse_run_dir(FIXTURES / "run-a-baseline")
+        rows = {(kind, name): value for kind, name, value in run.metrics}
+        assert rows[("counter", "executor.queries")] == 1
+        assert rows[("gauge", "planner.estimated_selectivity")] == 0.25
+        assert rows[("histogram", "solver.wall_ms.p90")] == 2.0
+
+
+class TestRoundTrip:
+    def test_rebuild_from_scratch_equals_original(self, registry):
+        with RunRegistry() as fresh:
+            fresh.rebuild(FIXTURES)
+            assert fresh.dump() == registry.dump()
+
+    def test_dump_is_json_serializable_and_deterministic(self, registry):
+        first = json.dumps(registry.dump(), sort_keys=True)
+        second = json.dumps(registry.dump(), sort_keys=True)
+        assert first == second
+
+    def test_reindexing_one_run_is_idempotent(self, registry):
+        before = registry.dump()
+        registry.index_run(FIXTURES / "run-b-steady")
+        assert registry.dump() == before
+
+    def test_persistent_db_survives_reopen_without_refresh(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        shutil.copytree(FIXTURES, runs_dir)
+        with open_registry(runs_dir) as reg:
+            indexed = reg.dump()
+        assert (runs_dir / "registry.db").is_file()
+        with open_registry(runs_dir, refresh=False) as reopened:
+            assert reopened.dump() == indexed
+
+    def test_deleting_db_loses_nothing(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        shutil.copytree(FIXTURES, runs_dir)
+        with open_registry(runs_dir) as reg:
+            before = reg.dump()
+        (runs_dir / "registry.db").unlink()
+        with open_registry(runs_dir) as reg:
+            assert reg.dump() == before
+
+    def test_registry_db_file_not_indexed_as_run(self, tmp_path):
+        runs_dir = tmp_path / "runs"
+        shutil.copytree(FIXTURES, runs_dir)
+        with open_registry(runs_dir) as reg:  # creates runs/registry.db
+            pass
+        with open_registry(runs_dir) as reg:
+            ids = [r["run_id"] for r in reg.runs()]
+        assert "registry.db" not in ids
+        assert len(ids) == 4
+
+
+class TestQueries:
+    def test_runs_ordered_by_creation_time(self, registry):
+        ids = [r["run_id"] for r in registry.runs()]
+        assert ids[:3] == ["run-a-baseline", "run-b-steady", "run-c-regressed"]
+        assert ids[3] == "run-d-partial"  # no created_unix sorts last
+
+    def test_missing_runs_dir_yields_empty_index(self, tmp_path):
+        with RunRegistry() as reg:
+            assert reg.rebuild(tmp_path / "nope") == []
+            assert reg.runs() == []
+
+    def test_run_lookup(self, registry):
+        assert registry.run("run-b-steady")["seed"] == 2
+        assert registry.run("no-such-run") is None
+
+    def test_scenario_names_are_global(self, registry):
+        assert registry.scenario_names() == ["alpha", "beta"]
+
+    def test_series_keeps_gaps_for_failed_points(self, registry):
+        points = registry.series("beta")
+        assert [p["value_ns"] for p in points] == [5_000_000, 5_200_000, None]
+
+    def test_series_rejects_unknown_metric(self, registry):
+        with pytest.raises(ValueError):
+            registry.series("alpha", metric="median_ns")
+
+
+class TestAnalytics:
+    def test_trend_flags_regression_with_gate_tolerance(self, registry):
+        points = registry.trend("alpha", tolerance=DEFAULT_TOLERANCE)
+        by_run = {p["run_id"]: p["verdict"] for p in points}
+        assert by_run["run-a-baseline"] == "baseline"
+        assert by_run["run-b-steady"] == "ok"  # 1.1x, inside 25%
+        assert by_run["run-c-regressed"] == "REGRESSION"  # 1.82x
+        assert by_run["run-d-partial"] == "faster"  # 12.5ms vs 20ms: recovered
+
+    def test_trend_compares_against_previous_ok_point(self, registry):
+        points = registry.trend("beta")
+        verdicts = [p["verdict"] for p in points]
+        assert verdicts == ["baseline", "ok", "FAILED"]
+
+    def test_tight_tolerance_flags_small_slowdown(self, registry):
+        points = registry.trend("alpha", tolerance=0.05)
+        by_run = {p["run_id"]: p["verdict"] for p in points}
+        assert by_run["run-b-steady"] == "REGRESSION"
+
+    def test_compare_verdict_vocabulary(self, registry):
+        rows = registry.compare("run-a-baseline", "run-c-regressed")
+        by_name = {r["scenario"]: r["verdict"] for r in rows}
+        assert by_name == {"alpha": "REGRESSION", "beta": "FAILED"}
+
+    def test_compare_flags_missing_coverage(self, registry):
+        rows = registry.compare("run-a-baseline", "run-d-partial")
+        by_name = {r["scenario"]: r["verdict"] for r in rows}
+        assert by_name["beta"] == "MISSING"
+
+    def test_compare_faster(self, registry):
+        rows = registry.compare("run-c-regressed", "run-a-baseline")
+        by_name = {r["scenario"]: r["verdict"] for r in rows}
+        assert by_name["alpha"] == "faster"
+
+
+class TestGateToleranceReuse:
+    def test_default_tolerance_matches_bench_diff(self):
+        import importlib.util
+
+        path = Path(__file__).resolve().parents[2] / "tools" / "bench_diff.py"
+        spec = importlib.util.spec_from_file_location("bench_diff_check", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert DEFAULT_TOLERANCE == module.DEFAULT_TOLERANCE

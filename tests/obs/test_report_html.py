@@ -1,0 +1,172 @@
+"""The HTML dashboard: golden structure, self-containment (no scripts,
+no external requests), and the every-link-resolves guarantee."""
+
+import re
+import shutil
+from html.parser import HTMLParser
+from pathlib import Path
+
+import pytest
+
+from repro.obs.registry import RunRegistry
+from repro.obs.report_html import (
+    REPORT_TITLE,
+    artifact_links,
+    render_report,
+    write_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "runs"
+
+# void elements never receive a closing tag
+_VOID = {"br", "hr", "img", "meta", "link", "input", "circle", "path", "rect", "line"}
+
+
+class _StructureChecker(HTMLParser):
+    """Asserts tags balance and collects tag/link inventory."""
+
+    def __init__(self):
+        super().__init__()
+        self.stack = []
+        self.tags = []
+        self.hrefs = []
+        self.problems = []
+
+    def handle_starttag(self, tag, attrs):
+        self.tags.append(tag)
+        if tag == "a":
+            self.hrefs.extend(v for k, v in attrs if k == "href")
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        self.tags.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.problems.append(f"unbalanced </{tag}> (stack: {self.stack[-3:]})")
+        else:
+            self.stack.pop()
+
+
+def _check(document):
+    checker = _StructureChecker()
+    checker.feed(document)
+    assert checker.problems == []
+    assert checker.stack == []
+    return checker
+
+
+@pytest.fixture()
+def registry():
+    with RunRegistry() as reg:
+        reg.rebuild(FIXTURES)
+        yield reg
+
+
+class TestRenderReport:
+    def test_golden_structure(self, registry):
+        document = render_report(registry, link_root=FIXTURES)
+        assert document.startswith("<!DOCTYPE html>")
+        checker = _check(document)
+        # exactly one page skeleton
+        for tag in ("html", "head", "body", "h1"):
+            assert checker.tags.count(tag) == 1, tag
+        assert REPORT_TITLE in document
+        # every fixture run and scenario is present
+        for run_id in ("run-a-baseline", "run-b-steady", "run-c-regressed",
+                       "run-d-partial"):
+            assert f'id="run-{run_id}"' in document
+        for scenario in ("alpha", "beta"):
+            assert f'id="scenario-{scenario}"' in document
+        # one sparkline per scenario
+        assert checker.tags.count("svg") == 2
+        # the alpha regression and the beta failure are flagged
+        assert 'class="verdict-REGRESSION">REGRESSION' in document
+        assert ">FAILED<" in document
+
+    def test_self_contained(self, registry):
+        document = render_report(registry, link_root=FIXTURES)
+        assert "<script" not in document
+        # no external fetches: the only URL allowed is the SVG xmlns
+        # namespace identifier, which browsers never dereference
+        urls = re.findall(r'(?:href|src)="(https?://[^"]*)"', document)
+        assert urls == []
+        assert "<style>" in document
+
+    def test_every_link_resolves(self, registry):
+        document = render_report(registry, link_root=FIXTURES)
+        checker = _check(document)
+        assert checker.hrefs, "report must link artifacts"
+        for href in checker.hrefs:
+            if href.startswith("#"):
+                anchor = href[1:]
+                assert f'id="{anchor}"' in document, href
+            else:
+                assert (FIXTURES / href).is_file(), href
+
+    def test_partial_run_links_only_existing_artifacts(self, registry):
+        run = registry.run("run-d-partial")
+        labels = [label for label, _ in artifact_links(run, FIXTURES)]
+        assert "report" in labels and "tables" in labels
+        assert "metrics" not in labels and "events" not in labels
+
+    def test_empty_registry_still_renders_valid_page(self):
+        with RunRegistry() as empty:
+            document = render_report(empty)
+        _check(document)
+        assert "No run directories indexed" in document
+
+    def test_rendering_is_deterministic(self, registry):
+        first = render_report(registry, link_root=FIXTURES)
+        second = render_report(registry, link_root=FIXTURES)
+        assert first == second
+
+
+class TestWriteReport:
+    def test_write_report_computes_links_relative_to_output(self, tmp_path):
+        runs_dir = tmp_path / "out" / "runs"
+        shutil.copytree(FIXTURES, runs_dir)
+        with RunRegistry() as reg:
+            reg.rebuild(runs_dir)
+            target = write_report(reg, tmp_path / "out" / "report.html")
+        document = target.read_text()
+        checker = _check(document)
+        file_links = [h for h in checker.hrefs if not h.startswith("#")]
+        assert file_links
+        for href in file_links:
+            assert not Path(href).is_absolute()
+            assert (target.parent / href).is_file(), href
+
+    def test_write_report_creates_parent_directories(self, tmp_path):
+        with RunRegistry() as reg:
+            target = write_report(reg, tmp_path / "deep" / "nest" / "r.html")
+        assert target.is_file()
+
+
+class TestSparkline:
+    def test_sparkline_handles_gaps_and_flags(self):
+        from repro.analysis.svg import sparkline_svg
+
+        document = sparkline_svg([1.0, None, 2.0, 3.0], [False, False, False, True])
+        assert document.lstrip().startswith("<?xml")
+        assert "<polyline" in document
+        assert "circle" in document  # the flagged point
+
+    def test_sparkline_rejects_mismatched_flags(self):
+        from repro.analysis.svg import sparkline_svg
+
+        with pytest.raises(ValueError):
+            sparkline_svg([1.0, 2.0], [True])
+
+    def test_sparkline_all_gaps(self):
+        from repro.analysis.svg import sparkline_svg
+
+        document = sparkline_svg([None, None])
+        assert "<svg" in document
+
+
+def test_report_title_mentions_report():
+    assert re.search(r"report", REPORT_TITLE)

@@ -1,0 +1,57 @@
+"""Validate structured event logs (``runs/*/events.jsonl``) against the
+event-log schema check.
+
+The companion of ``tools/check_trace_json.py`` for event logs::
+
+    python tools/check_events_jsonl.py runs/*/events.jsonl
+
+Every line must parse as JSON, carry the full event envelope (seq, name,
+ts_unix, run_id, span_id, attrs), keep ``seq`` strictly increasing, and
+use a name from the closed event vocabulary.  The validator itself lives
+in :mod:`repro.obs.events` so the library, the test-suite, and this CLI
+agree on one definition.
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.events import validate_jsonl  # noqa: E402
+
+
+def validate_file(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    return validate_jsonl(text, context=str(path))
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: python tools/check_events_jsonl.py EVENTS.jsonl [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for name in argv:
+        problems = validate_file(Path(name))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{name}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,128 @@
+"""Validate a cross-run HTML report (``repro report --html`` output): the
+page must be well-formed and **every** link must resolve.
+
+The report-smoke CI job's assertion::
+
+    python tools/check_report_html.py report.html
+
+Checks, with stdlib ``html.parser`` only:
+
+- tags balance (no truncated document from a killed render);
+- exactly one ``<html>``/``<head>``/``<body>``;
+- no ``<script>`` and no external ``href``/``src`` URLs — the report
+  promises to be self-contained and offline-readable;
+- every fragment link (``#anchor``) targets an ``id`` in the document;
+- every relative link resolves to an existing file next to the report.
+
+Exit status 0 when every file validates; 1 otherwise, with one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+
+# elements that never take a closing tag (HTML voids + the SVG shapes the
+# sparklines emit as self-closing)
+_VOID = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link",
+    "meta", "source", "track", "wbr",
+    "circle", "ellipse", "line", "path", "polygon", "polyline", "rect",
+}
+
+
+class _ReportChecker(HTMLParser):
+    def __init__(self, context: str) -> None:
+        super().__init__()
+        self.context = context
+        self.stack: list[str] = []
+        self.counts: dict[str, int] = {}
+        self.hrefs: list[str] = []
+        self.ids: set[str] = set()
+        self.problems: list[str] = []
+
+    def _note_tag(self, tag: str, attrs) -> None:
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        for key, value in attrs:
+            if key == "id" and value:
+                self.ids.add(value)
+            if key in ("href", "src") and value:
+                if value.startswith(("http://", "https://", "//")):
+                    self.problems.append(
+                        f"{self.context}: external URL {value!r} "
+                        "(report must be self-contained)"
+                    )
+                elif key == "href":
+                    self.hrefs.append(value)
+        if tag == "script":
+            self.problems.append(f"{self.context}: <script> tag present")
+
+    def handle_starttag(self, tag, attrs):
+        self._note_tag(tag, attrs)
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        self._note_tag(tag, attrs)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID:
+            return
+        if not self.stack or self.stack[-1] != tag:
+            self.problems.append(
+                f"{self.context}: unbalanced closing </{tag}>"
+            )
+        else:
+            self.stack.pop()
+
+
+def validate_file(path: Path) -> list[str]:
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    checker = _ReportChecker(str(path))
+    checker.feed(text)
+    checker.close()
+    problems = checker.problems
+    if checker.stack:
+        problems.append(f"{path}: unclosed tags at EOF: {checker.stack}")
+    for tag in ("html", "head", "body"):
+        if checker.counts.get(tag, 0) != 1:
+            problems.append(
+                f"{path}: expected exactly one <{tag}>, "
+                f"found {checker.counts.get(tag, 0)}"
+            )
+    base = path.resolve().parent
+    for href in checker.hrefs:
+        if href.startswith("#"):
+            if href[1:] not in checker.ids:
+                problems.append(f"{path}: dangling fragment link {href!r}")
+        elif not (base / href).is_file():
+            problems.append(f"{path}: broken link {href!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: python tools/check_report_html.py REPORT.html [...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for name in argv:
+        problems = validate_file(Path(name))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{name}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
