@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
-	chaos-smoke report-smoke runs-index examples docs check clean
+	chaos-smoke report-smoke parallel-smoke runs-index examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -105,6 +105,35 @@ report-smoke:
 	$(PYTHON) tools/check_report_html.py .report-smoke/report.html
 	rm -rf .report-smoke
 
+# Determinism gate for the parallel solve service (docs/PARALLEL.md):
+# the batch scenario must produce byte-identical per-scenario results at
+# --jobs 1 and --jobs 4, and two runs sharing a persistent solve cache
+# must agree with cache.hit events visible in the warm run's event log.
+parallel-smoke:
+	rm -rf .parallel-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/parallel/ -q
+	@for leg in j1 j4; do \
+		jobs=$${leg#j}; \
+		echo "== solver-batch --jobs $$jobs"; \
+		PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+			--scenario solver-batch --jobs $$jobs \
+			--out-dir .parallel-smoke/$$leg \
+			--runs-dir .parallel-smoke/$$leg/runs \
+			--no-publish || exit 1; \
+	done
+	@for leg in warm1 warm2; do \
+		echo "== solver-batch --jobs 4 --cache ($$leg)"; \
+		PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+			--scenario solver-batch --jobs 4 \
+			--cache .parallel-smoke/solve-cache.db \
+			--out-dir .parallel-smoke/$$leg \
+			--runs-dir .parallel-smoke/$$leg/runs \
+			--no-publish || exit 1; \
+	done
+	$(PYTHON) tools/check_events_jsonl.py .parallel-smoke/*/runs/*/events.jsonl
+	$(PYTHON) tools/check_parallel_smoke.py .parallel-smoke
+	rm -rf .parallel-smoke
+
 # Build (or refresh) the queryable SQLite index over runs/.
 runs-index:
 	PYTHONPATH=src $(PYTHON) -m repro runs index --runs-dir runs
@@ -124,5 +153,5 @@ check: test bench examples docs
 # benchmarks/results/ is the committed perf-trajectory feed — never clean it.
 clean:
 	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
-		.report-smoke src/repro.egg-info
+		.report-smoke .parallel-smoke .solve-cache.db src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,6 +5,11 @@ Commands
 ``pebble <graph-file> [--method M]``
     Solve PEBBLE on a bipartite graph in the text format of
     :mod:`repro.graphs.io` and print the scheme and costs.
+``solve <graph-file> [...] [--jobs N] [--cache [PATH]]``
+    Batch-solve PEBBLE on many graph files through the parallel,
+    cache-aware service (:mod:`repro.parallel`): per-component fan-out
+    across a process pool with deterministic reassembly (Lemma 2.2) and
+    an optional persistent solve cache.
 ``demo``
     A guided tour: the three join classes, their join graphs, and their
     pebbling costs on small instances.
@@ -29,7 +34,7 @@ Commands
 ``svg [<graph-file>] [--family N] [-o OUT]``
     Write an SVG of a join graph (with scheme order) or of the spatial
     realization of the worst-case family ``G_N``.
-``bench [--smoke] [--scenario S ...] [--seed N]``
+``bench [--smoke] [--scenario S ...] [--seed N] [--jobs N] [--cache [PATH]]``
     Run the observability bench harness (:mod:`repro.obs.bench`): every
     scenario is timed under spans/metrics, a run-manifest directory is
     written to ``runs/{run_id}/``, and a top-level ``BENCH_<date>.json``
@@ -85,6 +90,47 @@ def _cmd_pebble(args: argparse.Namespace) -> int:
         with open(args.save, "w") as handle:
             handle.write(dump_scheme(result.scheme))
         print(f"scheme saved to {args.save}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.parallel import SolveCache, solve_many, use_cache
+
+    graphs = []
+    for path in args.graph_files:
+        with open(path) as handle:
+            graphs.append(load_bipartite(handle.read()))
+    with contextlib.ExitStack() as stack:
+        if args.cache is not None:
+            cache = SolveCache(path=args.cache)
+            stack.callback(cache.close)
+            stack.enter_context(use_cache(cache))
+        results = solve_many(
+            graphs,
+            method=args.method,
+            jobs=args.jobs,
+            deadline=args.deadline,
+        )
+        for path, result in zip(args.graph_files, results):
+            print(f"{path}: {result.summary()}")
+        if args.cache is not None:
+            stats = cache.stats
+            print(
+                f"cache [{args.cache}]: {stats.hits} hit(s) "
+                f"({stats.memory_hits} memory, {stats.persistent_hits} "
+                f"persistent), {stats.misses} miss(es), "
+                f"{stats.stores} store(s)"
+            )
+    degraded = [
+        (path, result)
+        for path, result in zip(args.graph_files, results)
+        if result.status not in ("optimal", "complete")
+    ]
+    if degraded:
+        names = ", ".join(f"{path} ({r.status})" for path, r in degraded)
+        print(f"note: degraded under budget: {names}", file=sys.stderr)
     return 0
 
 
@@ -311,6 +357,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 out_dir=None if args.no_bench_file else args.out_dir,
                 scenario_deadline=args.scenario_deadline,
                 publish_dir=publish_dir,
+                jobs=args.jobs,
+                cache_path=args.cache,
             )
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -701,6 +749,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pebble.set_defaults(func=_cmd_pebble)
 
+    solve_cmd = commands.add_parser(
+        "solve", help="batch-solve PEBBLE on many graph files (parallel service)"
+    )
+    solve_cmd.add_argument("graph_files", nargs="+")
+    solve_cmd.add_argument("--method", default="auto")
+    solve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-component solves (default 1 = inline)",
+    )
+    solve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock budget in seconds for the whole batch "
+        "(split cooperatively across workers)",
+    )
+    solve_cmd.add_argument(
+        "--cache",
+        nargs="?",
+        const=".solve-cache.db",
+        help="persistent solve cache path (flag alone: .solve-cache.db)",
+    )
+    solve_cmd.set_defaults(func=_cmd_solve)
+
     demo = commands.add_parser("demo", help="guided tour of the three join classes")
     demo.set_defaults(func=_cmd_demo)
 
@@ -811,6 +884,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-publish",
         action="store_true",
         help="skip publishing the snapshot to the trajectory feed",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for batch scenarios (results are "
+        "jobs-invariant; only timings change)",
+    )
+    bench.add_argument(
+        "--cache",
+        nargs="?",
+        const=".solve-cache.db",
+        help="install a persistent solve cache for the run "
+        "(flag alone: .solve-cache.db); warm runs emit cache.hit events",
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -14,6 +14,8 @@ cost is then ``n − 1 + J`` and, through Prop 2.2's identity,
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import InstanceTooLargeError
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.components import betti_number
@@ -62,8 +64,11 @@ def held_karp_min_jumps(line: Graph, budget: Budget | None = None) -> int:
                 budget.checkpoint()
             base = mask * n
             for last in range(n):
+                # Compare by value, not identity: `current is _INFINITY`
+                # only held by CPython object-sharing accident and breaks
+                # once DP state crosses a pickle boundary into a worker.
                 current = jumps[base + last]
-                if current is _INFINITY:
+                if math.isinf(current):
                     continue
                 if not (mask >> last) & 1:
                     continue
@@ -78,7 +83,7 @@ def held_karp_min_jumps(line: Graph, budget: Budget | None = None) -> int:
                     if current + step < jumps[slot]:
                         jumps[slot] = current + step
         best = min(jumps[(size - 1) * n + last] for last in range(n))
-    assert best is not _INFINITY
+    assert not math.isinf(best)
     return int(best)
 
 

@@ -26,6 +26,7 @@ elapsed time, the poly-time lower bound, and each degradation step).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from repro.errors import BudgetExhaustedError, InstanceTooLargeError, SolverError
@@ -182,6 +183,11 @@ def _max_component_edges(graph: AnyGraph) -> int:
     return max(sizes, default=0)
 
 
+# Options consumed by budget resolution; solve() strips them before
+# forwarding the remaining solver options down the method dispatch.
+_BUDGET_OPTION_KEYS = ("budget", "deadline", "memo_cap", "clock", "check_interval")
+
+
 def _resolve_budget(options: dict) -> Budget | None:
     """Extract/construct the cooperative budget for this solve.
 
@@ -190,12 +196,17 @@ def _resolve_budget(options: dict) -> Budget | None:
     ambient budget installed by :func:`repro.runtime.use_budget` > none.
     The legacy ``node_budget`` option is *not* consumed here: it remains
     the exact solver's hard search limit.
+
+    Resolution is **non-destructive**: the caller's dict is only read, so
+    a batch caller (``repro.parallel.solve_many``) can reuse one options
+    dict across many solves without silently losing ``deadline=`` /
+    ``budget=`` / ``memo_cap=`` after the first one.
     """
-    budget = options.pop("budget", None)
-    deadline = options.pop("deadline", None)
-    memo_cap = options.pop("memo_cap", None)
-    clock = options.pop("clock", None)
-    check_interval = options.pop("check_interval", 1)
+    budget = options.get("budget")
+    deadline = options.get("deadline")
+    memo_cap = options.get("memo_cap")
+    clock = options.get("clock")
+    check_interval = options.get("check_interval", 1)
     if budget is not None:
         return budget
     if deadline is not None or memo_cap is not None:
@@ -208,6 +219,15 @@ def _resolve_budget(options: dict) -> Budget | None:
     return current_budget()
 
 
+def _current_solve_cache():
+    """The ambient solve cache, if :mod:`repro.parallel.cache` installed
+    one (late import: the parallel package depends on this module)."""
+    cache_mod = sys.modules.get("repro.parallel.cache")
+    if cache_mod is None:
+        return None
+    return cache_mod.current_cache()
+
+
 def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
     """Solve PEBBLE on ``graph`` with the requested ``method``.
 
@@ -215,11 +235,25 @@ def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
     ``exact_edge_limit`` (auto-mode threshold for exact search),
     ``deadline`` / ``memo_cap`` / ``clock`` / ``check_interval`` /
     ``budget`` (cooperative anytime budget — see ``docs/ROBUSTNESS.md``).
+
+    When a solve cache is installed (``docs/PARALLEL.md``), it is
+    consulted *before* the degradation ladder: a hit returns the cached
+    result immediately, and clean (undegraded) results are stored on the
+    way out.
     """
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; choose from {METHODS}")
 
     budget = _resolve_budget(options)
+    solver_options = {
+        k: v for k, v in options.items() if k not in _BUDGET_OPTION_KEYS
+    }
+    cache = _current_solve_cache()
+    token = None
+    if cache is not None:
+        hit, token = cache.consult(graph, method, solver_options)
+        if hit is not None:
+            return hit
     if obs_metrics.METRICS.enabled:
         obs_metrics.inc(f"solver.method.{method}")
     with obs_trace.span("solver.solve", method=method):
@@ -227,7 +261,10 @@ def solve(graph: AnyGraph, method: str = "auto", **options) -> SolveResult:
             obs_events.emit(
                 obs_events.EVENT_SOLVER_PHASE, phase="solve", method=method
             )
-        return _solve(graph, method, budget, **options)
+        result = _solve(graph, method, budget, **solver_options)
+    if cache is not None and token is not None:
+        cache.store(token, result)
+    return result
 
 
 def _solve_exact(

@@ -16,6 +16,7 @@ reproducible run to run.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -50,6 +51,9 @@ class BenchConfig:
 
     smoke: bool = False
     seed: int = 0
+    # Worker processes for batch scenarios (repro bench --jobs).  Results
+    # must not depend on it — only timings may; solver-batch asserts so.
+    jobs: int = 1
 
     def size(self, full: int, smoke: int) -> int:
         """Pick the full-size or smoke-size parameter."""
@@ -208,6 +212,37 @@ def _solver_anneal(config: BenchConfig) -> dict[str, Any]:
     return {"m": graph.num_edges, "pi": result.effective_cost}
 
 
+@scenario("solver-batch", "batched component solves via solve_many (parallel service)")
+def _solver_batch(config: BenchConfig) -> dict[str, Any]:
+    from repro.core.families import worst_case_family
+    from repro.graphs.components import disjoint_union_many
+    from repro.graphs.generators import random_connected_bipartite
+    from repro.parallel import solve_many
+
+    top = config.size(5, 3)
+    edges = config.size(40, 16)
+    graphs = [worst_case_family(n) for n in range(2, top + 1)]
+    graphs.append(
+        disjoint_union_many(
+            [worst_case_family(2), worst_case_family(3), worst_case_family(2)]
+        )
+    )
+    graphs.append(
+        random_connected_bipartite(
+            edges // 4, edges // 4, edges, seed=config.seed + 19
+        )
+    )
+    results = solve_many(graphs, method="auto", jobs=config.jobs)
+    # `jobs` is deliberately absent from the results: scenario results
+    # must be byte-identical across --jobs values (it is reported once,
+    # at the top of the bench report).
+    return {
+        "graphs": len(graphs),
+        "pi_total": sum(r.effective_cost for r in results),
+        "optimal": sum(1 for r in results if r.optimal),
+    }
+
+
 @scenario("join-algorithms", "join algorithms traced in the model (bench_join_algorithms)")
 def _join_algorithms(config: BenchConfig) -> dict[str, Any]:
     from repro.joins.algorithms import (
@@ -326,6 +361,7 @@ class BenchReport:
     run_id: str
     mode: str  # "smoke" | "full"
     seed: int
+    jobs: int = 1
     scenarios: list[ScenarioResult] = field(default_factory=list)
 
     @property
@@ -362,6 +398,7 @@ class BenchReport:
             "run_id": self.run_id,
             "mode": self.mode,
             "seed": self.seed,
+            "jobs": self.jobs,
             "git_sha": obs_manifest.git_sha(),
             "created_unix": time.time(),
             "date": time.strftime("%Y-%m-%d", time.gmtime()),
@@ -465,6 +502,8 @@ def run_bench(
     run_id: str | None = None,
     scenario_deadline: float | None = DEFAULT_SCENARIO_DEADLINE,
     publish_dir: str | Path | None = None,
+    jobs: int = 1,
+    cache_path: str | Path | None = None,
 ) -> tuple[BenchReport, Path, Path | None]:
     """Run the harness end to end.
 
@@ -477,6 +516,13 @@ def run_bench(
     the perf-trajectory feed is never empty.  Returns
     ``(report, run_dir, bench_path)``.
 
+    ``jobs`` flows to batch scenarios (``solver-batch``) through
+    :class:`BenchConfig`; scenario *results* are jobs-invariant, only
+    timings may change.  ``cache_path`` installs an ambient
+    :class:`~repro.parallel.cache.SolveCache` persisted at that path for
+    the whole run, so a warm second run surfaces ``cache.hit`` events in
+    ``events.jsonl``.
+
     Each scenario gets ``scenario_deadline`` seconds of ambient budget and
     one retry; failures become structured entries in the report rather
     than aborting the run (check ``report.failed``).
@@ -487,14 +533,16 @@ def run_bench(
             raise KeyError(
                 f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
             )
-    config = BenchConfig(smoke=smoke, seed=seed)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    config = BenchConfig(smoke=smoke, seed=seed, jobs=jobs)
     if repeats is None:
         repeats = 1 if smoke else 3
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     mode = "smoke" if smoke else "full"
     the_run_id = run_id or obs_manifest.make_run_id("bench", seed)
-    report = BenchReport(run_id=the_run_id, mode=mode, seed=seed)
+    report = BenchReport(run_id=the_run_id, mode=mode, seed=seed, jobs=jobs)
 
     was_trace = obs_trace.is_enabled()
     was_metrics = obs_metrics.is_enabled()
@@ -510,10 +558,17 @@ def run_bench(
         obs_events.EVENT_RUN_START, mode=mode, seed=seed, scenarios=chosen
     )
     try:
-        for name in chosen:
-            report.scenarios.append(
-                _run_one(name, config, repeats, deadline=scenario_deadline)
-            )
+        with contextlib.ExitStack() as stack:
+            if cache_path is not None:
+                from repro.parallel.cache import SolveCache, use_cache
+
+                solve_cache = SolveCache(path=cache_path)
+                stack.callback(solve_cache.close)
+                stack.enter_context(use_cache(solve_cache))
+            for name in chosen:
+                report.scenarios.append(
+                    _run_one(name, config, repeats, deadline=scenario_deadline)
+                )
     finally:
         obs_events.emit(
             obs_events.EVENT_RUN_END,

@@ -4,7 +4,8 @@ Spans (:mod:`repro.obs.trace`) answer "where did the time go"; the event
 log answers "what *happened*, in what order".  An :class:`Event` is one
 discrete occurrence — a budget tripping, a degradation-ladder step, a
 solver phase change, an injected fault, a bench scenario starting or
-finishing — stamped with
+finishing, a solve-cache hit or miss, a pool task dispatched or
+collected — stamped with
 
 - ``seq`` — a monotonic per-process sequence number, so total order is
   recoverable from the log alone even when wall clocks are equal;
@@ -56,6 +57,10 @@ EVENT_BUDGET_TRIPPED = "budget.tripped"
 EVENT_LADDER_DEGRADED = "ladder.degraded"
 EVENT_SOLVER_PHASE = "solver.phase"
 EVENT_FAULT_INJECTED = "fault.injected"
+EVENT_CACHE_HIT = "cache.hit"
+EVENT_CACHE_MISS = "cache.miss"
+EVENT_POOL_TASK_START = "pool.task_start"
+EVENT_POOL_TASK_END = "pool.task_end"
 
 VOCABULARY = (
     EVENT_RUN_START,
@@ -66,6 +71,10 @@ VOCABULARY = (
     EVENT_LADDER_DEGRADED,
     EVENT_SOLVER_PHASE,
     EVENT_FAULT_INJECTED,
+    EVENT_CACHE_HIT,
+    EVENT_CACHE_MISS,
+    EVENT_POOL_TASK_START,
+    EVENT_POOL_TASK_END,
 )
 
 

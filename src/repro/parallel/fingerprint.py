@@ -1,0 +1,124 @@
+"""Canonical component fingerprints: the solve cache's keys.
+
+A cached answer may only be reused when the new instance is *structurally
+identical* to the one that produced it.  This module defines the
+structural identity the cache relies on:
+
+- vertices are put in a **canonical order** — left side then right side
+  for bipartite graphs, each side sorted by ``repr`` (the same
+  deterministic ordering trick :mod:`repro.core.solvers.held_karp` uses);
+- edges become index pairs under that order, sorted — the **canonical
+  edge list**;
+- the fingerprint is the SHA-256 of a type tag, the side sizes, and the
+  canonical edge list.
+
+Two graphs with the same fingerprint have identical edge structure under
+their respective canonical vertex orders, so a pebbling scheme recorded
+as *index pairs* against one graph rehydrates into a valid scheme of the
+other with identical cost, jumps, and status — labels differ, structure
+does not.  This is what lets repeated components (the worst-case family
+``G_n`` duplicated across a batch, say) be solved once and reused.
+
+Vertex labels never enter the fingerprint, only their relative order, so
+the cache hits across relabelings as long as ``repr`` ordering is
+preserved — which every deterministic generator in this repo guarantees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import SchemeError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph, Vertex
+from repro.core.scheme import PebblingScheme
+
+AnyGraph = Graph | BipartiteGraph
+
+IndexPair = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A graph reduced to structure: ordered vertices + index edges.
+
+    ``vertices`` is the canonical vertex order (the decode table for
+    index-encoded schemes); ``left_size`` is the bipartite split point
+    (0 for general graphs); ``edges`` is the sorted canonical edge list.
+    """
+
+    kind: str  # "bipartite" | "graph"
+    vertices: tuple[Vertex, ...]
+    left_size: int
+    edges: tuple[IndexPair, ...]
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the structural content (hex digest)."""
+        payload = "|".join(
+            (
+                self.kind,
+                str(self.left_size),
+                str(len(self.vertices)),
+                ";".join(f"{u},{v}" for u, v in self.edges),
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_form(graph: AnyGraph) -> CanonicalForm:
+    """The canonical form of ``graph`` (see the module docstring)."""
+    if isinstance(graph, BipartiteGraph):
+        left = sorted(graph.left, key=repr)
+        right = sorted(graph.right, key=repr)
+        vertices = tuple(left) + tuple(right)
+        index = {v: i for i, v in enumerate(vertices)}
+        edges = tuple(sorted((index[u], index[v]) for u, v in graph.edges()))
+        return CanonicalForm(
+            kind="bipartite",
+            vertices=vertices,
+            left_size=len(left),
+            edges=edges,
+        )
+    vertices = tuple(sorted(graph.vertices, key=repr))
+    index = {v: i for i, v in enumerate(vertices)}
+    edges = tuple(
+        sorted(tuple(sorted((index[u], index[v]))) for u, v in graph.edges())
+    )
+    return CanonicalForm(
+        kind="graph", vertices=vertices, left_size=0, edges=edges
+    )
+
+
+def fingerprint(graph: AnyGraph) -> str:
+    """Shorthand for ``canonical_form(graph).fingerprint``."""
+    return canonical_form(graph).fingerprint
+
+
+def encode_scheme(
+    scheme: PebblingScheme, form: CanonicalForm
+) -> tuple[IndexPair, ...]:
+    """A scheme as index pairs under ``form``'s canonical vertex order.
+
+    Raises :class:`~repro.errors.SchemeError` when a configuration
+    references a vertex outside the form (such schemes are not cacheable).
+    """
+    index = {v: i for i, v in enumerate(form.vertices)}
+    encoded = []
+    for a, b in scheme.configurations:
+        if a not in index or b not in index:
+            raise SchemeError(
+                f"configuration ({a!r}, {b!r}) references vertices outside "
+                "the canonical form; scheme is not cacheable"
+            )
+        encoded.append((index[a], index[b]))
+    return tuple(encoded)
+
+
+def decode_scheme(
+    encoded: tuple[IndexPair, ...] | list, form: CanonicalForm
+) -> PebblingScheme:
+    """Rehydrate an index-encoded scheme against ``form``'s vertex order."""
+    vertices = form.vertices
+    return PebblingScheme((vertices[i], vertices[j]) for i, j in encoded)

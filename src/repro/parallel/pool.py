@@ -1,0 +1,152 @@
+"""Worker-side plumbing for the parallel solve service.
+
+The observability collectors (:mod:`repro.obs.metrics`,
+:mod:`repro.obs.events`, :mod:`repro.obs.trace`) are **per-process
+globals**, so a solve running inside a ``ProcessPoolExecutor`` worker
+records into that worker's registries and the parent would see nothing.
+The contract here: each worker task starts from reset collectors, runs
+one component solve, then *snapshots and ships its counters and events
+back* in the task result; the parent merges them into its own registries
+(:func:`merge_observations`), so enabled-vs-disabled neutrality and the
+"counters tell the whole story" property survive the pool.
+
+Worker hygiene on entry (:func:`solve_task`):
+
+- the ambient solve-cache stack is cleared — a forked child must never
+  reuse the parent's SQLite connection (the parent consulted the cache
+  before dispatching, so workers only see genuine misses anyway);
+- the ambient budget stack is cleared for the same reason: each task
+  carries its own *deadline share* (see ``docs/PARALLEL.md``) as plain
+  numbers and rebuilds a fresh :class:`~repro.runtime.budget.Budget`
+  in-process, because budgets hold clocks and must not cross the pickle
+  boundary.
+
+Tasks and results are plain picklable payloads; the worker function is a
+module-level callable so every start method (fork, spawn) can import it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.solvers.registry import SolveResult
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.simple import Graph
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+AnyGraph = Graph | BipartiteGraph
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One component solve shipped to a worker."""
+
+    graph: AnyGraph
+    method: str
+    options: dict[str, Any] = field(default_factory=dict)
+    deadline: float | None = None
+    memo_cap: int | None = None
+    metrics_enabled: bool = False
+    events_enabled: bool = False
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What a worker ships home: the result plus its observations."""
+
+    result: SolveResult
+    counters: dict[str, int]
+    events: tuple[tuple[str, dict[str, Any]], ...]
+
+
+def solve_task(task: SolveTask) -> TaskOutcome:
+    """Run one component solve in a **worker process** and snapshot obs.
+
+    Worker-only: it resets this process's collectors before solving, so
+    the jobs=1 inline path in :func:`repro.parallel.service.solve_many`
+    calls the registry directly instead (same solver code, no snapshot
+    needed because the parent's collectors record in place).
+    """
+    from repro.core.solvers.registry import solve
+    from repro.parallel.cache import _reset_ambient_cache
+    from repro.runtime.budget import _BUDGET_STACK
+
+    _reset_ambient_cache()
+    _BUDGET_STACK.clear()
+    obs_trace.reset()
+    obs_trace.disable()
+    obs_metrics.reset()
+    obs_events.reset()
+    if task.metrics_enabled:
+        obs_metrics.enable()
+    else:
+        obs_metrics.disable()
+    if task.events_enabled:
+        obs_events.enable()
+    else:
+        obs_events.disable()
+
+    result = solve(
+        task.graph,
+        task.method,
+        deadline=task.deadline,
+        memo_cap=task.memo_cap,
+        **task.options,
+    )
+
+    counters: dict[str, int] = {}
+    shipped_events: tuple[tuple[str, dict[str, Any]], ...] = ()
+    if task.metrics_enabled:
+        counters = dict(obs_metrics.snapshot()["counters"])
+    if task.events_enabled:
+        shipped_events = tuple(
+            (event.name, dict(event.attrs)) for event in obs_events.events()
+        )
+    obs_metrics.reset()
+    obs_events.reset()
+    return TaskOutcome(result=result, counters=counters, events=shipped_events)
+
+
+def merge_observations(outcome: TaskOutcome) -> None:
+    """Fold one worker's shipped counters and events into this process.
+
+    Counters merge by summation (deterministic: sorted name order);
+    events are re-emitted in their original worker order, restamped with
+    the parent's ``seq`` / ``run_id`` / ``span_id`` — the worker's facts,
+    the parent's timeline.
+    """
+    if obs_metrics.METRICS.enabled:
+        for name in sorted(outcome.counters):
+            obs_metrics.inc(name, outcome.counters[name])
+    if obs_events.EVENTS.enabled:
+        for name, attrs in outcome.events:
+            obs_events.emit(name, **attrs)
+
+
+def preferred_start_method() -> str:
+    """``fork`` where available (fast, shares the imported package), else
+    the platform default (``spawn`` re-imports ``repro`` per worker)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def make_executor(jobs: int, task_count: int) -> Executor:
+    """A process pool sized to the work (never more workers than tasks)."""
+    workers = max(1, min(jobs, task_count))
+    context = multiprocessing.get_context(preferred_start_method())
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+__all__ = [
+    "SolveTask",
+    "TaskOutcome",
+    "make_executor",
+    "merge_observations",
+    "preferred_start_method",
+    "solve_task",
+]

@@ -64,3 +64,45 @@ class TestJumpCounts:
         g = matching_graph(19)
         with pytest.raises(InstanceTooLargeError):
             held_karp_effective_cost(g)
+
+
+class TestProcessBoundary:
+    """Regression: the DP once compared against the module's infinity
+    *by identity* (`current is _INFINITY`), which only holds by CPython
+    object-sharing accident and breaks as soon as state crosses a pickle
+    boundary (the parallel solve service ships graphs to workers)."""
+
+    def test_distinct_inf_objects_compare_equal(self):
+        import math
+        import pickle
+
+        from repro.core.solvers import held_karp as hk
+
+        foreign_inf = pickle.loads(pickle.dumps(float("inf")))
+        assert foreign_inf is not hk._INFINITY
+        assert math.isinf(foreign_inf)
+        assert foreign_inf == hk._INFINITY
+
+    def test_pickled_graph_round_trip(self):
+        import pickle
+
+        g = worst_case_family(4)
+        clone = pickle.loads(pickle.dumps(g))
+        assert held_karp_effective_cost(clone) == held_karp_effective_cost(g)
+        line = line_graph(g)
+        line_clone = pickle.loads(pickle.dumps(line))
+        assert held_karp_min_jumps(line_clone) == held_karp_min_jumps(line)
+
+    def test_solves_in_worker_process(self):
+        """The scenario that motivated the fix: the exact DP running in a
+        pool worker must agree with the in-process answer."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel.pool import preferred_start_method
+        import multiprocessing
+
+        g = worst_case_family(3)
+        expected = held_karp_effective_cost(g)
+        context = multiprocessing.get_context(preferred_start_method())
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            assert pool.submit(held_karp_effective_cost, g).result() == expected

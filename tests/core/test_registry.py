@@ -86,3 +86,36 @@ class TestResult:
     def test_optimal_effective_cost_exact_path(self):
         g = worst_case_family(4)
         assert optimal_effective_cost(g) == 9
+
+
+class TestBudgetOptionsNonDestructive:
+    """Regression: ``_resolve_budget`` once ``pop``-ed the budget keys out
+    of the caller's options dict, so a shared dict lost its deadline after
+    the first solve — exactly the batch-solve pattern ``solve_many`` uses."""
+
+    def test_shared_options_dict_survives_two_resolutions(self):
+        from repro.core.solvers.registry import _resolve_budget
+
+        shared = {"deadline": 5.0, "memo_cap": 100}
+        snapshot = dict(shared)
+        first = _resolve_budget(shared)
+        assert shared == snapshot
+        second = _resolve_budget(shared)
+        assert shared == snapshot
+        assert first is not None and first.deadline == 5.0
+        assert second is not None and second.deadline == 5.0
+
+    def test_solving_twice_with_one_options_dict(self):
+        g = worst_case_family(2)
+        options = {"deadline": 60.0}
+        first = solve(g, "auto", **options)
+        second = solve(g, "auto", **options)
+        assert options == {"deadline": 60.0}
+        assert first.effective_cost == second.effective_cost
+        assert first.status == second.status
+
+    def test_budget_keys_stripped_from_solver_options(self):
+        # Budget knobs must not leak into the method dispatch (solvers
+        # would reject them as unexpected keyword arguments).
+        result = solve(worst_case_family(2), "exact", deadline=60.0)
+        assert result.optimal

@@ -241,3 +241,47 @@ class TestSchemaChecker:
         bad.write_text("{not json")
         assert checker.validate_file(bad) != []
         assert checker.main([str(bad)]) == 1
+
+
+class TestBatchScenarioJobsInvariance:
+    """`repro bench --jobs N` is a pure performance knob: per-scenario
+    results are byte-identical across job counts (the PR's acceptance
+    gate), and the report records the job count once at the top."""
+
+    def _results(self, tmp_path, jobs, cache_path=None):
+        report, _, _ = run_bench(
+            smoke=True,
+            names=["solver-batch"],
+            runs_dir=tmp_path / f"runs-{jobs}-{cache_path is not None}",
+            out_dir=None,
+            jobs=jobs,
+            cache_path=cache_path,
+        )
+        [scenario_result] = report.scenarios
+        assert scenario_result.status == "ok"
+        return report, scenario_result.results
+
+    def test_jobs_1_vs_2_identical_results(self, tmp_path):
+        report_1, results_1 = self._results(tmp_path, jobs=1)
+        report_2, results_2 = self._results(tmp_path, jobs=2)
+        assert results_1 == results_2
+        assert report_1.as_dict()["jobs"] == 1
+        assert report_2.as_dict()["jobs"] == 2
+
+    def test_warm_cache_identical_results(self, tmp_path):
+        db = tmp_path / "solve-cache.db"
+        _, cold = self._results(tmp_path, jobs=1, cache_path=db)
+        _, warm = self._results(tmp_path, jobs=1, cache_path=db)
+        assert cold == warm
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            run_bench(
+                smoke=True,
+                names=["solver-batch"],
+                runs_dir=tmp_path,
+                out_dir=None,
+                jobs=0,
+            )

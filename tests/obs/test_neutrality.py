@@ -307,3 +307,95 @@ class TestJoinGraphCache:
         second = build_join_graph_cached(left, right, Equality())
         assert first is not second
         assert second.num_edges >= first.num_edges
+
+
+class TestParallelNeutrality:
+    """The pool and cache paths observe without perturbing: solve_many
+    returns identical batches with collection on or off, with a cache or
+    without, warm or cold."""
+
+    @staticmethod
+    def _batch_fingerprint(jobs=1, cache=None):
+        from repro.core.families import worst_case_family
+        from repro.graphs.components import disjoint_union_many
+        from repro.parallel import solve_many
+
+        graphs = [
+            worst_case_family(2),
+            worst_case_family(3),
+            disjoint_union_many([worst_case_family(2), worst_case_family(2)]),
+            random_connected_bipartite(3, 3, 7, seed=9),
+        ]
+        return [
+            (
+                r.scheme.configurations,
+                r.effective_cost,
+                r.raw_cost,
+                r.jumps,
+                r.optimal,
+                r.status,
+            )
+            for r in solve_many(graphs, jobs=jobs, cache=cache)
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_solve_many_identical_with_and_without_collection(self, jobs):
+        trace.disable()
+        metrics.disable()
+        events.disable()
+        baseline = self._batch_fingerprint(jobs=jobs)
+
+        trace.reset()
+        metrics.reset()
+        events.reset()
+        trace.enable()
+        metrics.enable()
+        events.enable()
+        try:
+            observed = self._batch_fingerprint(jobs=jobs)
+        finally:
+            trace.disable()
+            metrics.disable()
+            events.disable()
+            trace.reset()
+            metrics.reset()
+            events.reset()
+        assert observed == baseline
+
+    def test_cache_hits_identical_with_and_without_collection(self):
+        from repro.parallel import SolveCache
+
+        cold = self._batch_fingerprint(jobs=1)
+        cache = SolveCache()
+        self._batch_fingerprint(jobs=1, cache=cache)  # seed the cache
+        metrics.reset()
+        events.reset()
+        metrics.enable()
+        events.enable()
+        try:
+            warm_observed = self._batch_fingerprint(jobs=1, cache=cache)
+            assert any(
+                e.name in ("cache.hit",) for e in events.events()
+            ), "warm run should emit cache.hit events"
+        finally:
+            metrics.disable()
+            events.disable()
+            metrics.reset()
+            events.reset()
+        assert warm_observed == cold
+
+    def test_pool_counters_merge_deterministically(self):
+        """Two identical jobs=2 runs produce identical counter snapshots:
+        worker counters merge in sorted order, not completion order."""
+
+        def counters():
+            metrics.reset()
+            metrics.enable()
+            try:
+                self._batch_fingerprint(jobs=2)
+                return dict(metrics.snapshot()["counters"])
+            finally:
+                metrics.disable()
+                metrics.reset()
+
+        assert counters() == counters()

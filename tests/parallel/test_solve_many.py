@@ -1,0 +1,174 @@
+"""``solve_many``: jobs-invariance, Lemma 2.2 reassembly, cache equivalence.
+
+The contract under test: the job count and the cache are pure
+*performance* knobs.  Costs, schemes, statuses, and optimality flags are
+identical across ``jobs=1``, ``jobs=4``, cold cache, and warm cache —
+and identical to a direct ``registry.solve`` on the same graph.
+"""
+
+import pytest
+
+from repro.core.families import worst_case_family
+from repro.core.solvers.registry import solve
+from repro.errors import SolverError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.components import disjoint_union_many
+from repro.graphs.generators import (
+    complete_bipartite,
+    matching_graph,
+    random_connected_bipartite,
+)
+from repro.parallel import SolveCache, solve_many, split_deadline, use_cache
+
+
+def _batch():
+    return [
+        worst_case_family(2),
+        worst_case_family(3),
+        random_connected_bipartite(4, 4, 9, seed=11),
+        disjoint_union_many(
+            [worst_case_family(2), worst_case_family(3), worst_case_family(2)]
+        ),
+        matching_graph(3),
+        complete_bipartite(2, 3),
+    ]
+
+
+def _fingerprints(results):
+    return [
+        (
+            r.scheme.configurations,
+            r.effective_cost,
+            r.raw_cost,
+            r.jumps,
+            r.optimal,
+            r.status,
+        )
+        for r in results
+    ]
+
+
+class TestJobsInvariance:
+    def test_jobs_1_vs_4_identical(self):
+        graphs = _batch()
+        assert _fingerprints(solve_many(graphs, jobs=1)) == _fingerprints(
+            solve_many(graphs, jobs=4)
+        )
+
+    def test_matches_direct_solve_costs(self):
+        graphs = _batch()
+        results = solve_many(graphs, jobs=4)
+        for graph, result in zip(graphs, results):
+            direct = solve(graph, "auto")
+            assert result.effective_cost == direct.effective_cost
+            assert result.raw_cost == direct.raw_cost
+            assert result.status == direct.status
+            assert result.optimal == direct.optimal
+
+    @pytest.mark.parametrize("method", ["exact", "dfs+polish"])
+    def test_explicit_methods(self, method):
+        graphs = [worst_case_family(2), worst_case_family(3)]
+        assert _fingerprints(
+            solve_many(graphs, method=method, jobs=1)
+        ) == _fingerprints(solve_many(graphs, method=method, jobs=2))
+
+    def test_schemes_are_valid(self):
+        graphs = _batch()
+        for graph, result in zip(graphs, solve_many(graphs, jobs=2)):
+            working = graph.without_isolated_vertices()
+            # The stitched scheme must delete every edge of the graph.
+            assert result.scheme.is_valid(working)
+            assert result.scheme.effective_cost(working) == result.effective_cost
+
+
+class TestReassembly:
+    def test_component_costs_add(self):
+        """Lemma 2.2: pi of a disjoint union is the sum of component pis."""
+        parts = [worst_case_family(2), worst_case_family(3), matching_graph(2)]
+        union = disjoint_union_many(parts)
+        [result] = solve_many([union], jobs=2)
+        expected = sum(solve(p, "auto").effective_cost for p in parts)
+        assert result.effective_cost == expected
+        assert result.optimal
+
+    def test_duplicate_components_solved_once(self):
+        """Structurally identical components collapse into one task."""
+        union = disjoint_union_many([worst_case_family(2)] * 4)
+        [result] = solve_many([union], jobs=2)
+        assert (
+            result.effective_cost
+            == 4 * solve(worst_case_family(2), "auto").effective_cost
+        )
+
+    def test_empty_graph(self):
+        [result] = solve_many([BipartiteGraph()], jobs=2)
+        assert result.effective_cost == 0
+        assert result.raw_cost == 0
+        assert result.optimal
+        assert result.scheme.configurations == ()
+
+    def test_results_in_input_order(self):
+        graphs = [worst_case_family(3), worst_case_family(2), worst_case_family(4)]
+        costs = [r.effective_cost for r in solve_many(graphs, jobs=2)]
+        assert costs == [solve(g, "auto").effective_cost for g in graphs]
+
+
+class TestCacheEquivalence:
+    def test_warm_equals_cold(self):
+        graphs = _batch()
+        cache = SolveCache()
+        with use_cache(cache):
+            cold = solve_many(graphs, jobs=2)
+            warm = solve_many(graphs, jobs=2)
+        assert _fingerprints(cold) == _fingerprints(warm)
+        assert cache.stats.hits > 0
+        assert cache.stats.misses == cache.stats.stores
+
+    def test_cache_arg_overrides_ambient(self):
+        graphs = [worst_case_family(2)]
+        explicit = SolveCache()
+        ambient = SolveCache()
+        with use_cache(ambient):
+            solve_many(graphs, cache=explicit)
+        assert explicit.stats.misses == 1
+        assert ambient.stats.misses == 0
+
+    def test_persistent_cache_across_calls(self, tmp_path):
+        db = tmp_path / "cache.db"
+        graphs = _batch()
+        first_cache = SolveCache(path=db)
+        cold = solve_many(graphs, jobs=2, cache=first_cache)
+        first_cache.close()
+        second_cache = SolveCache(path=db)
+        warm = solve_many(graphs, jobs=2, cache=second_cache)
+        second_cache.close()
+        assert _fingerprints(cold) == _fingerprints(warm)
+        assert second_cache.stats.persistent_hits > 0
+        assert second_cache.stats.stores == 0
+
+
+class TestBudgets:
+    def test_split_deadline_waves(self):
+        assert split_deadline(None, 10, 4) is None
+        assert split_deadline(12.0, 0, 4) is None
+        assert split_deadline(12.0, 8, 4) == 6.0  # 2 waves
+        assert split_deadline(12.0, 3, 4) == 12.0  # 1 wave
+        assert split_deadline(12.0, 9, 4) == 4.0  # 3 waves
+
+    def test_generous_deadline_stays_optimal(self):
+        graphs = [worst_case_family(2), worst_case_family(3)]
+        results = solve_many(graphs, jobs=2, deadline=300.0)
+        assert all(r.optimal for r in results)
+
+
+class TestValidation:
+    def test_unknown_method(self):
+        with pytest.raises(SolverError):
+            solve_many([worst_case_family(2)], method="nope")
+
+    def test_bad_jobs(self):
+        with pytest.raises(SolverError):
+            solve_many([worst_case_family(2)], jobs=0)
+
+    def test_empty_batch(self):
+        assert solve_many([], jobs=2) == []

@@ -185,3 +185,44 @@ class TestTraceCommand:
     def test_trace_unknown_format_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "--format", "svg"])
+
+
+class TestSolveCommand:
+    def _write_graphs(self, tmp_path):
+        from repro.core.families import worst_case_family
+
+        paths = []
+        for index, graph in enumerate(
+            [worst_case_family(2), worst_case_family(3), worst_case_family(2)]
+        ):
+            path = tmp_path / f"g{index}.graph"
+            path.write_text(dump_bipartite(graph))
+            paths.append(str(path))
+        return paths
+
+    def test_solve_batch(self, tmp_path, capsys):
+        paths = self._write_graphs(tmp_path)
+        assert main(["solve", *paths]) == 0
+        out = capsys.readouterr().out
+        for path in paths:
+            assert path in out
+
+    def test_solve_jobs_identical_output(self, tmp_path, capsys):
+        paths = self._write_graphs(tmp_path)
+        assert main(["solve", *paths, "--jobs", "1"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["solve", *paths, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+
+    def test_solve_cache_warm_run(self, tmp_path, capsys):
+        paths = self._write_graphs(tmp_path)
+        db = str(tmp_path / "cache.db")
+        assert main(["solve", *paths, "--cache", db]) == 0
+        cold = capsys.readouterr().out
+        assert "store(s)" in cold
+        assert main(["solve", *paths, "--cache", db]) == 0
+        warm = capsys.readouterr().out
+        assert "hit(s)" in warm
+        # Identical per-graph lines; only the cache stats line may differ.
+        assert cold.splitlines()[:-1] == warm.splitlines()[:-1]

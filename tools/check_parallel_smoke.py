@@ -1,0 +1,119 @@
+"""Gate for ``make parallel-smoke``: jobs-invariance and warm-cache hits.
+
+The parallel solve service promises that the job count and the solve
+cache are pure *performance* knobs (see ``docs/PARALLEL.md``).  This
+script checks that promise on the artifacts the smoke target produced:
+
+- ``j1/`` and ``j4/`` — the batch bench scenario at ``--jobs 1`` and
+  ``--jobs 4``: per-scenario ``results`` must be byte-identical
+  (compared as sorted-key JSON), and the reports must record the right
+  ``jobs`` value;
+- ``warm1/`` and ``warm2/`` — two runs sharing one persistent cache:
+  results must match, and the second run's ``events.jsonl`` must
+  contain ``cache.hit`` events (the cache demonstrably engaged).
+
+The jobs-1-vs-4 speedup is printed as information, never gated: smoke
+inputs are too small for a stable ratio, and pool startup can dominate.
+
+    python tools/check_parallel_smoke.py .parallel-smoke
+
+Exit status 0 when every check passes; 1 otherwise, one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _load_bench(directory: Path) -> dict | None:
+    matches = sorted(directory.glob("BENCH_*.json"))
+    if len(matches) != 1:
+        return None
+    return json.loads(matches[0].read_text())
+
+
+def _scenario_results(report: dict) -> dict[str, str]:
+    """Scenario name -> canonical JSON of its results (byte-comparable)."""
+    return {
+        s["name"]: json.dumps(s["results"], sort_keys=True)
+        for s in report["scenarios"]
+    }
+
+
+def _best_ns(report: dict) -> dict[str, int]:
+    return {s["name"]: s["wall_ns"]["best"] for s in report["scenarios"]}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_parallel_smoke.py <smoke-dir>", file=sys.stderr)
+        return 2
+    root = Path(argv[0])
+    problems: list[str] = []
+
+    reports: dict[str, dict] = {}
+    for leg in ("j1", "j4", "warm1", "warm2"):
+        report = _load_bench(root / leg)
+        if report is None:
+            problems.append(f"{leg}: expected exactly one BENCH_*.json")
+        else:
+            reports[leg] = report
+            for scenario in report["scenarios"]:
+                if scenario["status"] != "ok":
+                    problems.append(
+                        f"{leg}: scenario {scenario['name']} "
+                        f"{scenario['status']}: {scenario['error']}"
+                    )
+
+    if "j1" in reports and "j4" in reports:
+        if reports["j1"].get("jobs") != 1 or reports["j4"].get("jobs") != 4:
+            problems.append(
+                f"reports record jobs={reports['j1'].get('jobs')} / "
+                f"{reports['j4'].get('jobs')}, expected 1 / 4"
+            )
+        r1, r4 = _scenario_results(reports["j1"]), _scenario_results(reports["j4"])
+        if set(r1) != set(r4):
+            problems.append(f"scenario sets differ: {sorted(r1)} vs {sorted(r4)}")
+        for name in sorted(set(r1) & set(r4)):
+            if r1[name] != r4[name]:
+                problems.append(
+                    f"jobs-variant results for {name}: {r1[name]} != {r4[name]}"
+                )
+        for name, ns1 in sorted(_best_ns(reports["j1"]).items()):
+            ns4 = _best_ns(reports["j4"]).get(name)
+            if ns4:
+                print(f"{name}: jobs=1 {ns1 / 1e6:.1f}ms, jobs=4 "
+                      f"{ns4 / 1e6:.1f}ms ({ns1 / ns4:.2f}x)")
+
+    if "warm1" in reports and "warm2" in reports:
+        cold, warm = _scenario_results(reports["warm1"]), _scenario_results(
+            reports["warm2"]
+        )
+        for name in sorted(set(cold) & set(warm)):
+            if cold[name] != warm[name]:
+                problems.append(
+                    f"warm-cache results drifted for {name}: "
+                    f"{cold[name]} != {warm[name]}"
+                )
+        hit_count = 0
+        for events_path in (root / "warm2").glob("runs/*/events.jsonl"):
+            for line in events_path.read_text().splitlines():
+                if line.strip() and json.loads(line).get("name") == "cache.hit":
+                    hit_count += 1
+        if hit_count == 0:
+            problems.append("warm2: no cache.hit events — the cache never engaged")
+        else:
+            print(f"warm run: {hit_count} cache.hit event(s)")
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print("parallel-smoke: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
