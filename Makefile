@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
-	chaos-smoke report-smoke parallel-smoke runs-index examples docs check clean
+	chaos-smoke report-smoke parallel-smoke serve-smoke runs-index examples \
+	docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -134,6 +135,16 @@ parallel-smoke:
 	$(PYTHON) tools/check_parallel_smoke.py .parallel-smoke
 	rm -rf .parallel-smoke
 
+# Solve-server gate (docs/PARALLEL.md): the server suite, then a real
+# `repro serve` process driven by two waves of the async load generator —
+# every request must reach a clean terminal status, the warm wave must
+# hit the shared solve cache, and the run's events.jsonl must validate.
+serve-smoke:
+	rm -rf .serve-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/server/ -q
+	PYTHONPATH=src $(PYTHON) tools/check_serve_smoke.py .serve-smoke
+	rm -rf .serve-smoke
+
 # Build (or refresh) the queryable SQLite index over runs/.
 runs-index:
 	PYTHONPATH=src $(PYTHON) -m repro runs index --runs-dir runs
@@ -153,5 +164,6 @@ check: test bench examples docs
 # benchmarks/results/ is the committed perf-trajectory feed — never clean it.
 clean:
 	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
-		.report-smoke .parallel-smoke .solve-cache.db src/repro.egg-info
+		.report-smoke .parallel-smoke .serve-smoke .solve-cache.db \
+		src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -57,6 +57,14 @@ Commands
     Render the self-contained cross-run HTML dashboard
     (:mod:`repro.obs.report_html`): run overview with artifact links plus
     per-scenario trend sparklines.
+``serve [--port P | --unix PATH] [--jobs N] [--cache [PATH]] [...]``
+    Run the persistent solve server (:mod:`repro.server`): concurrent
+    solve/plan requests over newline-delimited JSON, one shared worker
+    pool and solve cache, bounded admission with retry-after rejections.
+``client {solve,plan,ping,stats,shutdown,load} [...]``
+    Talk to a running solve server: single requests, or ``load`` to
+    drive the zipf-skewed async load generator
+    (:mod:`repro.workloads.loadgen`) and print throughput/latency.
 """
 
 from __future__ import annotations
@@ -725,6 +733,134 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import events as obs_events
+    from repro.obs import metrics as obs_metrics
+    from repro.parallel.cache import SolveCache
+    from repro.server.admission import AdmissionController
+    from repro.server.server import SolveServer
+
+    if args.unix is not None and args.port is not None:
+        print("error: --port and --unix are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.run_dir is not None:
+        # A run directory makes the server an observed run: events.jsonl
+        # and metrics.json land there on shutdown, registry-compatible.
+        obs_metrics.reset()
+        obs_metrics.enable()
+        obs_events.reset()
+        obs_events.enable()
+        from pathlib import Path
+
+        obs_events.set_run_id(Path(args.run_dir).name)
+    port = args.port
+    if args.unix is None and port is None:
+        port = 0  # ephemeral; the bound port is printed on start
+    cache = SolveCache(path=args.cache)
+    server = SolveServer(
+        host=args.host,
+        port=port if args.unix is None else None,
+        unix_path=args.unix,
+        jobs=args.jobs,
+        cache=cache,
+        admission=AdmissionController(
+            max_queue_depth=args.max_queue_depth,
+            max_inflight_bytes=args.max_inflight_bytes,
+        ),
+        default_deadline=args.default_deadline,
+        run_dir=args.run_dir,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        address = server.address
+        if isinstance(address, tuple):
+            print(f"serving on {address[0]}:{address[1]}", flush=True)
+        else:
+            print(f"serving on unix:{address}", flush=True)
+        await server.run_until_shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    finally:
+        cache.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.client import ServeClient
+    from repro.server.protocol import SOLVE_OPS
+
+    if args.unix is None and args.port is None:
+        print("error: --port or --unix is required", file=sys.stderr)
+        return 2
+    if args.op == "load":
+        from repro.workloads.loadgen import LoadSpec, run_load
+
+        spec = LoadSpec(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            deadline=args.deadline,
+            seed=args.seed,
+        )
+        result = run_load(
+            spec, host=args.host, port=args.port, unix_path=args.unix
+        )
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0 if result.errors == 0 else 1
+    if args.op in SOLVE_OPS and not args.graph_files:
+        print(f"error: op {args.op!r} needs graph file(s)", file=sys.stderr)
+        return 2
+    exit_code = 0
+    with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix
+    ) as client:
+        if args.op in SOLVE_OPS:
+            for path in args.graph_files:
+                with open(path) as handle:
+                    graph_text = handle.read()
+                response = client.request(
+                    args.op,
+                    graph_text,
+                    method=args.method,
+                    deadline=args.deadline,
+                )
+                if response.get("ok"):
+                    result = response["result"]
+                    line = (
+                        f"{path}: pi={result['effective_cost']} "
+                        f"({result['status']}, {result['components']} "
+                        f"component(s), {result['cached_components']} cached)"
+                    )
+                    print(line)
+                else:
+                    error = response.get("error", {})
+                    print(
+                        f"{path}: error: {error.get('code')}: "
+                        f"{error.get('message')}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 1
+        else:
+            response = client.request(args.op)
+            if response.get("ok"):
+                print(json.dumps(response["result"], indent=2, sort_keys=True))
+            else:
+                error = response.get("error", {})
+                print(
+                    f"error: {error.get('code')}: {error.get('message')}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -1018,6 +1154,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression threshold (default: the perf-gate threshold)",
     )
     report.set_defaults(func=_cmd_report)
+
+    serve = commands.add_parser(
+        "serve", help="run the persistent solve server (NDJSON protocol)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        help="TCP port (0 = ephemeral, printed on start)",
+    )
+    serve.add_argument("--unix", help="serve on this Unix socket path instead")
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes shared by all requests (default 1 = inline)",
+    )
+    serve.add_argument(
+        "--cache",
+        nargs="?",
+        const=".solve-cache.db",
+        help="persistent solve-cache path (flag alone: .solve-cache.db); "
+        "the in-memory tier is always on",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="admitted-but-unfinished request limit (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        help="summed wire bytes of admitted requests (default 32 MiB)",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        help="per-request deadline in seconds when the request sets none",
+    )
+    serve.add_argument(
+        "--run-dir",
+        help="record this server run: events.jsonl + metrics.json are "
+        "written here on shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="send requests to a running solve server"
+    )
+    client.add_argument(
+        "op", choices=["solve", "plan", "ping", "stats", "shutdown", "load"]
+    )
+    client.add_argument("graph_files", nargs="*")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, help="server TCP port")
+    client.add_argument("--unix", help="server Unix socket path")
+    client.add_argument("--method", default="auto")
+    client.add_argument(
+        "--deadline", type=float, help="per-request deadline in seconds"
+    )
+    client.add_argument(
+        "--requests", type=int, default=40, help="load mode: request count"
+    )
+    client.add_argument(
+        "--concurrency", type=int, default=4, help="load mode: client count"
+    )
+    client.add_argument("--seed", type=int, default=0, help="load mode: mix seed")
+    client.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,6 +62,13 @@ EVENT_CACHE_HIT = "cache.hit"
 EVENT_CACHE_MISS = "cache.miss"
 EVENT_POOL_TASK_START = "pool.task_start"
 EVENT_POOL_TASK_END = "pool.task_end"
+EVENT_POOL_SKEW = "pool.skew"
+EVENT_SERVER_START = "server.start"
+EVENT_SERVER_STOP = "server.stop"
+EVENT_SERVER_ADMIT = "server.admit"
+EVENT_SERVER_REJECT = "server.reject"
+EVENT_SERVER_REQUEST_START = "server.request_start"
+EVENT_SERVER_REQUEST_END = "server.request_end"
 
 VOCABULARY = (
     EVENT_RUN_START,
@@ -75,6 +83,13 @@ VOCABULARY = (
     EVENT_CACHE_MISS,
     EVENT_POOL_TASK_START,
     EVENT_POOL_TASK_END,
+    EVENT_POOL_SKEW,
+    EVENT_SERVER_START,
+    EVENT_SERVER_STOP,
+    EVENT_SERVER_ADMIT,
+    EVENT_SERVER_REJECT,
+    EVENT_SERVER_REQUEST_START,
+    EVENT_SERVER_REQUEST_END,
 )
 
 
@@ -112,6 +127,10 @@ class EventLog:
         self.run_id: str | None = None
         self._events: list[Event] = []
         self._next_seq = 0
+        # The solve server emits from its event loop while bench/CLI
+        # code emits from the main thread; the lock keeps ``seq``
+        # strictly increasing (the total order the log promises).
+        self._lock = threading.Lock()
 
     # -- control -------------------------------------------------------
     def enable(self) -> None:
@@ -141,17 +160,18 @@ class EventLog:
         if not self.enabled:
             return
         open_span = obs_trace.current_span()
-        self._events.append(
-            Event(
-                seq=self._next_seq,
-                name=name,
-                ts_unix=time.time(),
-                run_id=self.run_id,
-                span_id=None if open_span is None else open_span.index,
-                attrs=attrs,
+        with self._lock:
+            self._events.append(
+                Event(
+                    seq=self._next_seq,
+                    name=name,
+                    ts_unix=time.time(),
+                    run_id=self.run_id,
+                    span_id=None if open_span is None else open_span.index,
+                    attrs=attrs,
+                )
             )
-        )
-        self._next_seq += 1
+            self._next_seq += 1
 
     # -- inspection ----------------------------------------------------
     def events(self) -> list[Event]:

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -156,6 +157,10 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._histograms: dict[str, HistogramSummary] = {}
+        # The solve server records from its event loop while bench code
+        # records from the main thread; the lock keeps read-modify-write
+        # updates coherent.  Disabled recording never touches it.
+        self._lock = threading.Lock()
 
     # -- control -------------------------------------------------------
     def enable(self) -> None:
@@ -175,22 +180,25 @@ class MetricsRegistry:
         """Add ``amount`` to the named counter (created at 0)."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the named gauge to ``value`` (last write wins)."""
         if not self.enabled:
             return
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Fold ``value`` into the named histogram summary."""
         if not self.enabled:
             return
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = HistogramSummary()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = HistogramSummary()
+            histogram.observe(value)
 
     # -- inspection ----------------------------------------------------
     def counter(self, name: str) -> int:

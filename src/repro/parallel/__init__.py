@@ -23,17 +23,26 @@ from repro.parallel.cache import (
     use_cache,
 )
 from repro.parallel.fingerprint import CanonicalForm, canonical_form, fingerprint
-from repro.parallel.service import solve_many, split_deadline
+from repro.parallel.pool import WorkerPool
+from repro.parallel.service import (
+    assemble_components,
+    rebind_result,
+    solve_many,
+    split_deadline,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
     "CanonicalForm",
     "SolveCache",
+    "WorkerPool",
+    "assemble_components",
     "canonical_form",
     "current_cache",
     "default_cache_path",
     "fingerprint",
+    "rebind_result",
     "solve_many",
     "split_deadline",
     "use_cache",

@@ -33,6 +33,7 @@ from __future__ import annotations
 import contextlib
 import json
 import sqlite3
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -199,28 +200,87 @@ class LRUCache:
             self._entries.popitem(last=False)
 
 
+# Concurrent-access posture of the persistent tier.  A long-lived server
+# has many threads/processes sharing one cache file, so the tier must
+# tolerate SQLITE_BUSY instead of assuming one short-lived writer.
+DEFAULT_BUSY_TIMEOUT = 5.0
+_LOCKED_RETRIES = 3
+_LOCKED_BACKOFF = 0.01  # seconds; doubles per retry
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
 class SQLiteCacheTier:
     """The persistent tier: one table, fsync'd by SQLite itself.
 
     Follows the :mod:`repro.obs.registry` storage pattern — tiny explicit
     schema, ``:memory:`` supported for tests, the file is disposable.
+
+    Hardened for concurrent access from a long-lived server: the
+    connection opens in **WAL mode** with a busy timeout (readers never
+    block writers and vice versa), it is shared across threads
+    (``check_same_thread=False`` — the server consults from its event
+    loop and helper threads), and every get/put retries a handful of
+    times on ``SQLITE_BUSY``/``SQLITE_LOCKED``.  A read that stays
+    locked degrades to a **miss**; a write that stays locked is
+    **dropped** (and counted) — the tier is a cache, losing an entry
+    loses warm-start time, never correctness.
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        busy_timeout: float = DEFAULT_BUSY_TIMEOUT,
+    ) -> None:
         self.path = str(path)
         if self.path != ":memory:":
             parent = Path(self.path).resolve().parent
             parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout, check_same_thread=False
+        )
+        self._conn.execute(f"PRAGMA busy_timeout = {int(busy_timeout * 1000)}")
+        if self.path != ":memory:":
+            # WAL lets concurrent readers proceed under a writer; NORMAL
+            # sync is safe with WAL and halves fsyncs on the hot path.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_SCHEMA_SQL)
 
     def close(self) -> None:
         self._conn.close()
 
+    def _with_locked_retry(self, operation):
+        """Run ``operation`` with bounded retries on lock contention.
+
+        Returns ``(value, succeeded)``; ``succeeded`` is False only when
+        every attempt hit a locked/busy database.
+        """
+        for attempt in range(_LOCKED_RETRIES + 1):
+            try:
+                return operation(), True
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc) or attempt == _LOCKED_RETRIES:
+                    if not _is_locked(exc):
+                        raise
+                    if obs_metrics.METRICS.enabled:
+                        obs_metrics.inc("parallel.cache.locked_giveups")
+                    return None, False
+                if obs_metrics.METRICS.enabled:
+                    obs_metrics.inc("parallel.cache.locked_retries")
+                time.sleep(_LOCKED_BACKOFF * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def get(self, key: str) -> CacheEntry | None:
-        row = self._conn.execute(
-            "SELECT payload FROM solve_cache WHERE key = ?", (key,)
-        ).fetchone()
+        def _read():
+            return self._conn.execute(
+                "SELECT payload FROM solve_cache WHERE key = ?", (key,)
+            ).fetchone()
+
+        row, _ok = self._with_locked_retry(_read)
         if row is None:
             return None
         try:
@@ -231,19 +291,22 @@ class SQLiteCacheTier:
             return None
 
     def put(self, key: str, fingerprint: str, entry: CacheEntry) -> None:
-        self._conn.execute(
-            "INSERT OR REPLACE INTO solve_cache "
-            "(key, fingerprint, method, payload, created_unix) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (
-                key,
-                fingerprint,
-                entry.method,
-                json.dumps(entry.as_dict(), sort_keys=True),
-                time.time(),
-            ),
-        )
-        self._conn.commit()
+        def _write():
+            self._conn.execute(
+                "INSERT OR REPLACE INTO solve_cache "
+                "(key, fingerprint, method, payload, created_unix) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    key,
+                    fingerprint,
+                    entry.method,
+                    json.dumps(entry.as_dict(), sort_keys=True),
+                    time.time(),
+                ),
+            )
+            self._conn.commit()
+
+        self._with_locked_retry(_write)
 
     def __len__(self) -> int:
         row = self._conn.execute("SELECT COUNT(*) FROM solve_cache").fetchone()
@@ -288,10 +351,20 @@ class SolveCache:
         self.memory = LRUCache(capacity)
         self.persistent = SQLiteCacheTier(path) if path is not None else None
         self.stats = CacheStats()
+        # One instance may be shared by a server's event loop and helper
+        # threads; the lock keeps the LRU's read-modify-write sequences
+        # and the stats counters coherent (SQLite has its own handling).
+        self._lock = threading.Lock()
 
     def close(self) -> None:
         if self.persistent is not None:
             self.persistent.close()
+
+    def __enter__(self) -> "SolveCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- the consult/store pair the registry calls ---------------------
     def consult(
@@ -301,14 +374,17 @@ class SolveCache:
         key = cache_key(form, method, options)
         token = CacheToken(key=key, form=form, graph=graph)
         tier = "memory"
-        entry = self.memory.get(key)
+        with self._lock:
+            entry = self.memory.get(key)
         if entry is None and self.persistent is not None:
             entry = self.persistent.get(key)
             tier = "persistent"
             if entry is not None:
-                self.memory.put(key, entry)
+                with self._lock:
+                    self.memory.put(key, entry)
         if entry is None:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             if obs_metrics.METRICS.enabled:
                 obs_metrics.inc("parallel.cache.misses")
             if obs_events.EVENTS.enabled:
@@ -318,10 +394,11 @@ class SolveCache:
                     method=method,
                 )
             return None, token
-        if tier == "memory":
-            self.stats.memory_hits += 1
-        else:
-            self.stats.persistent_hits += 1
+        with self._lock:
+            if tier == "memory":
+                self.stats.memory_hits += 1
+            else:
+                self.stats.persistent_hits += 1
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("parallel.cache.hits")
             obs_metrics.inc(f"parallel.cache.hits.{tier}")
@@ -339,10 +416,12 @@ class SolveCache:
         entry = entry_from_result(result, token.form)
         if entry is None:
             return False
-        self.memory.put(token.key, entry)
+        with self._lock:
+            self.memory.put(token.key, entry)
         if self.persistent is not None:
             self.persistent.put(token.key, token.form.fingerprint, entry)
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("parallel.cache.stores")
         return True

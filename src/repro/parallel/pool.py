@@ -142,9 +142,72 @@ def make_executor(jobs: int, task_count: int) -> Executor:
     return ProcessPoolExecutor(max_workers=workers, mp_context=context)
 
 
+class WorkerPool:
+    """A long-lived, re-entrant process pool shared across batch calls.
+
+    ``solve_many`` historically built (and tore down) a throwaway
+    ``ProcessPoolExecutor`` per batch; a persistent front-end (``repro
+    serve``) cannot afford that — worker start-up would dominate every
+    request.  A ``WorkerPool`` owns one executor for its whole lifetime:
+
+    - **lazy**: the executor is created on first use, so constructing a
+      pool is free and a server that only ever serves cache hits never
+      forks a worker;
+    - **context-managed and re-entrant**: ``with pool:`` blocks nest —
+      the underlying executor is shut down only when the *outermost*
+      ``with`` exits (or :meth:`close` is called explicitly), so a
+      service can hold the pool open while individual batches also use
+      ``with pool:`` for scoped cleanliness;
+    - **shareable**: any number of concurrent ``solve_many`` calls (or
+      server requests) may submit into one pool; the executor's queue
+      interleaves them.
+
+    After :meth:`close`, the pool is reusable: the next submit lazily
+    builds a fresh executor (useful for fork-safety after chaos tests).
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = None
+        self._entries = 0
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use."""
+        if self._executor is None:
+            context = multiprocessing.get_context(preferred_start_method())
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+        return self._executor
+
+    def submit(self, task: SolveTask):
+        """Submit one :func:`solve_task` to the pool; returns the future."""
+        return self.executor.submit(solve_task, task)
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); the pool stays reusable."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        self._entries += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._entries -= 1
+        if self._entries <= 0:
+            self._entries = 0
+            self.close()
+
+
 __all__ = [
     "SolveTask",
     "TaskOutcome",
+    "WorkerPool",
     "make_executor",
     "merge_observations",
     "preferred_start_method",

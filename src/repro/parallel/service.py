@@ -36,6 +36,7 @@ never cross the process boundary — only plain numbers do.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import replace
 from typing import Any, Sequence
@@ -86,11 +87,18 @@ def split_deadline(
 ) -> float | None:
     """The per-task deadline share: the batch deadline divided across
     dispatch waves (``ceil(tasks / jobs)``), so the whole batch finishes
-    inside ``deadline`` no matter how tasks queue behind the workers."""
+    inside ``deadline`` no matter how tasks queue behind the workers.
+
+    The share is clamped at 0.0: a zero (or already-overrun, i.e.
+    negative-remaining) deadline yields a zero share, which is a *valid*
+    cooperative budget — every solve trips on its first checkpoint and
+    degrades through the ladder to an instant answer — rather than a
+    ``Budget`` constructor error deep inside a worker.
+    """
     if deadline is None or tasks == 0:
         return None
     waves = math.ceil(tasks / max(1, jobs))
-    return deadline / waves
+    return max(0.0, deadline / waves)
 
 
 def _merge_status(statuses: Sequence[str]) -> str:
@@ -121,7 +129,7 @@ def _merge_provenance(
     )
 
 
-def _assemble(
+def assemble_components(
     graph: AnyGraph,
     method: str,
     component_results: Sequence[SolveResult],
@@ -174,6 +182,7 @@ def solve_many(
     cache: SolveCache | None = None,
     deadline: float | None = None,
     memo_cap: int | None = None,
+    pool: pool_mod.WorkerPool | None = None,
     **options: Any,
 ) -> list[SolveResult]:
     """Solve PEBBLE on every graph in ``graphs``; results in input order.
@@ -185,9 +194,17 @@ def solve_many(
     ``deadline`` / ``memo_cap`` are cooperative batch budgets, split
     across workers (see :func:`split_deadline`); remaining ``options``
     are forwarded to :func:`repro.core.solvers.registry.solve`.
+
+    ``pool`` shares a long-lived :class:`~repro.parallel.pool.WorkerPool`
+    across calls (the ``repro serve`` path): tasks are submitted to the
+    existing executor, which is **not** shut down afterwards, and the
+    pool's ``jobs`` governs the wave math.  Without it, a throwaway
+    executor is built per call exactly as before.
     """
     if method not in METHODS:
         raise SolverError(f"unknown method {method!r}; choose from {METHODS}")
+    if pool is not None:
+        jobs = pool.jobs
     if jobs < 1:
         raise SolverError(f"jobs must be >= 1, got {jobs}")
     graphs = list(graphs)
@@ -197,7 +214,42 @@ def solve_many(
         "parallel.solve_many", graphs=len(graphs), jobs=jobs, method=method
     ):
         return _solve_many(
-            graphs, method, jobs, the_cache, deadline, memo_cap, options
+            graphs, method, jobs, the_cache, deadline, memo_cap, options, pool
+        )
+
+
+def _detect_skew(tasks: Sequence[tuple[str, AnyGraph]], jobs: int) -> None:
+    """Flag a wave dominated by one huge component (ROADMAP item 3's
+    measurement hook).
+
+    ``solve_many`` dedupes components but never *splits* one, so a batch
+    whose largest component holds the majority of the edges parallelizes
+    badly: every other worker drains its queue and idles while one
+    grinds.  When that happens (>1 task and the largest component has
+    more edges than all others combined) a ``pool.skew`` event and
+    counter record the shape, so sharded/skew-aware work has a baseline
+    to beat.  Detection only — behaviour is unchanged.
+    """
+    if len(tasks) < 2:
+        return
+    if not (obs_metrics.METRICS.enabled or obs_events.EVENTS.enabled):
+        return
+    sizes = [component.num_edges for _key, component in tasks]
+    total = sum(sizes)
+    biggest = max(sizes)
+    if biggest * 2 <= total:
+        return
+    dominant_key = tasks[sizes.index(biggest)][0]
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.inc("parallel.pool.skew")
+    if obs_events.EVENTS.enabled:
+        obs_events.emit(
+            obs_events.EVENT_POOL_SKEW,
+            fingerprint=dominant_key.split(":", 1)[0][:12],
+            edges=biggest,
+            total_edges=total,
+            tasks=len(tasks),
+            jobs=jobs,
         )
 
 
@@ -209,6 +261,7 @@ def _solve_many(
     deadline: float | None,
     memo_cap: int | None,
     options: dict[str, Any],
+    pool: pool_mod.WorkerPool | None = None,
 ) -> list[SolveResult]:
     # 1+2. Decompose and dedupe.  `plans` maps each input graph to its
     # components' (key, canonical form) pairs, in canonical component
@@ -251,7 +304,8 @@ def _solve_many(
     tasks = list(pending.items())
     share = split_deadline(deadline, len(tasks), jobs)
     if tasks:
-        if jobs == 1 or len(tasks) == 1:
+        _detect_skew(tasks, jobs)
+        if (pool is None and jobs == 1) or len(tasks) == 1:
             for key, component in tasks:
                 _emit_task_event(
                     obs_events.EVENT_POOL_TASK_START, key, method, jobs
@@ -284,7 +338,13 @@ def _solve_many(
                 )
                 for _key, component in tasks
             ]
-            with pool_mod.make_executor(jobs, len(tasks)) as executor:
+            # A shared WorkerPool outlives the call; a throwaway executor
+            # is torn down with it.  Submission/collection is identical.
+            if pool is not None:
+                executor_cm: Any = contextlib.nullcontext(pool.executor)
+            else:
+                executor_cm = pool_mod.make_executor(jobs, len(tasks))
+            with executor_cm as executor:
                 futures = []
                 for (key, _component), payload in zip(tasks, payloads):
                     _emit_task_event(
@@ -310,16 +370,19 @@ def _solve_many(
 
     # 4. Reassemble per input graph, in input order.
     return [
-        _assemble(
+        assemble_components(
             graph,
             method,
-            [_rebind(solved[key], rep_forms[key], form) for key, form in keys],
+            [
+                rebind_result(solved[key], rep_forms[key], form)
+                for key, form in keys
+            ],
         )
         for graph, keys in zip(graphs, plans)
     ]
 
 
-def _rebind(
+def rebind_result(
     result: SolveResult, source: CanonicalForm, target: CanonicalForm
 ) -> SolveResult:
     """Re-express a deduped result on a structurally identical component.
@@ -350,4 +413,9 @@ def _emit_task_event(
         )
 
 
-__all__ = ["solve_many", "split_deadline"]
+__all__ = [
+    "assemble_components",
+    "rebind_result",
+    "solve_many",
+    "split_deadline",
+]

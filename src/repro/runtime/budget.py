@@ -90,6 +90,22 @@ class Budget:
             return 0.0
         return self.clock.now() - self._started_at
 
+    def remaining(self) -> float | None:
+        """Seconds left before the deadline, clamped at 0.0 (``None``
+        when no deadline is set).  Arms the budget on first call.
+
+        This is how a deadline propagates out of its home thread or
+        event loop: an async dispatcher can't share the ``Budget``
+        object with worker processes, but it can hand each stage
+        ``remaining()`` as a plain number and rebuild a budget on the
+        other side — the server does exactly that per component solve.
+        """
+        if self.deadline is None:
+            return None
+        self.start()
+        assert self._deadline_at is not None
+        return max(0.0, self._deadline_at - self.clock.now())
+
     # -- checks ------------------------------------------------------------
 
     def _trip(self, reason: str) -> str:

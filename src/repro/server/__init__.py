@@ -1,0 +1,43 @@
+"""The persistent solve front-end (``repro serve``; ``docs/PARALLEL.md``).
+
+A small asyncio subsystem serving PEBBLE solves and join-plan summaries
+over a newline-delimited JSON protocol, sharing one long-lived
+:class:`~repro.parallel.pool.WorkerPool` and one two-tier
+:class:`~repro.parallel.cache.SolveCache` across all concurrent
+requests:
+
+- :mod:`repro.server.protocol` — the versioned wire schema
+  (``repro-serve/v1``), request parsing/validation, response encoding;
+- :mod:`repro.server.admission` — bounded admission (queue depth +
+  in-flight bytes) with retry-after rejections;
+- :mod:`repro.server.dispatch` — the per-request solve pipeline
+  (decompose → cache → fan out → reassemble) on the event loop;
+- :mod:`repro.server.server` — the listener, connection pipelining, and
+  lifecycle (plus :func:`serve_background` for synchronous harnesses);
+- :mod:`repro.server.client` — sync and asyncio clients.
+"""
+
+from repro.server.admission import AdmissionController, RejectedError
+from repro.server.client import AsyncServeClient, ServeClient
+from repro.server.dispatch import Dispatcher
+from repro.server.protocol import (
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    Request,
+    parse_request,
+)
+from repro.server.server import SolveServer, serve_background
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServeClient",
+    "Dispatcher",
+    "PROTOCOL_SCHEMA",
+    "ProtocolError",
+    "RejectedError",
+    "Request",
+    "ServeClient",
+    "SolveServer",
+    "parse_request",
+    "serve_background",
+]

@@ -1,0 +1,219 @@
+"""Clients for the solve server: one synchronous, one asyncio.
+
+:class:`ServeClient` is the workhorse for sequential callers — the
+``repro client`` CLI, the test-suite, and ``tools/check_serve_smoke.py``.
+It speaks over a raw socket (TCP or Unix) and, because the server may
+answer pipelined requests out of order, matches responses to requests by
+``id``, parking strays until their request asks for them.
+
+:class:`AsyncServeClient` is the load generator's client: many in-flight
+requests on one connection, each ``request()`` awaiting a future that a
+single background reader task resolves as response lines arrive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from pathlib import Path
+from typing import Any
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+
+class ServeClient:
+    """A blocking newline-delimited-JSON client (context manager)."""
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: str | Path | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(unix_path))
+        else:
+            if host is None or port is None:
+                raise ValueError("host and port (or unix_path) are required")
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+        self._parked: dict[str | None, dict[str, Any]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire ----------------------------------------------------------
+    def send(
+        self,
+        op: str,
+        graph_text: str | None = None,
+        method: str = "auto",
+        deadline: float | None = None,
+        options: dict[str, Any] | None = None,
+        request_id: str | None = None,
+    ) -> str:
+        """Write one request line; returns the request id (no read)."""
+        rid = request_id if request_id is not None else f"c{next(self._ids)}"
+        line = protocol.encode_request(
+            rid, op, graph_text, method=method, deadline=deadline, options=options
+        )
+        self._sock.sendall(line.encode("utf-8"))
+        return rid
+
+    def recv(self, request_id: str) -> dict[str, Any]:
+        """Read until the response for ``request_id`` arrives.
+
+        Responses for other in-flight requests are parked and handed out
+        when *their* ``recv`` is called; ``id: null`` error responses
+        (lines too defective to carry an id) match any waiter.
+        """
+        if request_id in self._parked:
+            return self._parked.pop(request_id)
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = protocol.parse_response(line)
+            rid = response.get("id")
+            if rid == request_id or rid is None:
+                return response
+            self._parked[rid] = response
+
+    def request(
+        self,
+        op: str,
+        graph_text: str | None = None,
+        method: str = "auto",
+        deadline: float | None = None,
+        options: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Send one request and block for its response."""
+        rid = self.send(
+            op, graph_text, method=method, deadline=deadline, options=options
+        )
+        return self.recv(rid)
+
+    # -- conveniences ---------------------------------------------------
+    def solve(self, graph_text: str, **kwargs: Any) -> dict[str, Any]:
+        return self.request(protocol.OP_SOLVE, graph_text, **kwargs)
+
+    def plan(self, graph_text: str, **kwargs: Any) -> dict[str, Any]:
+        return self.request(protocol.OP_PLAN, graph_text, **kwargs)
+
+    def ping(self) -> dict[str, Any]:
+        return self.request(protocol.OP_PING)
+
+    def stats(self) -> dict[str, Any]:
+        return self.request(protocol.OP_STATS)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request(protocol.OP_SHUTDOWN)
+
+
+class AsyncServeClient:
+    """An asyncio client multiplexing many requests on one connection."""
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str | None = None,
+        port: int | None = None,
+        unix_path: str | Path | None = None,
+    ) -> "AsyncServeClient":
+        client = cls()
+        if unix_path is not None:
+            client._reader, client._writer = await asyncio.open_unix_connection(
+                str(unix_path)
+            )
+        else:
+            if host is None or port is None:
+                raise ValueError("host and port (or unix_path) are required")
+            client._reader, client._writer = await asyncio.open_connection(
+                host, port
+            )
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = protocol.parse_response(line)
+                except ProtocolError:
+                    continue
+                rid = response.get("id")
+                future = self._pending.pop(rid, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        finally:
+            # Connection gone: fail every waiter instead of hanging them.
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def request(
+        self,
+        op: str,
+        graph_text: str | None = None,
+        method: str = "auto",
+        deadline: float | None = None,
+        options: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Send one request; await its (possibly out-of-order) response."""
+        assert self._writer is not None
+        rid = f"a{next(self._ids)}"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        line = protocol.encode_request(
+            rid, op, graph_text, method=method, deadline=deadline, options=options
+        )
+        self._writer.write(line.encode("utf-8"))
+        await self._writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+__all__ = ["AsyncServeClient", "ServeClient"]

@@ -1,0 +1,358 @@
+"""The persistent solve server behind ``repro serve``.
+
+One :class:`SolveServer` owns the long-lived resources — a
+:class:`~repro.parallel.pool.WorkerPool`, a shared two-tier
+:class:`~repro.parallel.cache.SolveCache`, an
+:class:`~repro.server.admission.AdmissionController` — and an asyncio
+listener (TCP ``host:port`` or a Unix socket ``path``) speaking the
+newline-delimited JSON protocol of :mod:`repro.server.protocol`.
+
+Connection handling is pipelined: every request line spawns its own
+asyncio task, so a slow solve on one connection never blocks a ping on
+another — or a later request on the *same* connection; responses carry
+the request ``id`` precisely because they may come back out of order.
+A per-connection lock serializes writes so response lines never
+interleave mid-line.
+
+Lifecycle of one request::
+
+    read line ─ parse ─ admit ─ dispatch ─ respond ─ release
+        │          │       │        │
+        │          │       │        └─ budget_exhausted/timed_out are
+        │          │       │           *ok* responses with degraded
+        │          │       │           status — a tripped deadline never
+        │          │       │           kills the connection or server
+        │          │       └─ overloaded ⇒ error + retry_after_ms
+        └──────────┴─ defects ⇒ bad_request/... error response
+
+Every stage is observable: ``server.request_start`` / ``server.request_end``
+events (end carries per-request latency), request counters, and
+admission events/gauges from the controller.  When the server is given
+a run directory, shutdown writes ``events.jsonl`` + ``metrics.json``
+there — the same artifact shapes as a bench run — and only then does a
+``server.latency_ms`` histogram (p50/p99) enter the metrics snapshot:
+bench-run metrics must stay timing-free so same-seed runs stay
+byte-identical.
+
+:func:`serve_background` runs a server on a daemon thread with its own
+event loop — the harness used by tests, the smoke checker, and the
+``server-load`` bench scenario (whose driving client is synchronous).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.parallel.cache import SolveCache
+from repro.parallel.pool import WorkerPool
+from repro.server import protocol
+from repro.server.admission import (
+    AdmissionController,
+    RejectedError,
+)
+from repro.server.dispatch import Dispatcher
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class SolveServer:
+    """A solve/plan server over TCP or a Unix socket.
+
+    Exactly one of ``port`` (TCP on ``host``) or ``unix_path`` selects
+    the transport; ``port=0`` binds an ephemeral port (read it back from
+    :attr:`address` once started — the test/bench pattern).
+
+    ``jobs=1`` means no worker pool: components solve inline on the
+    event-loop thread, which is the right shape for tests and for
+    cache-hit-dominated serving.  ``jobs>1`` builds a shared
+    :class:`WorkerPool` that lives as long as the server.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int | None = None,
+        unix_path: str | Path | None = None,
+        jobs: int = 1,
+        cache: SolveCache | None = None,
+        admission: AdmissionController | None = None,
+        default_deadline: float | None = None,
+        memo_cap: int | None = None,
+        run_dir: str | Path | None = None,
+    ) -> None:
+        if (port is None) == (unix_path is None):
+            raise ValueError("exactly one of port= or unix_path= must be set")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.host = host
+        self.port = port
+        self.unix_path = Path(unix_path) if unix_path is not None else None
+        self.jobs = jobs
+        self.cache = cache
+        self.pool = WorkerPool(jobs) if jobs > 1 else None
+        self.admission = admission if admission is not None else AdmissionController()
+        self.dispatcher = Dispatcher(
+            cache=cache,
+            pool=self.pool,
+            default_deadline=default_deadline,
+            memo_cap=memo_cap,
+        )
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.requests_total = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int] | str:
+        """Where the server actually listens: ``(host, port)`` or the
+        Unix socket path.  Valid once :meth:`start` has returned."""
+        if self.unix_path is not None:
+            return str(self.unix_path)
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listener and record the start event."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(self.unix_path)
+            )
+        else:
+            assert self.port is not None
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_SERVER_START,
+                transport="unix" if self.unix_path is not None else "tcp",
+                jobs=self.jobs,
+            )
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown` fires, then clean up."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None and self._shutdown is not None
+        async with self._server:
+            await self._shutdown.wait()
+        # Drain open connections *before* the loop tears down, so their
+        # handler tasks finish normally instead of being cancelled.
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.pool is not None:
+            self.pool.close()
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_SERVER_STOP,
+                requests_total=self.requests_total,
+            )
+        self._write_artifacts()
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit; safe from any thread, idempotent."""
+        if self._loop is None or self._shutdown is None:
+            return
+        # The loop may already be gone (e.g. an in-band ``shutdown`` op
+        # stopped it); a second request is then a no-op, not an error.
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    def _write_artifacts(self) -> None:
+        """Drop run artifacts (events.jsonl, metrics.json) on shutdown."""
+        if self.run_dir is None:
+            return
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if obs_events.EVENTS.enabled:
+            obs_events.write_events(self.run_dir / "events.jsonl")
+        if obs_metrics.METRICS.enabled:
+            (self.run_dir / "metrics.json").write_text(obs_metrics.to_json())
+
+    # -- connection plumbing -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # One task per request line: pipelining.  The task set
+                # keeps strong references and lets close wait for drains.
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+        finally:
+            self._writers.discard(writer)
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        started = time.monotonic()
+        request_id: str | None = None
+        ticket = None
+        self.requests_total += 1
+        try:
+            request = protocol.parse_request(line)
+            request_id = request.id
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SERVER_REQUEST_START,
+                    id=request.id,
+                    op=request.op,
+                    nbytes=request.nbytes,
+                )
+            if request.op == protocol.OP_PING:
+                response = protocol.ok_response(request.id, request.op, {})
+            elif request.op == protocol.OP_STATS:
+                response = protocol.ok_response(
+                    request.id, request.op, self._stats_payload()
+                )
+            elif request.op == protocol.OP_SHUTDOWN:
+                response = protocol.ok_response(request.id, request.op, {})
+                self.request_shutdown()
+            else:
+                ticket = self.admission.admit(request.nbytes)
+                result = await self.dispatcher.handle(request)
+                response = protocol.ok_response(request.id, request.op, result)
+        except RejectedError as exc:
+            response = protocol.error_response(
+                request_id,
+                protocol.ERROR_OVERLOADED,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        except protocol.ProtocolError as exc:
+            response = protocol.error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            response = protocol.error_response(
+                request_id,
+                protocol.ERROR_INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            if ticket is not None:
+                self.admission.release(ticket)
+        latency_ms = (time.monotonic() - started) * 1000.0
+        if obs_metrics.METRICS.enabled:
+            obs_metrics.inc("server.requests")
+            # The latency histogram belongs to *observed server runs*
+            # (``--run-dir``), whose metrics.json is this server's own
+            # artifact.  Inside a bench run the process-global registry
+            # must stay timing-free so same-seed metrics.json files are
+            # byte-identical; there, p50/p99 come from the load
+            # generator's client-side measurements instead.
+            if self.run_dir is not None:
+                obs_metrics.observe("server.latency_ms", latency_ms)
+        if obs_events.EVENTS.enabled:
+            obs_events.emit(
+                obs_events.EVENT_SERVER_REQUEST_END,
+                id=request_id,
+                latency_ms=round(latency_ms, 3),
+            )
+        async with write_lock:
+            try:
+                writer.write(response.encode("utf-8"))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; the work is already done
+
+    def _stats_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "requests_total": self.requests_total,
+            "jobs": self.jobs,
+            "admission": self.admission.stats(),
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.as_dict()
+        return payload
+
+
+@contextlib.contextmanager
+def serve_background(
+    server: SolveServer, startup_timeout: float = 10.0
+) -> Iterator[SolveServer]:
+    """Run ``server`` on a daemon thread with its own event loop.
+
+    Yields once the listener is bound (so :attr:`SolveServer.address` is
+    readable); on exit requests shutdown and joins the thread.  This is
+    how synchronous callers — tests, the smoke checker, the bench
+    scenario — stand a server up without an event loop of their own.
+    """
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except BaseException as exc:  # propagate bind errors to the caller
+            failure.append(exc)
+            ready.set()
+            raise
+        ready.set()
+        await server.run_until_shutdown()
+
+    def _thread_main() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException:
+            if not failure:
+                raise
+
+    thread = threading.Thread(
+        target=_thread_main, name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not ready.wait(startup_timeout):
+        raise TimeoutError("server failed to start within timeout")
+    if failure:
+        raise failure[0]
+    try:
+        yield server
+    finally:
+        server.request_shutdown()
+        thread.join(timeout=startup_timeout)
+
+
+__all__ = ["DEFAULT_HOST", "SolveServer", "serve_background"]

@@ -160,6 +160,59 @@ class TestBudgets:
         results = solve_many(graphs, jobs=2, deadline=300.0)
         assert all(r.optimal for r in results)
 
+    def test_split_deadline_zero_remaining_clamps_to_zero(self):
+        # A request whose budget is already spent hands 0.0 downstream:
+        # a valid share (instant cooperative trip), not None and never
+        # a Budget constructor error.
+        assert split_deadline(0.0, 8, 4) == 0.0
+        assert split_deadline(0.0, 1, 1) == 0.0
+
+    def test_split_deadline_negative_remaining_clamps_to_zero(self):
+        # Negative "remaining" can reach the splitter when a deadline
+        # overruns between measurement and dispatch; the share clamps.
+        assert split_deadline(-2.5, 4, 2) == 0.0
+        assert split_deadline(-0.001, 1, 8) == 0.0
+
+    def test_split_deadline_more_waves_than_milliseconds(self):
+        # 1 ms across 1000 single-job waves: shares collapse toward zero
+        # but stay non-negative and Budget-constructible.
+        share = split_deadline(0.001, 1000, 1)
+        assert share is not None
+        assert 0.0 <= share <= 0.001
+        from repro.runtime.budget import Budget
+
+        Budget(deadline=share)  # must not raise
+
+    def test_split_deadline_share_never_negative_or_oversized(self):
+        for deadline in (0.0, 0.5, 7.0):
+            for tasks in (1, 3, 17):
+                for jobs in (1, 2, 16):
+                    share = split_deadline(deadline, tasks, jobs)
+                    assert share is not None
+                    assert 0.0 <= share <= deadline or deadline == 0.0
+
+    def test_zero_deadline_degrades_with_budget_status_vocabulary(self):
+        # Exhaustion mid-batch must surface through the anytime status
+        # vocabulary — degraded statuses, answers for every graph, and
+        # no exception out of solve_many.
+        from repro.runtime.anytime import DEGRADED_STATUSES
+
+        graphs = [worst_case_family(4), worst_case_family(5)]
+        results = solve_many(graphs, jobs=1, deadline=0.0)
+        assert len(results) == len(graphs)
+        for result in results:
+            assert result.status in DEGRADED_STATUSES
+            assert result.scheme.configurations  # still a usable scheme
+            assert not result.optimal
+
+    def test_zero_deadline_degrades_identically_across_pool(self):
+        # The zero-share path must hold through worker processes too.
+        from repro.runtime.anytime import DEGRADED_STATUSES
+
+        graphs = [worst_case_family(4), worst_case_family(5)]
+        results = solve_many(graphs, jobs=2, deadline=0.0)
+        assert all(r.status in DEGRADED_STATUSES for r in results)
+
 
 class TestValidation:
     def test_unknown_method(self):

@@ -1,0 +1,128 @@
+"""The async load generator: deterministic mixes, quantiles, live runs."""
+
+import collections
+
+import pytest
+
+from repro.server.client import ServeClient
+from repro.server.protocol import OP_PLAN, OP_SOLVE
+from repro.server.server import SolveServer, serve_background
+from repro.workloads.loadgen import (
+    LoadResult,
+    LoadSpec,
+    build_graph_pool,
+    run_load,
+    sample_mix,
+)
+
+
+class TestMix:
+    def test_same_seed_same_mix(self):
+        spec = LoadSpec(requests=40, seed=13)
+        assert sample_mix(spec) == sample_mix(spec)
+
+    def test_different_seed_different_mix(self):
+        assert sample_mix(LoadSpec(seed=1)) != sample_mix(LoadSpec(seed=2))
+
+    def test_zipf_skew_is_head_heavy(self):
+        # Rank-0 of the universe must be sampled strictly more often
+        # than the tail rank under a skewed mix — that head-heaviness
+        # is what makes warm cache hits representative.
+        spec = LoadSpec(requests=400, universe=10, skew=1.2, seed=5)
+        pool = build_graph_pool(spec)
+        counts = collections.Counter(g for _, g in sample_mix(spec))
+        assert counts[pool[0]] > counts[pool[-1]]
+
+    def test_plan_fraction_controls_op_mix(self):
+        spec = LoadSpec(requests=300, plan_fraction=0.5, seed=3)
+        ops = collections.Counter(op for op, _ in sample_mix(spec))
+        assert ops[OP_SOLVE] > 0 and ops[OP_PLAN] > 0
+        all_solve = LoadSpec(requests=50, plan_fraction=0.0, seed=3)
+        assert {op for op, _ in sample_mix(all_solve)} == {OP_SOLVE}
+
+    def test_graph_pool_size_and_determinism(self):
+        spec = LoadSpec(universe=7, seed=11)
+        pool = build_graph_pool(spec)
+        assert len(pool) == 7
+        assert pool == build_graph_pool(spec)
+        assert len(set(pool)) > 1  # not one graph repeated
+
+
+class TestLoadResult:
+    def test_latency_quantiles_on_known_values(self):
+        result = LoadResult(
+            requests=5,
+            ok=5,
+            errors=0,
+            rejected=0,
+            degraded=0,
+            elapsed_seconds=2.0,
+            latencies_ms=[10.0, 20.0, 30.0, 40.0, 50.0],
+        )
+        assert result.latency_quantile(0.0) == 10.0
+        assert result.latency_quantile(0.5) == 30.0
+        assert result.latency_quantile(1.0) == 50.0
+        assert result.throughput_rps == 2.5
+
+    def test_as_dict_shape(self):
+        result = LoadResult(
+            requests=2,
+            ok=2,
+            errors=0,
+            rejected=0,
+            degraded=1,
+            elapsed_seconds=1.0,
+            latencies_ms=[1.0, 3.0],
+        )
+        payload = result.as_dict()
+        assert payload["requests"] == 2
+        assert payload["degraded"] == 1
+        assert payload["p50_ms"] == pytest.approx(1.0)
+        assert payload["p99_ms"] >= payload["p50_ms"]
+        assert payload["throughput_rps"] == pytest.approx(2.0)
+
+    def test_empty_latencies_quantile(self):
+        result = LoadResult(
+            requests=0,
+            ok=0,
+            errors=0,
+            rejected=0,
+            degraded=0,
+            elapsed_seconds=0.0,
+            latencies_ms=[],
+        )
+        assert result.latency_quantile(0.5) == 0.0
+        assert result.throughput_rps == 0.0
+
+
+class TestLiveLoad:
+    def test_run_load_against_background_server(self, tmp_path):
+        spec = LoadSpec(
+            requests=24, concurrency=4, universe=5, edges=10, seed=4
+        )
+        server = SolveServer(unix_path=tmp_path / "load.sock")
+        with serve_background(server) as live:
+            result = run_load(spec, unix_path=live.address)
+            # Every request reached a terminal outcome; none were
+            # dropped, and nothing errored under nominal conditions.
+            assert result.requests == spec.requests
+            assert result.ok + result.rejected + result.errors == spec.requests
+            assert result.errors == 0
+            assert result.ok > 0
+            assert len(result.latencies_ms) == result.ok + result.rejected
+            assert result.elapsed_seconds > 0
+            # The server outlives the load.
+            with ServeClient(unix_path=live.address) as client:
+                assert client.ping()["ok"] is True
+
+    def test_warm_wave_hits_cache(self, tmp_path):
+        from repro.parallel.cache import SolveCache
+
+        cache = SolveCache()
+        spec = LoadSpec(requests=20, concurrency=2, universe=4, seed=8)
+        server = SolveServer(unix_path=tmp_path / "warm.sock", cache=cache)
+        with serve_background(server) as live:
+            run_load(spec, unix_path=live.address)
+            warm = run_load(spec, unix_path=live.address)
+        assert warm.errors == 0
+        assert cache.stats.hits > 0

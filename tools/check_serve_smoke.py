@@ -1,0 +1,171 @@
+"""Gate for ``make serve-smoke``: the solve server end to end.
+
+Starts a real ``repro serve`` process (Unix socket, worker pool, run
+directory), drives it with two waves of the async zipf-skewed load
+generator — one cold, one warm repeat of the *same* seeded mix — and
+checks the promises docs/PARALLEL.md makes for the server:
+
+- every request reaches a clean terminal outcome: ``ok`` answers plus
+  explicit ``overloaded`` rejections account for the whole mix, and no
+  request errors or hangs;
+- the warm wave demonstrably engages the shared solve cache: server-side
+  ``stats`` must report a hit rate above zero;
+- the ``shutdown`` op stops the server, which exits 0;
+- the run directory's ``events.jsonl`` validates against the closed
+  event vocabulary and records the server lifecycle.
+
+    PYTHONPATH=src python tools/check_serve_smoke.py .serve-smoke
+
+Exit status 0 when every check passes; 1 otherwise, one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import events as obs_events  # noqa: E402
+from repro.server.client import ServeClient  # noqa: E402
+from repro.workloads.loadgen import LoadSpec, run_load  # noqa: E402
+
+STARTUP_TIMEOUT = 20.0
+SPEC = LoadSpec(requests=40, concurrency=6, universe=8, edges=14, seed=0)
+
+
+def _start_server(scratch: Path) -> tuple[subprocess.Popen, Path]:
+    socket_path = scratch / "serve.sock"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--unix",
+            str(socket_path),
+            "--jobs",
+            "2",
+            "--run-dir",
+            str(scratch / "run"),
+        ],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if socket_path.exists():
+            return process, socket_path
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited during startup: {process.stderr.read()}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError(f"server socket never appeared at {socket_path}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_serve_smoke.py <scratch-dir>", file=sys.stderr)
+        return 2
+    scratch = Path(argv[0])
+    shutil.rmtree(scratch, ignore_errors=True)
+    scratch.mkdir(parents=True)
+    problems: list[str] = []
+
+    process, socket_path = _start_server(scratch)
+    try:
+        waves = {
+            "cold": run_load(SPEC, unix_path=socket_path),
+            "warm": run_load(SPEC, unix_path=socket_path),
+        }
+        for name, wave in waves.items():
+            summary = wave.as_dict()
+            print(
+                f"{name}: {summary['ok']} ok, {summary['rejected']} "
+                f"rejected, {summary['errors']} errors, "
+                f"{summary['throughput_rps']} req/s, "
+                f"p50 {summary['p50_ms']}ms, p99 {summary['p99_ms']}ms"
+            )
+            if wave.ok + wave.rejected + wave.errors != wave.requests:
+                problems.append(f"{name}: outcomes do not sum to the mix size")
+            if wave.errors:
+                problems.append(
+                    f"{name}: {wave.errors} errored request(s): "
+                    f"{summary['error_codes']}"
+                )
+            if not wave.ok:
+                problems.append(f"{name}: no request succeeded")
+
+        with ServeClient(unix_path=socket_path) as client:
+            stats = client.stats()["result"]
+            cache = stats["cache"]
+            hits = cache["memory_hits"] + cache["persistent_hits"]
+            lookups = hits + cache["misses"]
+            hit_rate = hits / lookups if lookups else 0.0
+            print(
+                f"server: {stats['requests_total']} requests, cache hit "
+                f"rate {hit_rate:.2f} ({hits}/{lookups})"
+            )
+            if hit_rate <= 0.0:
+                problems.append(
+                    "warm wave never hit the shared cache (hit rate 0)"
+                )
+            if stats["requests_total"] < 2 * SPEC.requests:
+                problems.append(
+                    f"server counted {stats['requests_total']} requests, "
+                    f"expected >= {2 * SPEC.requests}"
+                )
+            client.shutdown()
+
+        try:
+            status = process.wait(timeout=STARTUP_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            problems.append("server did not exit after the shutdown op")
+        else:
+            if status != 0:
+                problems.append(
+                    f"server exited {status}: {process.stderr.read()}"
+                )
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    events_path = scratch / "run" / "events.jsonl"
+    if not events_path.is_file():
+        problems.append("run dir has no events.jsonl")
+    else:
+        text = events_path.read_text()
+        for problem in obs_events.validate_jsonl(text):
+            problems.append(f"events.jsonl: {problem}")
+        names = {
+            json.loads(line)["name"]
+            for line in text.splitlines()
+            if line.strip()
+        }
+        for expected in ("server.start", "server.request_end", "server.stop"):
+            if expected not in names:
+                problems.append(f"events.jsonl missing {expected}")
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print("serve-smoke: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
