@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
-	chaos-smoke report-smoke parallel-smoke serve-smoke runs-index examples \
-	docs check clean
+	chaos-smoke report-smoke parallel-smoke serve-smoke crash-smoke \
+	runs-index examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -145,6 +145,19 @@ serve-smoke:
 	PYTHONPATH=src $(PYTHON) tools/check_serve_smoke.py .serve-smoke
 	rm -rf .serve-smoke
 
+# Crash-tolerance gate (docs/ROBUSTNESS.md): the retry/healing/crash
+# suites, then a real journaled `repro serve` process SIGKILL'd mid-wave
+# — the write-ahead journal must hold the admitted-but-unanswered
+# entries, and a `--recover` restart over the stale socket must replay
+# them all, emit server.recover events, and leave the journal clean.
+crash-smoke:
+	rm -rf .crash-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/runtime/test_retry.py \
+		tests/parallel/test_healing.py tests/server/test_journal.py \
+		tests/server/test_crash.py -q
+	PYTHONPATH=src $(PYTHON) tools/check_crash_smoke.py .crash-smoke
+	rm -rf .crash-smoke
+
 # Build (or refresh) the queryable SQLite index over runs/.
 runs-index:
 	PYTHONPATH=src $(PYTHON) -m repro runs index --runs-dir runs
@@ -164,6 +177,6 @@ check: test bench examples docs
 # benchmarks/results/ is the committed perf-trajectory feed — never clean it.
 clean:
 	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
-		.report-smoke .parallel-smoke .serve-smoke .solve-cache.db \
-		src/repro.egg-info
+		.report-smoke .parallel-smoke .serve-smoke .crash-smoke \
+		.solve-cache.db src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

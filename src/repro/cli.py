@@ -745,6 +745,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.unix is not None and args.port is not None:
         print("error: --port and --unix are mutually exclusive", file=sys.stderr)
         return 2
+    if (
+        args.journal is not None
+        and args.recover is not None
+        and args.journal != args.recover
+    ):
+        print(
+            "error: --journal and --recover name different directories",
+            file=sys.stderr,
+        )
+        return 2
+    journal_dir = args.recover if args.recover is not None else args.journal
     if args.run_dir is not None:
         # A run directory makes the server an observed run: events.jsonl
         # and metrics.json land there on shutdown, registry-compatible.
@@ -771,6 +782,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         default_deadline=args.default_deadline,
         run_dir=args.run_dir,
+        journal_dir=journal_dir,
+        recover=args.recover is not None,
     )
 
     async def _main() -> None:
@@ -808,6 +821,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             deadline=args.deadline,
             seed=args.seed,
+            retries=args.retries,
         )
         result = run_load(
             spec, host=args.host, port=args.port, unix_path=args.unix
@@ -817,9 +831,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
     if args.op in SOLVE_OPS and not args.graph_files:
         print(f"error: op {args.op!r} needs graph file(s)", file=sys.stderr)
         return 2
+    retry = None
+    if args.retries > 0:
+        from repro.runtime.retry import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
     exit_code = 0
     with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix
+        host=args.host, port=args.port, unix_path=args.unix, retry=retry
     ) as client:
         if args.op in SOLVE_OPS:
             for path in args.graph_files:
@@ -1202,6 +1221,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="record this server run: events.jsonl + metrics.json are "
         "written here on shutdown",
     )
+    serve.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead request journal directory: every admitted "
+        "request is fsync'd there before solving starts",
+    )
+    serve.add_argument(
+        "--recover",
+        metavar="DIR",
+        help="replay admitted-but-unanswered requests from this journal "
+        "directory on startup (implies --journal DIR)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = commands.add_parser(
@@ -1225,6 +1256,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency", type=int, default=4, help="load mode: client count"
     )
     client.add_argument("--seed", type=int, default=0, help="load mode: mix seed")
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry attempts after the first try on connection loss or "
+        "overload (default 0 = never retry)",
+    )
     client.set_defaults(func=_cmd_client)
     return parser
 

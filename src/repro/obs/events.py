@@ -69,6 +69,11 @@ EVENT_SERVER_ADMIT = "server.admit"
 EVENT_SERVER_REJECT = "server.reject"
 EVENT_SERVER_REQUEST_START = "server.request_start"
 EVENT_SERVER_REQUEST_END = "server.request_end"
+EVENT_RETRY_ATTEMPT = "retry.attempt"
+EVENT_RETRY_GIVE_UP = "retry.give_up"
+EVENT_POOL_WORKER_CRASH = "pool.worker_crash"
+EVENT_POOL_QUARANTINE = "pool.quarantine"
+EVENT_SERVER_RECOVER = "server.recover"
 
 VOCABULARY = (
     EVENT_RUN_START,
@@ -90,6 +95,11 @@ VOCABULARY = (
     EVENT_SERVER_REJECT,
     EVENT_SERVER_REQUEST_START,
     EVENT_SERVER_REQUEST_END,
+    EVENT_RETRY_ATTEMPT,
+    EVENT_RETRY_GIVE_UP,
+    EVENT_POOL_WORKER_CRASH,
+    EVENT_POOL_QUARANTINE,
+    EVENT_SERVER_RECOVER,
 )
 
 

@@ -53,6 +53,7 @@ from repro.parallel.fingerprint import (
     encode_scheme,
 )
 from repro.runtime.anytime import STATUS_COMPLETE, STATUS_OPTIMAL
+from repro.runtime.retry import RetryPolicy
 
 CACHE_SCHEMA = "repro-solve-cache/v1"
 
@@ -204,8 +205,15 @@ class LRUCache:
 # has many threads/processes sharing one cache file, so the tier must
 # tolerate SQLITE_BUSY instead of assuming one short-lived writer.
 DEFAULT_BUSY_TIMEOUT = 5.0
-_LOCKED_RETRIES = 3
-_LOCKED_BACKOFF = 0.01  # seconds; doubles per retry
+
+# Lock-contention retries follow the shared runtime policy (bounded
+# exponential backoff, jitter-free so the curve is exact in tests); the
+# controller binds to the *ambient* budget, so a request already out of
+# deadline never sleeps on a locked cache — it degrades to a miss now.
+LOCKED_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=0.25, jitter=0.0
+)
+RETRY_SITE_LOCKED = "cache.sqlite_locked"
 
 
 def _is_locked(exc: sqlite3.OperationalError) -> bool:
@@ -223,11 +231,13 @@ class SQLiteCacheTier:
     connection opens in **WAL mode** with a busy timeout (readers never
     block writers and vice versa), it is shared across threads
     (``check_same_thread=False`` — the server consults from its event
-    loop and helper threads), and every get/put retries a handful of
-    times on ``SQLITE_BUSY``/``SQLITE_LOCKED``.  A read that stays
-    locked degrades to a **miss**; a write that stays locked is
-    **dropped** (and counted) — the tier is a cache, losing an entry
-    loses warm-start time, never correctness.
+    loop and helper threads), and every get/put retries
+    ``SQLITE_BUSY``/``SQLITE_LOCKED`` under the shared
+    :data:`LOCKED_RETRY_POLICY` (:mod:`repro.runtime.retry`), bounded by
+    the ambient budget's deadline.  A read that stays locked degrades to
+    a **miss**; a write that stays locked is **dropped** (and counted) —
+    the tier is a cache, losing an entry loses warm-start time, never
+    correctness.
     """
 
     def __init__(
@@ -254,25 +264,29 @@ class SQLiteCacheTier:
         self._conn.close()
 
     def _with_locked_retry(self, operation):
-        """Run ``operation`` with bounded retries on lock contention.
+        """Run ``operation`` under :data:`LOCKED_RETRY_POLICY` retries on
+        lock contention.
 
         Returns ``(value, succeeded)``; ``succeeded`` is False only when
-        every attempt hit a locked/busy database.
+        the policy gave up — attempts exhausted *or* the ambient budget's
+        deadline would be outlived by the next sleep.  Giving up is never
+        an error here: a read becomes a miss, a write is dropped.
         """
-        for attempt in range(_LOCKED_RETRIES + 1):
+        controller = LOCKED_RETRY_POLICY.controller(RETRY_SITE_LOCKED)
+        while True:
             try:
                 return operation(), True
             except sqlite3.OperationalError as exc:
-                if not _is_locked(exc) or attempt == _LOCKED_RETRIES:
-                    if not _is_locked(exc):
-                        raise
+                if not _is_locked(exc):
+                    raise
+                delay = controller.next_delay(reason=type(exc).__name__)
+                if delay is None:
                     if obs_metrics.METRICS.enabled:
                         obs_metrics.inc("parallel.cache.locked_giveups")
                     return None, False
                 if obs_metrics.METRICS.enabled:
                     obs_metrics.inc("parallel.cache.locked_retries")
-                time.sleep(_LOCKED_BACKOFF * (2**attempt))
-        raise AssertionError("unreachable")  # pragma: no cover
+                time.sleep(delay)
 
     def get(self, key: str) -> CacheEntry | None:
         def _read():
@@ -472,6 +486,7 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CacheToken",
+    "LOCKED_RETRY_POLICY",
     "LRUCache",
     "SQLiteCacheTier",
     "SolveCache",

@@ -62,7 +62,7 @@ from repro.parallel.fingerprint import (
     decode_scheme,
     encode_scheme,
 )
-from repro.parallel.pool import SolveTask, TaskOutcome
+from repro.parallel.pool import SolveTask
 from repro.runtime.anytime import (
     STATUS_BUDGET_EXHAUSTED,
     STATUS_COMPLETE,
@@ -338,29 +338,23 @@ def _solve_many(
                 )
                 for _key, component in tasks
             ]
-            # A shared WorkerPool outlives the call; a throwaway executor
-            # is torn down with it.  Submission/collection is identical.
+            keys = [key for key, _component in tasks]
+            # A shared WorkerPool outlives the call; a throwaway pool is
+            # torn down with it.  Either way dispatch goes through the
+            # self-healing dispatcher, which collects in submission order
+            # (reassembly and obs merging stay deterministic) and
+            # survives killed workers (docs/ROBUSTNESS.md).
             if pool is not None:
-                executor_cm: Any = contextlib.nullcontext(pool.executor)
+                pool_cm: Any = contextlib.nullcontext(pool)
             else:
-                executor_cm = pool_mod.make_executor(jobs, len(tasks))
-            with executor_cm as executor:
-                futures = []
-                for (key, _component), payload in zip(tasks, payloads):
-                    _emit_task_event(
-                        obs_events.EVENT_POOL_TASK_START, key, method, jobs
-                    )
-                    futures.append(executor.submit(pool_mod.solve_task, payload))
-                # Collect in submission order: reassembly and obs merging
-                # are deterministic regardless of completion order.
-                for (key, _component), future in zip(tasks, futures):
-                    outcome: TaskOutcome = future.result()
-                    pool_mod.merge_observations(outcome)
-                    solved[key] = outcome.result
-                    _emit_task_event(
-                        obs_events.EVENT_POOL_TASK_END, key, method, jobs,
-                        status=outcome.result.status,
-                    )
+                pool_cm = pool_mod.WorkerPool(max(1, min(jobs, len(tasks))))
+            with pool_cm as live_pool:
+                outcomes = pool_mod.dispatch_resilient(
+                    live_pool, payloads, keys=keys
+                )
+            for key, outcome in zip(keys, outcomes):
+                pool_mod.merge_observations(outcome)
+                solved[key] = outcome.result
         if cache is not None:
             for key, component in tasks:
                 cache.store(

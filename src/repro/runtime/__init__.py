@@ -25,6 +25,11 @@ from repro.runtime.budget import (
     use_budget,
 )
 from repro.runtime.clock import MONOTONIC_CLOCK, FakeClock, MonotonicClock
+from repro.runtime.retry import (
+    CircuitBreaker,
+    RetryController,
+    RetryPolicy,
+)
 from repro.runtime.faults import (
     FaultPlan,
     SkewedClock,
@@ -43,6 +48,9 @@ __all__ = [
     "FakeClock",
     "MonotonicClock",
     "MONOTONIC_CLOCK",
+    "CircuitBreaker",
+    "RetryController",
+    "RetryPolicy",
     "FaultPlan",
     "SkewedClock",
     "active_plan",

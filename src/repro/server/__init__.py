@@ -12,14 +12,18 @@ requests:
   in-flight bytes) with retry-after rejections;
 - :mod:`repro.server.dispatch` — the per-request solve pipeline
   (decompose → cache → fan out → reassemble) on the event loop;
+- :mod:`repro.server.journal` — the fsync'd write-ahead request journal
+  behind ``repro serve --journal/--recover`` (docs/ROBUSTNESS.md);
 - :mod:`repro.server.server` — the listener, connection pipelining, and
   lifecycle (plus :func:`serve_background` for synchronous harnesses);
-- :mod:`repro.server.client` — sync and asyncio clients.
+- :mod:`repro.server.client` — sync and asyncio clients, optionally
+  armed with the shared retry policy and circuit breaker.
 """
 
 from repro.server.admission import AdmissionController, RejectedError
 from repro.server.client import AsyncServeClient, ServeClient
 from repro.server.dispatch import Dispatcher
+from repro.server.journal import RequestJournal
 from repro.server.protocol import (
     PROTOCOL_SCHEMA,
     ProtocolError,
@@ -36,6 +40,7 @@ __all__ = [
     "ProtocolError",
     "RejectedError",
     "Request",
+    "RequestJournal",
     "ServeClient",
     "SolveServer",
     "parse_request",

@@ -37,7 +37,11 @@ DEFAULT_MAX_INFLIGHT_BYTES = 32 * 1024 * 1024
 
 # The retry-after hint grows linearly with backlog: roughly the time one
 # queue slot takes to drain on a warm cache, per request ahead of you.
+# Sustained rejection streaks grow it further (each consecutive reject
+# adds a slot), but never past the cap — an unbounded hint would park
+# polite clients forever on a server that is already draining.
 _RETRY_AFTER_PER_SLOT_MS = 25
+RETRY_AFTER_MAX_MS = 1000
 
 
 class RejectedError(ReproError):
@@ -79,10 +83,14 @@ class AdmissionController:
         self.inflight_bytes = 0
         self.admitted_total = 0
         self.rejected_total = 0
+        self.consecutive_rejections = 0
 
     def retry_after_ms(self) -> int:
-        """The backoff hint for a rejection issued right now."""
-        return _RETRY_AFTER_PER_SLOT_MS * (self.depth + 1)
+        """The backoff hint for a rejection issued right now: one slot
+        per queued request plus one per consecutive rejection, capped at
+        :data:`RETRY_AFTER_MAX_MS` (growth resets on the next admit)."""
+        slots = self.depth + 1 + self.consecutive_rejections
+        return min(RETRY_AFTER_MAX_MS, _RETRY_AFTER_PER_SLOT_MS * slots)
 
     def admit(self, nbytes: int) -> Ticket:
         """Admit a request of ``nbytes`` wire bytes or raise
@@ -94,6 +102,7 @@ class AdmissionController:
             reason = "inflight_bytes"
         if reason is not None:
             self.rejected_total += 1
+            self.consecutive_rejections += 1
             hint = self.retry_after_ms()
             if obs_metrics.METRICS.enabled:
                 obs_metrics.inc("server.rejected")
@@ -117,6 +126,7 @@ class AdmissionController:
         self.depth += 1
         self.inflight_bytes += nbytes
         self.admitted_total += 1
+        self.consecutive_rejections = 0
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("server.admitted")
             obs_metrics.set_gauge("server.queue_depth", self.depth)
@@ -155,6 +165,7 @@ __all__ = [
     "AdmissionController",
     "DEFAULT_MAX_INFLIGHT_BYTES",
     "DEFAULT_MAX_QUEUE_DEPTH",
+    "RETRY_AFTER_MAX_MS",
     "RejectedError",
     "Ticket",
 ]

@@ -186,24 +186,33 @@ class Dispatcher:
                     await asyncio.sleep(0)
             else:
                 loop = asyncio.get_running_loop()
-                futures = [
-                    loop.run_in_executor(
-                        self.pool.executor,
-                        pool_mod.solve_task,
-                        pool_mod.SolveTask(
-                            graph=component,
-                            method=method,
-                            options=options,
-                            deadline=share,
-                            memo_cap=self.memo_cap,
-                            metrics_enabled=obs_metrics.METRICS.enabled,
-                        ),
+                payloads = [
+                    pool_mod.SolveTask(
+                        graph=component,
+                        method=method,
+                        options=options,
+                        deadline=share,
+                        memo_cap=self.memo_cap,
+                        metrics_enabled=obs_metrics.METRICS.enabled,
                     )
                     for _key, component in tasks
                 ]
-                # Submission order, not completion order: deterministic
-                # obs merging and reassembly, same rule as solve_many.
-                outcomes = await asyncio.gather(*futures)
+                # The whole batch goes through the self-healing
+                # dispatcher on a harness thread: it blocks on worker
+                # futures (collecting in submission order — deterministic
+                # obs merging and reassembly, same rule as solve_many)
+                # and survives killed workers by healing the shared pool
+                # and re-dispatching only the lost tasks.  The loop
+                # thread just awaits the batch, so other requests keep
+                # interleaving.
+                outcomes = await loop.run_in_executor(
+                    None,
+                    lambda: pool_mod.dispatch_resilient(
+                        self.pool,
+                        payloads,
+                        keys=[key for key, _component in tasks],
+                    ),
+                )
                 for (key, _component), outcome in zip(tasks, outcomes):
                     pool_mod.merge_observations(outcome)
                     solved[key] = outcome.result

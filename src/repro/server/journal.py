@@ -1,0 +1,224 @@
+"""Write-ahead request journal: no admitted request is ever lost.
+
+The durability story of ``repro serve`` (docs/ROBUSTNESS.md): before the
+dispatcher touches an admitted ``solve``/``plan`` request, its raw wire
+line is appended — fsync'd — to ``journal.jsonl`` in the journal
+directory; when the response is ready the entry is marked complete.  A
+server killed mid-request therefore leaves an ``admitted`` record with
+no matching ``complete`` record, and ``repro serve --recover <dir>``
+replays exactly those entries on startup (re-solving them into the
+shared cache, emitting one ``server.recover`` event each) before
+appending new ones to the same file.
+
+Records are single JSON lines, append-only, two kinds::
+
+    {"schema": "repro-journal/v1", "kind": "admitted", "entry": 3,
+     "request": "{...the raw request line...}"}
+    {"schema": "repro-journal/v1", "kind": "complete", "entry": 3,
+     "recovered": false}
+
+A crash can truncate the *final* line mid-write; the loader tolerates
+exactly that (an unparseable tail is dropped, an unparseable interior
+line is a validation problem).  Entry ids keep increasing across
+restarts — a recovered server continues numbering where its predecessor
+died, so the journal stays a single totally-ordered history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+JOURNAL_SCHEMA = "repro-journal/v1"
+JOURNAL_NAME = "journal.jsonl"
+
+KIND_ADMITTED = "admitted"
+KIND_COMPLETE = "complete"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One admitted request as recorded in the journal."""
+
+    entry_id: int
+    request_line: str
+
+
+def load_records(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a journal file, tolerating a crash-truncated final line.
+
+    Only the *last* line may be defective (the fsync discipline
+    guarantees every earlier line landed whole); a defective interior
+    line is surfaced by :func:`validate_records`, not here.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict[str, Any]] = []
+    lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn tail: the crash interrupted this append
+            records.append({"_defective_line": number})
+            continue
+        records.append(record if isinstance(record, dict) else {"_defective_line": number})
+    return records
+
+
+def incomplete_entries(records: list[dict[str, Any]]) -> list[JournalEntry]:
+    """The admitted-but-never-completed entries, in admission order."""
+    admitted: dict[int, str] = {}
+    completed: set[int] = set()
+    for record in records:
+        kind = record.get("kind")
+        entry = record.get("entry")
+        if not isinstance(entry, int):
+            continue
+        if kind == KIND_ADMITTED and isinstance(record.get("request"), str):
+            admitted[entry] = record["request"]
+        elif kind == KIND_COMPLETE:
+            completed.add(entry)
+    return [
+        JournalEntry(entry_id=entry, request_line=admitted[entry])
+        for entry in sorted(admitted)
+        if entry not in completed
+    ]
+
+
+def validate_records(
+    records: list[dict[str, Any]], context: str = "journal"
+) -> list[str]:
+    """Structural problems in parsed journal records (empty = valid).
+
+    Checked: schema tag, known kinds, strictly increasing positions per
+    entry id (admitted before complete), completes referencing an
+    admitted entry, and no defective interior lines.
+    """
+    problems: list[str] = []
+    admitted: set[int] = set()
+    completed: set[int] = set()
+    for position, record in enumerate(records):
+        where = f"{context}[{position}]"
+        if "_defective_line" in record:
+            problems.append(
+                f"{where}: unparseable interior line "
+                f"{record['_defective_line']} (only the tail may be torn)"
+            )
+            continue
+        if record.get("schema") != JOURNAL_SCHEMA:
+            problems.append(f"{where}: missing schema {JOURNAL_SCHEMA!r}")
+        kind = record.get("kind")
+        entry = record.get("entry")
+        if not isinstance(entry, int) or entry < 1:
+            problems.append(f"{where}: 'entry' must be a positive integer")
+            continue
+        if kind == KIND_ADMITTED:
+            if not isinstance(record.get("request"), str):
+                problems.append(f"{where}: admitted record missing 'request'")
+            if entry in admitted:
+                problems.append(f"{where}: duplicate admitted entry {entry}")
+            admitted.add(entry)
+        elif kind == KIND_COMPLETE:
+            if entry not in admitted:
+                problems.append(
+                    f"{where}: complete for unknown entry {entry}"
+                )
+            if entry in completed:
+                problems.append(f"{where}: duplicate complete entry {entry}")
+            completed.add(entry)
+        else:
+            problems.append(f"{where}: unknown kind {kind!r}")
+    return problems
+
+
+class RequestJournal:
+    """The append-only, fsync'd journal one server writes and recovers.
+
+    Opening a journal loads whatever a predecessor left in the same
+    directory: :meth:`incomplete` exposes its unfinished entries and new
+    entry ids continue after its highest.  Every append is flushed *and*
+    fsync'd before the call returns — the write-ahead guarantee the
+    recovery contract rests on.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_NAME
+        records = load_records(self.path)
+        self._incomplete = incomplete_entries(records)
+        highest = max(
+            (
+                record["entry"]
+                for record in records
+                if isinstance(record.get("entry"), int)
+            ),
+            default=0,
+        )
+        self._next_entry = highest + 1
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def incomplete(self) -> list[JournalEntry]:
+        """The predecessor's admitted-but-unanswered entries (replay set)."""
+        return list(self._incomplete)
+
+    def record_admitted(self, request_line: str) -> int:
+        """Journal one admitted request *before* it is dispatched."""
+        entry_id = self._next_entry
+        self._next_entry += 1
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "kind": KIND_ADMITTED,
+                "entry": entry_id,
+                "request": request_line,
+            }
+        )
+        return entry_id
+
+    def record_complete(self, entry_id: int, recovered: bool = False) -> None:
+        """Mark one entry answered (or replayed, when ``recovered``)."""
+        self._append(
+            {
+                "schema": JOURNAL_SCHEMA,
+                "kind": KIND_COMPLETE,
+                "entry": entry_id,
+                "recovered": recovered,
+            }
+        )
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "JOURNAL_NAME",
+    "JOURNAL_SCHEMA",
+    "JournalEntry",
+    "KIND_ADMITTED",
+    "KIND_COMPLETE",
+    "RequestJournal",
+    "incomplete_entries",
+    "load_records",
+    "validate_records",
+]

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import stat
 import threading
 import time
 from pathlib import Path
@@ -58,6 +59,7 @@ from repro.server.admission import (
     RejectedError,
 )
 from repro.server.dispatch import Dispatcher
+from repro.server.journal import RequestJournal
 
 DEFAULT_HOST = "127.0.0.1"
 
@@ -86,11 +88,15 @@ class SolveServer:
         default_deadline: float | None = None,
         memo_cap: int | None = None,
         run_dir: str | Path | None = None,
+        journal_dir: str | Path | None = None,
+        recover: bool = False,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("exactly one of port= or unix_path= must be set")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if recover and journal_dir is None:
+            raise ValueError("recover=True requires journal_dir=")
         self.host = host
         self.port = port
         self.unix_path = Path(unix_path) if unix_path is not None else None
@@ -105,7 +111,12 @@ class SolveServer:
             memo_cap=memo_cap,
         )
         self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.journal = (
+            RequestJournal(journal_dir) if journal_dir is not None else None
+        )
+        self.recover = recover
         self.requests_total = 0
+        self.recovered_total = 0
         self._server: asyncio.base_events.Server | None = None
         self._shutdown: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -125,10 +136,22 @@ class SolveServer:
         return host, port
 
     async def start(self) -> None:
-        """Bind the listener and record the start event."""
+        """Bind the listener, replay the journal, record the start event.
+
+        Anything failing *after* the bind closes the listener (and
+        unlinks a Unix socket) on the way out — a failed startup must
+        never leave the address occupied (the ``serve_background``
+        regression of docs/ROBUSTNESS.md).  Recovery runs here, before
+        ``start`` returns, so a caller that saw the server come up also
+        knows the replay finished.
+        """
         self._loop = asyncio.get_running_loop()
         self._shutdown = asyncio.Event()
         if self.unix_path is not None:
+            # The server owns its socket path: a stale socket file from a
+            # SIGKILL'd predecessor must not block the restart-and-recover
+            # path with EADDRINUSE.  Only socket files are removed.
+            self._unlink_socket()
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=str(self.unix_path)
             )
@@ -137,12 +160,69 @@ class SolveServer:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port
             )
-        if obs_events.EVENTS.enabled:
-            obs_events.emit(
-                obs_events.EVENT_SERVER_START,
-                transport="unix" if self.unix_path is not None else "tcp",
-                jobs=self.jobs,
-            )
+        try:
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SERVER_START,
+                    transport="unix" if self.unix_path is not None else "tcp",
+                    jobs=self.jobs,
+                )
+            if self.journal is not None and self.recover:
+                await self._recover()
+        except BaseException:
+            await self.abort()
+            raise
+
+    async def abort(self) -> None:
+        """Close the listener without serving (the startup-failure path);
+        idempotent, and also unlinks a Unix socket path."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
+        self._unlink_socket()
+
+    def _unlink_socket(self) -> None:
+        """Remove the Unix socket file, if ours to remove."""
+        if self.unix_path is None:
+            return
+        with contextlib.suppress(OSError):
+            if stat.S_ISSOCK(self.unix_path.stat().st_mode):
+                self.unix_path.unlink()
+
+    async def _recover(self) -> None:
+        """Replay the predecessor's admitted-but-unanswered requests.
+
+        Each incomplete journal entry is re-parsed and re-solved through
+        the normal dispatcher (warming the shared cache, so the original
+        client's retry is served instantly), emits one ``server.recover``
+        event, and is marked complete with ``recovered: true``.  Entries
+        whose replay fails are still marked complete — replaying a
+        poison request forever would wedge every restart.
+        """
+        assert self.journal is not None
+        entries = self.journal.incomplete()
+        for entry in entries:
+            request = None
+            with contextlib.suppress(protocol.ProtocolError):
+                request = protocol.parse_request(entry.request_line)
+            if obs_events.EVENTS.enabled:
+                obs_events.emit(
+                    obs_events.EVENT_SERVER_RECOVER,
+                    entry=entry.entry_id,
+                    id=None if request is None else request.id,
+                    op=None if request is None else request.op,
+                )
+            if request is not None and request.op in protocol.SOLVE_OPS:
+                with contextlib.suppress(Exception):
+                    await self.dispatcher.handle(request)
+            self.recovered_total += 1
+            self.journal.record_complete(entry.entry_id, recovered=True)
+        if entries and obs_metrics.METRICS.enabled:
+            obs_metrics.inc("server.recovered", len(entries))
 
     async def run_until_shutdown(self) -> None:
         """Serve until :meth:`request_shutdown` fires, then clean up."""
@@ -160,6 +240,9 @@ class SolveServer:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         if self.pool is not None:
             self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
+        self._unlink_socket()
         if obs_events.EVENTS.enabled:
             obs_events.emit(
                 obs_events.EVENT_SERVER_STOP,
@@ -232,6 +315,7 @@ class SolveServer:
         started = time.monotonic()
         request_id: str | None = None
         ticket = None
+        journal_entry: int | None = None
         self.requests_total += 1
         try:
             request = protocol.parse_request(line)
@@ -254,6 +338,13 @@ class SolveServer:
                 self.request_shutdown()
             else:
                 ticket = self.admission.admit(request.nbytes)
+                if self.journal is not None:
+                    # Write-ahead: the raw line lands fsync'd in the
+                    # journal before any solving starts, so a crash from
+                    # here on leaves a replayable record.
+                    journal_entry = self.journal.record_admitted(
+                        line.decode("utf-8", errors="replace").strip()
+                    )
                 result = await self.dispatcher.handle(request)
                 response = protocol.ok_response(request.id, request.op, result)
         except RejectedError as exc:
@@ -274,6 +365,10 @@ class SolveServer:
         finally:
             if ticket is not None:
                 self.admission.release(ticket)
+            if journal_entry is not None:
+                # Answered (even with an error response): replaying it on
+                # recovery would just repeat the same outcome.
+                self.journal.record_complete(journal_entry)
         latency_ms = (time.monotonic() - started) * 1000.0
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("server.requests")
@@ -304,6 +399,9 @@ class SolveServer:
             "jobs": self.jobs,
             "admission": self.admission.stats(),
         }
+        if self.journal is not None:
+            payload["journal"] = str(self.journal.path)
+            payload["recovered_total"] = self.recovered_total
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
         return payload
@@ -327,6 +425,8 @@ def serve_background(
         try:
             await server.start()
         except BaseException as exc:  # propagate bind errors to the caller
+            # start() already closed the listener and unlinked the
+            # socket on its own error path, so nothing leaks here.
             failure.append(exc)
             ready.set()
             raise
@@ -345,6 +445,7 @@ def serve_background(
     )
     thread.start()
     if not ready.wait(startup_timeout):
+        server.request_shutdown()
         raise TimeoutError("server failed to start within timeout")
     if failure:
         raise failure[0]

@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.graphs.generators import random_connected_bipartite
 from repro.graphs.io import dump_bipartite
+from repro.runtime.retry import CircuitBreaker, RetryPolicy
 from repro.server.client import AsyncServeClient
 from repro.server.protocol import OP_PLAN, OP_SOLVE
 from repro.runtime.anytime import DEGRADED_STATUSES
@@ -37,7 +38,15 @@ from repro.runtime.anytime import DEGRADED_STATUSES
 
 @dataclass(frozen=True)
 class LoadSpec:
-    """One seeded load shape."""
+    """One seeded load shape.
+
+    ``retries > 0`` arms every worker's client with the shared
+    :class:`~repro.runtime.retry.RetryPolicy` (that many retries after
+    the first attempt) and one circuit breaker shared by the whole run —
+    the survive-a-server-restart configuration of docs/ROBUSTNESS.md.
+    With the default ``retries=0`` the generator measures the server as
+    configured and never flatters it.
+    """
 
     requests: int = 60
     concurrency: int = 4
@@ -47,6 +56,7 @@ class LoadSpec:
     plan_fraction: float = 0.25  # this share of requests use op=plan
     deadline: float | None = None  # per-request deadline, if any
     seed: int = 0
+    retries: int = 0  # retry attempts after the first try (0 = never)
 
 
 @dataclass
@@ -142,10 +152,17 @@ async def drive_load(
         degraded=0,
         elapsed_seconds=0.0,
     )
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+    if spec.retries > 0:
+        retry = RetryPolicy(max_attempts=spec.retries + 1, seed=spec.seed)
+        # One breaker for the whole run: the workers trip it together and
+        # a single half-open probe rediscovers a restarted server.
+        breaker = CircuitBreaker(threshold=spec.concurrency * 2, cooldown=0.1)
 
     async def worker() -> None:
         client = await AsyncServeClient.connect(
-            host=host, port=port, unix_path=unix_path
+            host=host, port=port, unix_path=unix_path, retry=retry, breaker=breaker
         )
         try:
             # next() on a shared iterator is race-free here: workers are
@@ -156,7 +173,7 @@ async def drive_load(
                     response = await client.request(
                         op, graph_text, deadline=spec.deadline
                     )
-                except ConnectionError:
+                except (ConnectionError, OSError):
                     outcome.errors += 1
                     code = "connection"
                     outcome.error_codes[code] = (

@@ -1,5 +1,7 @@
 """The two-tier solve cache: hits must be indistinguishable from solves."""
 
+import sqlite3
+
 import pytest
 
 from repro.core.families import worst_case_family
@@ -8,7 +10,9 @@ from repro.graphs.generators import (
     complete_bipartite,
     random_connected_bipartite,
 )
+from repro.parallel import cache as cache_mod
 from repro.parallel.cache import (
+    LOCKED_RETRY_POLICY,
     CacheEntry,
     LRUCache,
     SolveCache,
@@ -21,6 +25,8 @@ from repro.parallel.cache import (
 )
 from repro.parallel.fingerprint import canonical_form
 from repro.runtime.anytime import STATUS_BUDGET_EXHAUSTED
+from repro.runtime.budget import Budget, use_budget
+from repro.runtime.clock import FakeClock
 
 
 def _result_fingerprint(result):
@@ -152,6 +158,79 @@ class TestPersistentTier:
         )
         tier._conn.commit()
         assert tier.get("k") is None
+        tier.close()
+
+
+class TestLockedRetry:
+    """The persistent tier under lock contention: shared-policy retries,
+    bounded by the ambient budget, giving up into a miss — never an error."""
+
+    def _tier(self):
+        return SQLiteCacheTier(":memory:")
+
+    def test_transient_lock_is_retried_through(self, monkeypatch):
+        tier = self._tier()
+        sleeps: list[float] = []
+        monkeypatch.setattr(cache_mod.time, "sleep", sleeps.append)
+        failures = iter([True, True, False])
+
+        def flaky():
+            if next(failures):
+                raise sqlite3.OperationalError("database is locked")
+            return "row"
+
+        assert tier._with_locked_retry(flaky) == ("row", True)
+        # jitter=0 in LOCKED_RETRY_POLICY, so the curve is exact.
+        assert sleeps == [
+            LOCKED_RETRY_POLICY.backoff(0),
+            LOCKED_RETRY_POLICY.backoff(1),
+        ]
+        tier.close()
+
+    def test_persistent_lock_degrades_to_miss(self, monkeypatch):
+        tier = self._tier()
+        monkeypatch.setattr(cache_mod.time, "sleep", lambda _s: None)
+
+        class LockedConn:
+            def execute(self, *args):
+                raise sqlite3.OperationalError("database is locked")
+
+        monkeypatch.setattr(tier, "_conn", LockedConn())
+        assert tier.get("k") is None  # a locked read is a miss
+        entry = CacheEntry(
+            method="exact", optimal=True, status="optimal",
+            raw_cost=0, jumps=0, scheme=(),
+        )
+        tier.put("k", "f", entry)  # a locked write is dropped, not raised
+
+    def test_non_lock_errors_propagate(self):
+        tier = self._tier()
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: solve_cache")
+
+        with pytest.raises(sqlite3.OperationalError):
+            tier._with_locked_retry(broken)
+        tier.close()
+
+    def test_exhausted_ambient_budget_gives_up_without_sleeping(
+        self, monkeypatch
+    ):
+        """A request already past its deadline must not sleep on a locked
+        cache: the controller binds the ambient budget and gives up."""
+        tier = self._tier()
+        sleeps: list[float] = []
+        monkeypatch.setattr(cache_mod.time, "sleep", sleeps.append)
+
+        def locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        clock = FakeClock()
+        budget = Budget(deadline=0.05, clock=clock).start()
+        clock.advance(1.0)  # deadline long gone
+        with use_budget(budget):
+            assert tier._with_locked_retry(locked) == (None, False)
+        assert sleeps == []
         tier.close()
 
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.server.admission import AdmissionController, RejectedError
+from repro.server.admission import (
+    RETRY_AFTER_MAX_MS,
+    AdmissionController,
+    RejectedError,
+)
 
 
 class TestLimits:
@@ -53,6 +57,43 @@ class TestLimits:
         for _ in range(10):
             controller.admit(1)
         assert controller.retry_after_ms() > empty_hint
+
+    def test_retry_after_grows_with_rejection_streak(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit(1)
+        hints = []
+        for _ in range(3):
+            with pytest.raises(RejectedError) as excinfo:
+                controller.admit(1)
+            hints.append(excinfo.value.retry_after_ms)
+        assert hints == sorted(hints)
+        assert hints[0] < hints[-1]
+
+    def test_retry_after_is_capped(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit(1)
+        hint = 0
+        for _ in range(100):
+            with pytest.raises(RejectedError) as excinfo:
+                controller.admit(1)
+            hint = excinfo.value.retry_after_ms
+        assert hint == RETRY_AFTER_MAX_MS
+
+    def test_retry_after_growth_resets_on_admit(self):
+        controller = AdmissionController(max_queue_depth=2)
+        t1 = controller.admit(1)
+        t2 = controller.admit(1)
+        for _ in range(50):
+            with pytest.raises(RejectedError):
+                controller.admit(1)
+        controller.release(t1)
+        controller.release(t2)
+        controller.admit(1)  # success forgets the streak
+        assert controller.consecutive_rejections == 0
+        assert (
+            controller.retry_after_ms()
+            < RETRY_AFTER_MAX_MS
+        )
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError):

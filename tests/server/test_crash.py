@@ -1,0 +1,129 @@
+"""Chaos: killed workers, killed servers, and what must survive them.
+
+Three crash stories from docs/ROBUSTNESS.md, each asserted end to end:
+
+- a pooled server whose workers are killed mid-solve still answers, and
+  answers *identically* to an undisturbed server;
+- a journaled server restarted under live retrying load loses zero
+  requests — every request in the mix eventually gets an ok response;
+- a server whose startup fails after the bind leaves no socket file
+  behind, so the address is immediately reusable.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.graphs.generators import matching_graph
+from repro.graphs.io import dump_bipartite
+from repro.parallel.cache import SolveCache
+from repro.parallel.pool import CRASH_SITE, QUARANTINE_MARKER
+from repro.runtime.faults import FaultPlan, inject
+from repro.server.client import ServeClient
+from repro.server.journal import (
+    JOURNAL_NAME,
+    incomplete_entries,
+    load_records,
+    validate_records,
+)
+from repro.server.server import SolveServer, serve_background
+
+MATCHING3 = dump_bipartite(matching_graph(3))
+
+
+class TestServerWorkerCrash:
+    def test_pooled_server_survives_killed_workers(self, tmp_path):
+        """Every worker dies on every dispatch; the answer is unchanged."""
+        server = SolveServer(unix_path=tmp_path / "serve.sock", jobs=2)
+        with serve_background(server) as live:
+            with ServeClient(unix_path=live.address) as client:
+                clean = client.solve(MATCHING3)
+                assert clean["ok"] is True
+                with inject(FaultPlan(seed=3, rates={CRASH_SITE: 1.0})):
+                    stormy = client.solve(MATCHING3)
+        assert stormy["ok"] is True
+        for field in ("scheme", "effective_cost", "raw_cost", "jumps",
+                      "optimal", "status"):
+            assert stormy["result"][field] == clean["result"][field]
+        # The degraded path is honest about itself.
+        assert QUARANTINE_MARKER in stormy["result"]["degradations"]
+        assert QUARANTINE_MARKER not in clean["result"].get("degradations", [])
+
+
+class TestRestartRecovery:
+    def test_restart_under_live_load_loses_nothing(self, tmp_path):
+        """Kill the server mid-run; retrying clients land every request
+        on the successor, and the journal closes with no orphans."""
+        from repro.workloads.loadgen import LoadSpec, run_load
+
+        journal_dir = tmp_path / "journal"
+        sock = tmp_path / "serve.sock"
+        spec = LoadSpec(
+            requests=30,
+            concurrency=3,
+            universe=4,
+            edges=10,
+            plan_fraction=0.25,
+            seed=5,
+            retries=15,
+        )
+        box: dict[str, object] = {}
+
+        def drive() -> None:
+            box["result"] = run_load(spec, unix_path=sock)
+
+        thread = threading.Thread(target=drive, daemon=True)
+        first = SolveServer(
+            unix_path=sock, jobs=1, journal_dir=journal_dir, cache=SolveCache()
+        )
+        with serve_background(first):
+            thread.start()
+            # Let a few requests land, then yank the server mid-mix.
+            cutoff = time.monotonic() + 10.0
+            while first.requests_total < 5 and time.monotonic() < cutoff:
+                time.sleep(0.005)
+            assert first.requests_total >= 5
+        second = SolveServer(
+            unix_path=sock,
+            jobs=1,
+            journal_dir=journal_dir,
+            recover=True,
+            cache=SolveCache(),
+        )
+        with serve_background(second):
+            thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        result = box["result"]
+        assert result.ok == spec.requests
+        assert result.errors == 0
+        assert result.rejected == 0
+        records = load_records(journal_dir / JOURNAL_NAME)
+        assert validate_records(records) == []
+        assert incomplete_entries(records) == []
+
+
+class TestStartupFailureHygiene:
+    def test_failed_startup_leaves_no_socket_behind(self, tmp_path, monkeypatch):
+        """A post-bind startup failure must unlink the socket — the
+        serve_background regression: the address stays bindable."""
+        sock = tmp_path / "serve.sock"
+        server = SolveServer(
+            unix_path=sock, jobs=1, journal_dir=tmp_path / "journal",
+            recover=True,
+        )
+
+        async def explode() -> None:
+            raise RuntimeError("recovery exploded")
+
+        monkeypatch.setattr(server, "_recover", explode)
+        with pytest.raises(RuntimeError, match="recovery exploded"):
+            with serve_background(server):
+                pass  # pragma: no cover — never reached
+        assert not sock.exists()
+        # The address is immediately reusable by a replacement.
+        replacement = SolveServer(unix_path=sock, jobs=1)
+        with serve_background(replacement) as live:
+            with ServeClient(unix_path=live.address) as client:
+                assert client.ping()["ok"] is True
+        assert not sock.exists()

@@ -1,0 +1,243 @@
+"""Gate for ``make crash-smoke``: journaled serving survives SIGKILL.
+
+The crash-tolerance story of docs/ROBUSTNESS.md, enacted against real
+processes:
+
+1. start a journaled ``repro serve`` (Unix socket, ``--journal``);
+2. pipeline a wave of solve requests on one connection and SIGKILL the
+   server while some are admitted but unanswered — the write-ahead
+   journal must already hold those entries, fsync'd;
+3. restart with ``--recover`` over the same journal: the successor must
+   replay every incomplete entry (``stats`` reports ``recovered_total``),
+   emit ``server.recover`` events, and mark the journal clean;
+4. the stale socket file left by the SIGKILL must not block the restart,
+   and the recovered run's ``events.jsonl`` must validate against the
+   closed event vocabulary.
+
+    PYTHONPATH=src python tools/check_crash_smoke.py .crash-smoke
+
+Exit status 0 when every check passes; 1 otherwise, one line per
+problem.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.graphs.generators import random_connected_bipartite  # noqa: E402
+from repro.graphs.io import dump_bipartite  # noqa: E402
+from repro.obs import events as obs_events  # noqa: E402
+from repro.server.client import ServeClient  # noqa: E402
+from repro.server.journal import (  # noqa: E402
+    JOURNAL_NAME,
+    incomplete_entries,
+    load_records,
+    validate_records,
+)
+
+STARTUP_TIMEOUT = 20.0
+WAVE_SIZE = 30
+
+
+def _spawn(scratch: Path, *extra: str) -> subprocess.Popen:
+    socket_path = scratch / "serve.sock"
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--unix",
+            str(socket_path),
+            "--jobs",
+            "1",
+            *extra,
+        ],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_ready(process: subprocess.Popen, socket_path: Path) -> None:
+    """Block until a ping answers (socket-file existence is not enough:
+    a SIGKILL'd predecessor leaves a stale file the successor replaces)."""
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited during startup: {process.stderr.read()}"
+            )
+        with contextlib.suppress(OSError, ConnectionError):
+            with ServeClient(unix_path=socket_path, timeout=2.0) as client:
+                if client.ping().get("ok"):
+                    return
+        time.sleep(0.05)
+    process.kill()
+    raise RuntimeError("server never answered a ping")
+
+
+def _wave_graphs() -> list[str]:
+    return [
+        dump_bipartite(random_connected_bipartite(5, 5, 18, seed=index))
+        for index in range(WAVE_SIZE)
+    ]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_crash_smoke.py <scratch-dir>", file=sys.stderr)
+        return 2
+    scratch = Path(argv[0])
+    shutil.rmtree(scratch, ignore_errors=True)
+    scratch.mkdir(parents=True)
+    journal_dir = scratch / "journal"
+    journal_path = journal_dir / JOURNAL_NAME
+    socket_path = scratch / "serve.sock"
+    problems: list[str] = []
+
+    # -- wave 1: journaled serving, killed mid-wave --------------------
+    first = _spawn(scratch, "--journal", str(journal_dir))
+    try:
+        _wait_ready(first, socket_path)
+        client = ServeClient(unix_path=socket_path)
+        for graph_text in _wave_graphs():
+            client.send("solve", graph_text)
+        # Kill as soon as the journal proves a backlog: entries admitted
+        # (fsync'd to disk) but not yet marked complete.
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        pending = 0
+        while time.monotonic() < deadline:
+            if journal_path.is_file():
+                pending = len(incomplete_entries(load_records(journal_path)))
+                admitted = sum(
+                    1
+                    for record in load_records(journal_path)
+                    if record.get("kind") == "admitted"
+                )
+                if pending >= 3 and admitted >= 5:
+                    break
+            time.sleep(0.01)
+        first.send_signal(signal.SIGKILL)
+        first.wait()
+        with contextlib.suppress(OSError, ConnectionError):
+            client.close()
+    finally:
+        if first.poll() is None:
+            first.kill()
+            first.wait()
+
+    records = load_records(journal_path)
+    lost = incomplete_entries(records)
+    print(
+        f"killed mid-wave: {len(records)} journal record(s), "
+        f"{len(lost)} admitted-but-unanswered"
+    )
+    for problem in validate_records(records):
+        problems.append(f"journal (post-kill): {problem}")
+    if not lost:
+        problems.append(
+            "SIGKILL left no incomplete journal entries — the wave "
+            "finished before the kill; nothing exercised recovery"
+        )
+    if not socket_path.exists():
+        problems.append("SIGKILL should leave the stale socket file behind")
+
+    # -- wave 2: recover over the same journal -------------------------
+    run_dir = scratch / "run"
+    second = _spawn(
+        scratch, "--recover", str(journal_dir), "--run-dir", str(run_dir)
+    )
+    try:
+        _wait_ready(second, socket_path)
+        with ServeClient(unix_path=socket_path) as client:
+            stats = client.stats()["result"]
+            recovered = stats.get("recovered_total", 0)
+            print(f"recovered: {recovered} entry(ies) replayed on startup")
+            if recovered != len(lost):
+                problems.append(
+                    f"recovered_total {recovered} != {len(lost)} "
+                    "incomplete entries left by the kill"
+                )
+            client.shutdown()
+        try:
+            status = second.wait(timeout=STARTUP_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            second.kill()
+            problems.append("recovered server did not exit after shutdown op")
+        else:
+            if status != 0:
+                problems.append(
+                    f"recovered server exited {status}: {second.stderr.read()}"
+                )
+    finally:
+        if second.poll() is None:
+            second.kill()
+            second.wait()
+
+    # -- the journal must close clean ----------------------------------
+    records = load_records(journal_path)
+    for problem in validate_records(records):
+        problems.append(f"journal (post-recover): {problem}")
+    still_lost = incomplete_entries(records)
+    if still_lost:
+        problems.append(
+            f"{len(still_lost)} journal entry(ies) still incomplete "
+            "after recovery"
+        )
+    recovered_marks = [
+        record
+        for record in records
+        if record.get("kind") == "complete" and record.get("recovered")
+    ]
+    if len(recovered_marks) != len(lost):
+        problems.append(
+            f"{len(recovered_marks)} complete(recovered=true) record(s), "
+            f"expected {len(lost)}"
+        )
+
+    # -- the recovered run's event log must tell the story -------------
+    events_path = run_dir / "events.jsonl"
+    if not events_path.is_file():
+        problems.append("recovered run dir has no events.jsonl")
+    else:
+        text = events_path.read_text()
+        for problem in obs_events.validate_jsonl(text):
+            problems.append(f"events.jsonl: {problem}")
+        names = [
+            json.loads(line)["name"]
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        recover_events = names.count("server.recover")
+        if recover_events != len(lost):
+            problems.append(
+                f"{recover_events} server.recover event(s), "
+                f"expected {len(lost)}"
+            )
+        for expected in ("server.start", "server.stop"):
+            if expected not in names:
+                problems.append(f"events.jsonl missing {expected}")
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print("crash-smoke: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
