@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
 	chaos-smoke report-smoke parallel-smoke serve-smoke crash-smoke \
-	runs-index examples docs check clean
+	telemetry-smoke runs-index examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -158,6 +158,20 @@ crash-smoke:
 	PYTHONPATH=src $(PYTHON) tools/check_crash_smoke.py .crash-smoke
 	rm -rf .crash-smoke
 
+# Telemetry gate (docs/OBSERVABILITY.md): the tracing/telemetry suites,
+# then a real journaled `repro serve` process under load — its `metrics`
+# op must answer valid Prometheus text format with the required families
+# (per-op latency histograms included), and one addressed request must
+# assemble from the run's trace.jsonl into a single validated Chrome
+# trace whose dispatch and worker solver spans share one trace_id.
+telemetry-smoke:
+	rm -rf .telemetry-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/obs/test_context.py \
+		tests/obs/test_telemetry.py tests/obs/test_trace.py \
+		tests/server/test_telemetry.py -q
+	PYTHONPATH=src $(PYTHON) tools/check_metrics_exposition.py .telemetry-smoke
+	rm -rf .telemetry-smoke
+
 # Build (or refresh) the queryable SQLite index over runs/.
 runs-index:
 	PYTHONPATH=src $(PYTHON) -m repro runs index --runs-dir runs
@@ -178,5 +192,5 @@ check: test bench examples docs
 clean:
 	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
 		.report-smoke .parallel-smoke .serve-smoke .crash-smoke \
-		.solve-cache.db src/repro.egg-info
+		.telemetry-smoke .solve-cache.db src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -718,6 +718,151 @@ def _cmd_runs_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_trace_request(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs import export as obs_export
+
+    registry = _registry_for(args)
+    run = registry.run(args.run_id)
+    if run is None:
+        print(f"error: no run {args.run_id!r} under {args.runs_dir}/", file=sys.stderr)
+        return 2
+    trace_path = Path(run["path"]) / "trace.jsonl"
+    if not trace_path.is_file():
+        print(
+            f"error: {trace_path} missing (serve with --run-dir to record "
+            "traces)",
+            file=sys.stderr,
+        )
+        return 2
+    records: list[dict] = []
+    for line in trace_path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = _json.loads(line)
+        except _json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    try:
+        document = obs_export.request_trace(records, args.request_id)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = obs_export.validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    output = args.output or f"trace-{args.request_id}.json"
+    Path(output).write_text(
+        _json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    spans = document["otherData"]["spans"]
+    trace_ids = document["otherData"]["trace_ids"]
+    print(
+        f"request {args.request_id}: {spans} span(s), "
+        f"trace {', '.join(trace_ids)} -> {output}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.analysis.report import Table
+    from repro.obs.telemetry import parse_exposition
+    from repro.server.client import ServeClient
+
+    if args.unix is None and args.port is None:
+        print("error: --port or --unix is required", file=sys.stderr)
+        return 2
+
+    def _series(families, name) -> dict[str, float]:
+        family = families.get(name)
+        if family is None:
+            return {}
+        return {
+            sample.labels.get("op", ""): sample.value
+            for sample in family.samples
+        }
+
+    def _scalar(families, name) -> float | None:
+        family = families.get(name)
+        if family is None or not family.samples:
+            return None
+        return family.samples[0].value
+
+    def _render(text: str) -> str:
+        families, _problems = parse_exposition(text)
+        requests = _series(families, "repro_server_requests_total")
+        rps = _series(families, "repro_server_window_rps")
+        error_rate = _series(families, "repro_server_window_error_rate")
+        p50 = _series(families, "repro_server_window_p50_ms")
+        p99 = _series(families, "repro_server_window_p99_ms")
+        uptime = _scalar(families, "repro_server_uptime_seconds")
+        queue = _scalar(families, "repro_server_queue_depth")
+        jobs = _scalar(families, "repro_server_jobs")
+        rejected = _scalar(families, "repro_server_admission_rejected_total")
+        header = (
+            f"uptime {uptime:.0f}s" if uptime is not None else "uptime -"
+        )
+        if jobs is not None:
+            header += f"  jobs {jobs:.0f}"
+        if queue is not None:
+            header += f"  queue {queue:.0f}"
+        if rejected is not None:
+            header += f"  rejected {rejected:.0f}"
+        table = Table(
+            ["op", "requests", "rps", "err%", "p50 ms", "p99 ms"],
+            title=header,
+        )
+        for op in sorted(requests):
+            table.add_row(
+                [
+                    op,
+                    int(requests[op]),
+                    round(rps.get(op, 0.0), 2),
+                    round(error_rate.get(op, 0.0) * 100.0, 1),
+                    "-" if op not in p50 else round(p50[op], 3),
+                    "-" if op not in p99 else round(p99[op], 3),
+                ]
+            )
+        return table.render()
+
+    iterations = 1 if args.once else args.iterations
+    polls = 0
+    try:
+        with ServeClient(
+            host=args.host, port=args.port, unix_path=args.unix
+        ) as client:
+            while True:
+                response = client.metrics()
+                if not response.get("ok"):
+                    error = response.get("error", {})
+                    print(
+                        f"error: {error.get('code')}: {error.get('message')}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                rendered = _render(response["result"]["text"])
+                if not args.once:
+                    # ANSI home+clear keeps one live table; --once stays
+                    # pipe-friendly for scripts and tests.
+                    print("\x1b[H\x1b[2J", end="")
+                print(rendered, flush=True)
+                polls += 1
+                if iterations is not None and polls >= iterations:
+                    return 0
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.registry import DEFAULT_TOLERANCE
     from repro.obs.report_html import write_report
@@ -738,6 +883,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.obs import events as obs_events
     from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.telemetry import TelemetryWindow
     from repro.parallel.cache import SolveCache
     from repro.server.admission import AdmissionController
     from repro.server.server import SolveServer
@@ -757,12 +904,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     journal_dir = args.recover if args.recover is not None else args.journal
     if args.run_dir is not None:
-        # A run directory makes the server an observed run: events.jsonl
-        # and metrics.json land there on shutdown, registry-compatible.
+        # A run directory makes the server an observed run: events.jsonl,
+        # metrics.json, and trace.jsonl land there on shutdown,
+        # registry-compatible (traces feed `repro runs trace-request`).
         obs_metrics.reset()
         obs_metrics.enable()
         obs_events.reset()
         obs_events.enable()
+        obs_trace.reset()
+        obs_trace.enable()
         from pathlib import Path
 
         obs_events.set_run_id(Path(args.run_dir).name)
@@ -784,6 +934,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         journal_dir=journal_dir,
         recover=args.recover is not None,
+        telemetry=TelemetryWindow(window_seconds=args.metrics_window),
     )
 
     async def _main() -> None:
@@ -869,7 +1020,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
         else:
             response = client.request(args.op)
             if response.get("ok"):
-                print(json.dumps(response["result"], indent=2, sort_keys=True))
+                if args.op == "metrics":
+                    # The exposition is already a text document; print it
+                    # verbatim (scrape-able), not JSON-wrapped.
+                    print(response["result"]["text"], end="")
+                else:
+                    print(json.dumps(response["result"], indent=2, sort_keys=True))
             else:
                 error = response.get("error", {})
                 print(
@@ -1151,6 +1307,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_trend.set_defaults(func=_cmd_runs_trend)
 
+    runs_trace_request = runs_commands.add_parser(
+        "trace-request",
+        help="assemble one request's Chrome trace from a server run's "
+        "trace.jsonl (server dispatch + worker solver spans)",
+    )
+    _runs_common(runs_trace_request)
+    runs_trace_request.add_argument("run_id")
+    runs_trace_request.add_argument("request_id")
+    runs_trace_request.add_argument(
+        "-o",
+        "--output",
+        help="output file (default trace-<request_id>.json)",
+    )
+    runs_trace_request.set_defaults(func=_cmd_runs_trace_request)
+
     report = commands.add_parser(
         "report", help="render the cross-run HTML dashboard"
     )
@@ -1233,13 +1404,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay admitted-but-unanswered requests from this journal "
         "directory on startup (implies --journal DIR)",
     )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="serve live telemetry via the 'metrics' op (always on; "
+        "accepted for explicitness and forward compatibility)",
+    )
+    serve.add_argument(
+        "--metrics-window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="rolling window for rps/error-rate/latency telemetry "
+        "(default 60)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = commands.add_parser(
+        "top", help="live per-op telemetry of a running solve server"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, help="server TCP port")
+    top.add_argument("--unix", help="server Unix socket path")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        help="stop after this many polls (default: until interrupted)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="poll once, print the table, exit (no screen clearing)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     client = commands.add_parser(
         "client", help="send requests to a running solve server"
     )
     client.add_argument(
-        "op", choices=["solve", "plan", "ping", "stats", "shutdown", "load"]
+        "op",
+        choices=["solve", "plan", "ping", "stats", "metrics", "shutdown", "load"],
     )
     client.add_argument("graph_files", nargs="*")
     client.add_argument("--host", default="127.0.0.1")

@@ -3,7 +3,15 @@
 The measurement layer the perf roadmap hangs off.  Four pieces:
 
 - :mod:`repro.obs.trace` — hierarchical spans (context-manager API,
-  ``perf_counter_ns`` durations, process-global collector);
+  ``perf_counter_ns`` durations, process-global collector), including
+  detached spans for async servers and cross-process span adoption;
+- :mod:`repro.obs.context` — the ambient :class:`TraceContext`
+  (contextvars-based) that stamps every span with a request-scoped
+  ``trace_id`` and survives the wire protocol, the worker-pool
+  boundary, and the request journal;
+- :mod:`repro.obs.telemetry` — the live rolling-window aggregator
+  behind the solve server's ``metrics`` op and its Prometheus
+  text-format v0.0.4 exposition (``repro top`` renders it);
 - :mod:`repro.obs.metrics` — named counters/gauges/histogram summaries
   with deterministic, byte-stable JSON snapshots;
 - :mod:`repro.obs.events` — the structured event log (``events.jsonl``:
@@ -22,7 +30,8 @@ The measurement layer the perf roadmap hangs off.  Four pieces:
   (the ``repro profile`` table);
 - :mod:`repro.obs.export` — trace serialization to Chrome trace-event
   JSON (Perfetto), folded stacks (flamegraphs), and JSONL
-  (the ``repro trace`` command).
+  (the ``repro trace`` command), plus per-request trace assembly from
+  a server run's ``trace.jsonl`` (``repro runs trace-request``).
 
 All collectors are **off by default**, and every instrumentation hook in
 the solvers, engine, joins, and storage layers is behaviour-neutral: with
@@ -47,6 +56,8 @@ from repro.obs.metrics import (
     set_gauge,
     snapshot,
 )
+from repro.obs.context import TraceContext
+from repro.obs.telemetry import TelemetryWindow
 from repro.obs.trace import TRACER, Span, Tracer, span, spans
 from repro.obs.export import export_trace, write_trace
 
@@ -92,6 +103,8 @@ __all__ = [
     "ProfileRow",
     "Span",
     "TRACER",
+    "TelemetryWindow",
+    "TraceContext",
     "Tracer",
     "counter",
     "disable",

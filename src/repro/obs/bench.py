@@ -342,6 +342,9 @@ def _server_load(config: BenchConfig) -> dict[str, Any]:
         "throughput_rps": warm.as_dict()["throughput_rps"],
         "p50_ms": warm.as_dict()["p50_ms"],
         "p99_ms": warm.as_dict()["p99_ms"],
+        # Per-op breakdown of the warm wave: request counts are mix-
+        # deterministic, the quantiles are timings like p50_ms above.
+        "per_op": warm.per_op(),
     }
 
 

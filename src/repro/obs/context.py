@@ -1,0 +1,156 @@
+"""Ambient trace context: request-scoped correlation for spans and events.
+
+A :class:`TraceContext` names the *request* a piece of work belongs to —
+a 128-bit ``trace_id`` (32 lowercase hex chars) plus the span index of
+the caller's enclosing span (``parent_span_id``).  It is deliberately
+tiny and serializable, because it crosses every boundary the solve
+server has:
+
+- **wire** — clients attach it as the optional ``trace`` field of a
+  ``repro-serve/v1`` request (older servers ignore unknown fields, so
+  the protocol version does not change);
+- **task** — :mod:`repro.parallel.pool` pickles it into worker task
+  payloads, so spans recorded in a worker process ship home already
+  tagged with the originating request's trace id;
+- **journal** — the write-ahead request journal records it alongside the
+  admitted request line, so ``--recover`` replays keep their original
+  trace ids.
+
+The *ambient* part uses :mod:`contextvars`, which is both thread-local
+and asyncio-task-local: each concurrently served request on the server's
+event loop sees only its own context.  :meth:`repro.obs.trace.Tracer._open`
+reads the ambient context to stamp new top-level spans, so existing
+instrumentation (``trace.span(...)`` calls throughout the repo) becomes
+request-aware without touching any call site.
+
+Like the rest of :mod:`repro.obs` this module is behaviour-neutral:
+activating a context records nothing by itself, and when tracing is
+disabled the ambient variable is simply never read.
+
+>>> from repro.obs import context
+>>> ctx = context.TraceContext(context.derived_trace_id(0, 0))
+>>> with context.use(ctx):
+...     context.current() is ctx
+True
+>>> context.current() is None
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import random
+import string
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+TRACE_ID_BITS = 128
+TRACE_ID_HEX_CHARS = TRACE_ID_BITS // 4
+
+_HEX_DIGITS = frozenset(string.hexdigits.lower())
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: trace id plus the caller's span index.
+
+    ``parent_span_id`` is the ``Span.index`` of the enclosing span *in
+    the process that created this context* — meaningful to that process
+    (and to offline trace assembly), opaque everywhere else.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+
+    def child(self, parent_span_id: int | None) -> "TraceContext":
+        """The same trace, re-rooted under a new parent span."""
+        return TraceContext(trace_id=self.trace_id, parent_span_id=parent_span_id)
+
+    def as_wire(self) -> dict[str, Any]:
+        """The JSON-ready form carried on the wire and in the journal."""
+        payload: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            payload["parent_span_id"] = self.parent_span_id
+        return payload
+
+
+def new_trace_id(rng: random.Random | None = None) -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex characters."""
+    bits = (rng or random).getrandbits(TRACE_ID_BITS)
+    return format(bits, f"0{TRACE_ID_HEX_CHARS}x")
+
+
+def derived_trace_id(seed: int, index: int) -> str:
+    """A deterministic trace id for seeded workloads.
+
+    The load generator mints one per generated request from its spec
+    seed and the request's position, so replayed load produces the same
+    trace ids without consuming any random state shared with the
+    workload mix.
+    """
+    digest = hashlib.sha256(f"repro-trace:{seed}:{index}".encode("ascii"))
+    return digest.hexdigest()[:TRACE_ID_HEX_CHARS]
+
+
+def is_trace_id(value: object) -> bool:
+    """True when ``value`` is a well-formed 32-hex-char trace id."""
+    return (
+        isinstance(value, str)
+        and len(value) == TRACE_ID_HEX_CHARS
+        and all(ch in _HEX_DIGITS for ch in value)
+    )
+
+
+def from_wire(payload: object) -> TraceContext | None:
+    """Parse the wire/journal form, tolerating anything malformed.
+
+    Trace context is an optional correlation hint, never load-bearing
+    for request semantics — a garbled ``trace`` field from a newer (or
+    buggy) client must degrade to "untraced", not to a protocol error.
+    Returns None unless ``payload`` is a dict with a well-formed
+    ``trace_id``; a bad ``parent_span_id`` is dropped, not fatal.
+    """
+    if not isinstance(payload, dict):
+        return None
+    trace_id = payload.get("trace_id")
+    if not is_trace_id(trace_id):
+        return None
+    parent = payload.get("parent_span_id")
+    if isinstance(parent, bool) or not isinstance(parent, int) or parent < 0:
+        parent = None
+    return TraceContext(trace_id=trace_id, parent_span_id=parent)
+
+
+# ---------------------------------------------------------------------------
+# Ambient propagation.
+# ---------------------------------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The ambient context of the calling thread / asyncio task."""
+    return _CURRENT.get()
+
+
+def activate(ctx: TraceContext | None) -> contextvars.Token:
+    """Set the ambient context; pass the token to :func:`deactivate`."""
+    return _CURRENT.set(ctx)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def use(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Ambient context for the duration of the ``with`` body."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -50,6 +50,9 @@ def to_chrome_trace(spans: Sequence[Span], pid: int = 1) -> dict[str, Any]:
     origin = min((s.start_ns for s in spans), default=0)
     events = []
     for s in spans:
+        args = {**s.attrs, "depth": s.depth, "index": s.index}
+        if s.trace_id is not None:
+            args["trace_id"] = s.trace_id
         events.append(
             {
                 "name": s.name,
@@ -59,7 +62,7 @@ def to_chrome_trace(spans: Sequence[Span], pid: int = 1) -> dict[str, Any]:
                 "dur": s.duration_ns / 1e3,
                 "pid": pid,
                 "tid": 1,
-                "args": {**s.attrs, "depth": s.depth, "index": s.index},
+                "args": args,
             }
         )
     return {
@@ -126,6 +129,83 @@ def write_trace(
     target = Path(path)
     target.write_text(export_trace(format, spans))
     return target
+
+
+# ---------------------------------------------------------------------------
+# Per-request trace assembly (repro runs trace-request).
+# ---------------------------------------------------------------------------
+
+
+def request_trace(
+    records: Sequence[dict[str, Any]], request_id: str
+) -> dict[str, Any]:
+    """One request's Chrome trace assembled from merged span records.
+
+    ``records`` are :meth:`repro.obs.trace.Span.as_dict` payloads — a
+    server run's ``trace.jsonl``, holding server-side dispatch spans and
+    adopted worker-process spans for *many* requests interleaved.  The
+    request id selects the spans: every record whose ``attrs.id``
+    matches names a trace id (the ``server.request`` root span carries
+    both), and every record sharing one of those trace ids joins the
+    assembled trace.  Server-side spans render as ``pid 1``, spans
+    adopted from worker processes (``attrs.origin == "worker"``) as
+    ``pid 2``, with timestamps in microseconds relative to the earliest
+    selected span.  Raises ValueError when the request id appears
+    nowhere.
+    """
+    trace_ids = set()
+    for record in records:
+        if not isinstance(record, dict) or not record.get("trace_id"):
+            continue
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict) and attrs.get("id") == request_id:
+            trace_ids.add(record["trace_id"])
+    if not trace_ids:
+        raise ValueError(f"request id {request_id!r} not found in trace records")
+    picked = [
+        record
+        for record in records
+        if isinstance(record, dict) and record.get("trace_id") in trace_ids
+    ]
+    origin_us = min(float(r["start_unix"]) for r in picked) * 1e6
+    events = []
+    for record in sorted(picked, key=lambda r: float(r["start_unix"])):
+        attrs = record.get("attrs")
+        attrs = dict(attrs) if isinstance(attrs, dict) else {}
+        pid = 2 if attrs.get("origin") == "worker" else 1
+        try:
+            duration_ns = float(record.get("duration_ns", 0))
+        except (TypeError, ValueError):
+            duration_ns = 0.0
+        events.append(
+            {
+                "name": str(record.get("name") or "?"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": max(0.0, float(record["start_unix"]) * 1e6 - origin_us),
+                "dur": max(0.0, duration_ns / 1e3),
+                "pid": pid,
+                "tid": 1,
+                "args": {
+                    **attrs,
+                    "index": record.get("index"),
+                    "depth": record.get("depth"),
+                    "parent": record.get("parent"),
+                    "remote_parent": record.get("remote_parent"),
+                    "trace_id": record.get("trace_id"),
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.export",
+            "request_id": request_id,
+            "trace_ids": sorted(trace_ids),
+            "spans": len(events),
+        },
+    }
 
 
 # ---------------------------------------------------------------------------

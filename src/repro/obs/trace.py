@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
+
+from repro.obs import context as obs_context
 
 
 @dataclass
@@ -50,6 +52,12 @@ class Span:
     start_ns: int  # perf_counter_ns at entry
     end_ns: int | None = None  # perf_counter_ns at exit (None while open)
     attrs: dict[str, Any] = field(default_factory=dict)
+    # Request correlation (repro.obs.context): the trace id this span
+    # belongs to, and — for top-level spans whose logical parent lives in
+    # another process or outside the stack — that parent's span index in
+    # the *originating* process.
+    trace_id: str | None = None
+    remote_parent: int | None = None
 
     @property
     def duration_ns(self) -> int:
@@ -71,6 +79,8 @@ class Span:
             "start_unix": self.start_unix,
             "duration_ns": self.duration_ns,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "remote_parent": self.remote_parent,
         }
 
 
@@ -121,6 +131,43 @@ class _ActiveSpan:
         return False
 
 
+class _DetachedActiveSpan:
+    """Context manager recording a span that never joins the stack.
+
+    The solve server opens one of these per request: the region is timed
+    and recorded, but because it stays off the parent stack, spans from
+    *other* requests interleaving on the same event loop cannot nest
+    under it by accident.  Children relate to a detached span through
+    the ambient :class:`repro.obs.context.TraceContext` (``trace_id`` +
+    ``remote_parent``) instead of ``parent_index``.
+    """
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.span = Span(
+            name=name,
+            index=-1,
+            parent_index=None,
+            depth=0,
+            start_unix=0.0,
+            start_ns=0,
+            attrs=attrs,
+        )
+
+    def __enter__(self) -> Span:
+        self.tracer._open_detached(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.attrs["error"] = True
+            self.span.attrs["error_type"] = exc_type.__name__
+        self.span.end_ns = time.perf_counter_ns()
+        return False
+
+
 class Tracer:
     """A process-global collector of hierarchical spans.
 
@@ -160,6 +207,24 @@ class Tracer:
             return _NULL_SPAN
         return _ActiveSpan(self, name, attrs)
 
+    def detached_span(self, name: str, **attrs: Any):
+        """A stack-free span: timed and recorded, but never a parent.
+
+        Use for regions that stay open across ``await`` points (one per
+        in-flight server request) where stack nesting would interleave
+        unrelated requests.  Links to children go through the ambient
+        trace context rather than the span stack.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _DetachedActiveSpan(self, name, attrs)
+
+    def _stamp_context(self, span: Span) -> None:
+        ctx = obs_context.current()
+        if ctx is not None:
+            span.trace_id = ctx.trace_id
+            span.remote_parent = ctx.parent_span_id
+
     def _open(self, span: Span) -> None:
         span.index = self._next_index
         self._next_index += 1
@@ -167,9 +232,23 @@ class Tracer:
             parent = self._stack[-1]
             span.parent_index = parent.index
             span.depth = parent.depth + 1
+            span.trace_id = parent.trace_id
+        else:
+            # Top-level spans inherit the ambient request identity, so
+            # existing instrumentation becomes request-aware without
+            # changing any call site.
+            self._stamp_context(span)
         span.start_unix = time.time()
         span.start_ns = time.perf_counter_ns()
         self._stack.append(span)
+        self._completed.append(span)
+
+    def _open_detached(self, span: Span) -> None:
+        span.index = self._next_index
+        self._next_index += 1
+        self._stamp_context(span)
+        span.start_unix = time.time()
+        span.start_ns = time.perf_counter_ns()
         self._completed.append(span)
 
     def _close(self, span: Span) -> None:
@@ -180,6 +259,79 @@ class Tracer:
             top = self._stack.pop()
             if top is span:
                 break
+
+    def adopt(
+        self, shipped: Sequence[dict[str, Any]], origin: str | None = None
+    ) -> list[Span]:
+        """Fold span records from another process into this tracer.
+
+        ``shipped`` is a sequence of :meth:`Span.as_dict` payloads in
+        start order, as snapshotted by a worker process.  Each becomes a
+        local span with a fresh index; parent links *within* the
+        shipment are remapped, and a shipped top-level span whose
+        ``remote_parent`` names a span already recorded here (the
+        dispatch span whose index the parent put in the task's
+        TraceContext) is attached as its child.  Worker clocks don't
+        share ``perf_counter_ns`` origins, so ``start_ns`` is
+        re-derived from the span's wall-clock start against this
+        process's current wall/perf pair — good to about a scheduling
+        quantum, which is all cross-process timelines can promise.
+        """
+        if not self.enabled or not shipped:
+            return []
+        now_unix = time.time()
+        now_ns = time.perf_counter_ns()
+        adopted: list[Span] = []
+        index_map: dict[int, Span] = {}
+        for record in shipped:
+            if not isinstance(record, dict):
+                continue
+            try:
+                name = str(record["name"])
+                start_unix = float(record["start_unix"])
+                duration_ns = int(record["duration_ns"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            start_ns = now_ns - int((now_unix - start_unix) * 1e9)
+            attrs = record.get("attrs")
+            span = Span(
+                name=name,
+                index=self._next_index,
+                parent_index=None,
+                depth=0,
+                start_unix=start_unix,
+                start_ns=start_ns,
+                end_ns=start_ns + max(0, duration_ns),
+                attrs=dict(attrs) if isinstance(attrs, dict) else {},
+                trace_id=record.get("trace_id"),
+                remote_parent=None,
+            )
+            if origin is not None:
+                span.attrs.setdefault("origin", origin)
+            self._next_index += 1
+            parent: Span | None = None
+            shipped_parent = record.get("parent")
+            remote = record.get("remote_parent")
+            if isinstance(shipped_parent, int) and shipped_parent in index_map:
+                parent = index_map[shipped_parent]
+            elif (
+                isinstance(remote, int)
+                and not isinstance(remote, bool)
+                and 0 <= remote < len(self._completed)
+            ):
+                # Span.index doubles as position in _completed, so the
+                # remote parent resolves by direct lookup.
+                parent = self._completed[remote]
+            if parent is not None:
+                span.parent_index = parent.index
+                span.depth = parent.depth + 1
+            elif isinstance(remote, int) and not isinstance(remote, bool):
+                span.remote_parent = remote
+            if isinstance(shipped_index := record.get("index"), int):
+                index_map[shipped_index] = span
+            self._completed.append(span)
+            adopted.append(span)
+        return adopted
 
     # -- inspection ----------------------------------------------------
     def current_span(self) -> Span | None:
@@ -238,6 +390,16 @@ def span(name: str, **attrs: Any):
     is disabled (the default) it is a near-free no-op.
     """
     return TRACER.span(name, **attrs)
+
+
+def detached_span(name: str, **attrs: Any):
+    """A stack-free span on the global tracer (see Tracer.detached_span)."""
+    return TRACER.detached_span(name, **attrs)
+
+
+def adopt(shipped: Sequence[dict[str, Any]], origin: str | None = None) -> list[Span]:
+    """Fold another process's span records into the global tracer."""
+    return TRACER.adopt(shipped, origin=origin)
 
 
 def current_span() -> Span | None:

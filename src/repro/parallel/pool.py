@@ -38,9 +38,11 @@ from typing import Any, Sequence
 from repro.core.solvers.registry import SolveResult
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.simple import Graph
+from repro.obs import context as obs_context
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.context import TraceContext
 from repro.runtime import faults as faults_mod
 
 AnyGraph = Graph | BipartiteGraph
@@ -74,6 +76,11 @@ class SolveTask:
     metrics_enabled: bool = False
     events_enabled: bool = False
     crash: bool = False
+    # Request correlation: the originating request's TraceContext (its
+    # parent_span_id names the dispatch span in the parent process) and
+    # whether the worker should record + ship spans at all.
+    trace: TraceContext | None = None
+    trace_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,7 @@ class TaskOutcome:
     result: SolveResult
     counters: dict[str, int]
     events: tuple[tuple[str, dict[str, Any]], ...]
+    spans: tuple[dict[str, Any], ...] = ()
 
 
 def solve_task(task: SolveTask) -> TaskOutcome:
@@ -105,7 +113,10 @@ def solve_task(task: SolveTask) -> TaskOutcome:
     _reset_ambient_cache()
     _BUDGET_STACK.clear()
     obs_trace.reset()
-    obs_trace.disable()
+    if task.trace_enabled:
+        obs_trace.enable()
+    else:
+        obs_trace.disable()
     obs_metrics.reset()
     obs_events.reset()
     if task.metrics_enabled:
@@ -117,25 +128,44 @@ def solve_task(task: SolveTask) -> TaskOutcome:
     else:
         obs_events.disable()
 
-    result = solve(
-        task.graph,
-        task.method,
-        deadline=task.deadline,
-        memo_cap=task.memo_cap,
-        **task.options,
-    )
+    # The ambient context makes every top-level span this worker records
+    # carry the originating request's trace_id (and the parent-process
+    # dispatch span as remote_parent) — tagged at recording time, so the
+    # shipment needs no post-processing.
+    token = obs_context.activate(task.trace) if task.trace is not None else None
+    try:
+        result = solve(
+            task.graph,
+            task.method,
+            deadline=task.deadline,
+            memo_cap=task.memo_cap,
+            **task.options,
+        )
+    finally:
+        if token is not None:
+            obs_context.deactivate(token)
 
     counters: dict[str, int] = {}
     shipped_events: tuple[tuple[str, dict[str, Any]], ...] = ()
+    shipped_spans: tuple[dict[str, Any], ...] = ()
     if task.metrics_enabled:
         counters = dict(obs_metrics.snapshot()["counters"])
     if task.events_enabled:
         shipped_events = tuple(
             (event.name, dict(event.attrs)) for event in obs_events.events()
         )
+    if task.trace_enabled:
+        shipped_spans = tuple(obs_trace.as_dicts())
     obs_metrics.reset()
     obs_events.reset()
-    return TaskOutcome(result=result, counters=counters, events=shipped_events)
+    obs_trace.reset()
+    obs_trace.disable()
+    return TaskOutcome(
+        result=result,
+        counters=counters,
+        events=shipped_events,
+        spans=shipped_spans,
+    )
 
 
 def merge_observations(outcome: TaskOutcome) -> None:
@@ -144,7 +174,9 @@ def merge_observations(outcome: TaskOutcome) -> None:
     Counters merge by summation (deterministic: sorted name order);
     events are re-emitted in their original worker order, restamped with
     the parent's ``seq`` / ``run_id`` / ``span_id`` — the worker's facts,
-    the parent's timeline.
+    the parent's timeline.  Shipped spans are adopted into the parent
+    tracer (:meth:`repro.obs.trace.Tracer.adopt`) tagged with
+    ``origin="worker"``, already carrying the request's trace_id.
     """
     if obs_metrics.METRICS.enabled:
         for name in sorted(outcome.counters):
@@ -152,6 +184,10 @@ def merge_observations(outcome: TaskOutcome) -> None:
     if obs_events.EVENTS.enabled:
         for name, attrs in outcome.events:
             obs_events.emit(name, **attrs)
+    if obs_trace.TRACER.enabled and outcome.spans:
+        adopted = obs_trace.adopt(outcome.spans, origin="worker")
+        if adopted and obs_metrics.METRICS.enabled:
+            obs_metrics.inc("parallel.pool.spans_adopted", len(adopted))
 
 
 def preferred_start_method() -> str:

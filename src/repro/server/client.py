@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.obs.context import TraceContext
 from repro.runtime.retry import CircuitBreaker, RetryPolicy
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
@@ -137,13 +138,20 @@ class ServeClient:
         deadline: float | None = None,
         options: dict[str, Any] | None = None,
         request_id: str | None = None,
+        trace: TraceContext | None = None,
     ) -> str:
         """Write one request line; returns the request id (no read)."""
         if self._sock is None:
             raise ConnectionError("client is closed")
         rid = request_id if request_id is not None else f"c{next(self._ids)}"
         line = protocol.encode_request(
-            rid, op, graph_text, method=method, deadline=deadline, options=options
+            rid,
+            op,
+            graph_text,
+            method=method,
+            deadline=deadline,
+            options=options,
+            trace=trace,
         )
         self._sock.sendall(line.encode("utf-8"))
         return rid
@@ -176,12 +184,18 @@ class ServeClient:
         method: str = "auto",
         deadline: float | None = None,
         options: dict[str, Any] | None = None,
+        trace: TraceContext | None = None,
     ) -> dict[str, Any]:
         """Send one request and block for its response (retrying under
         the client's policy, when one was given)."""
         if self._retry is None:
             rid = self.send(
-                op, graph_text, method=method, deadline=deadline, options=options
+                op,
+                graph_text,
+                method=method,
+                deadline=deadline,
+                options=options,
+                trace=trace,
             )
             return self.recv(rid)
         controller = self._retry.controller(f"client.{op}")
@@ -198,6 +212,7 @@ class ServeClient:
                     method=method,
                     deadline=deadline,
                     options=options,
+                    trace=trace,
                 )
                 response = self.recv(rid)
             except _RETRY_ERRORS as exc:
@@ -235,6 +250,9 @@ class ServeClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request(protocol.OP_STATS)
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request(protocol.OP_METRICS)
 
     def shutdown(self) -> dict[str, Any]:
         return self.request(protocol.OP_SHUTDOWN)
@@ -357,6 +375,7 @@ class AsyncServeClient:
         method: str,
         deadline: float | None,
         options: dict[str, Any] | None,
+        trace: TraceContext | None,
     ) -> dict[str, Any]:
         if self._writer is None:
             raise ConnectionError("client is not connected")
@@ -364,7 +383,13 @@ class AsyncServeClient:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
         line = protocol.encode_request(
-            rid, op, graph_text, method=method, deadline=deadline, options=options
+            rid,
+            op,
+            graph_text,
+            method=method,
+            deadline=deadline,
+            options=options,
+            trace=trace,
         )
         self._writer.write(line.encode("utf-8"))
         await self._writer.drain()
@@ -377,11 +402,12 @@ class AsyncServeClient:
         method: str = "auto",
         deadline: float | None = None,
         options: dict[str, Any] | None = None,
+        trace: TraceContext | None = None,
     ) -> dict[str, Any]:
         """Send one request; await its (possibly out-of-order) response."""
         if self._retry is None:
             return await self._request_once(
-                op, graph_text, method, deadline, options
+                op, graph_text, method, deadline, options, trace
             )
         controller = self._retry.controller(f"client.{op}")
         while True:
@@ -392,7 +418,7 @@ class AsyncServeClient:
                 if not self._connected:
                     await self._ensure_connected()
                 response = await self._request_once(
-                    op, graph_text, method, deadline, options
+                    op, graph_text, method, deadline, options, trace
                 )
             except _RETRY_ERRORS as exc:
                 if self._breaker is not None:

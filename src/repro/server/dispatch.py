@@ -33,7 +33,9 @@ from repro.core.solvers.registry import solve as registry_solve
 from repro.errors import GraphError
 from repro.graphs.components import component_vertex_sets
 from repro.graphs.io import load_bipartite, load_graph
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.parallel import pool as pool_mod
 from repro.parallel.cache import CacheToken, SolveCache, cache_key, use_cache
 from repro.parallel.fingerprint import CanonicalForm, canonical_form
@@ -109,7 +111,27 @@ class Dispatcher:
         Raises :class:`ProtocolError` for defective graphs; budget
         exhaustion is *not* an error — it surfaces as a degraded
         ``status`` in an ok response, exactly like the CLI.
+
+        When tracing is enabled the whole dispatch is timed as a
+        *detached* ``server.dispatch`` span (stack-free, because the
+        region stays open across ``await`` points while other requests
+        interleave) and the ambient trace context is re-rooted under it,
+        so every solver span — inline or shipped home from a worker —
+        hangs off this request's dispatch.
         """
+        ctx = obs_context.current()
+        with obs_trace.detached_span(
+            "server.dispatch",
+            id=request.id,
+            op=request.op,
+            method=request.method,
+        ) as dispatch_span:
+            if ctx is not None and dispatch_span is not None:
+                ctx = ctx.child(dispatch_span.index)
+            with obs_context.use(ctx):
+                return await self._dispatch(request)
+
+    async def _dispatch(self, request: Request) -> dict[str, Any]:
         assert request.graph_text is not None
         # Chaos hook: an installed FaultPlan may fail the dispatch
         # outright (the server answers `internal` and lives on) ...
@@ -194,6 +216,8 @@ class Dispatcher:
                         deadline=share,
                         memo_cap=self.memo_cap,
                         metrics_enabled=obs_metrics.METRICS.enabled,
+                        trace=obs_context.current(),
+                        trace_enabled=obs_trace.TRACER.enabled,
                     )
                     for _key, component in tasks
                 ]

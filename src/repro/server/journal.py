@@ -13,9 +13,17 @@ appending new ones to the same file.
 Records are single JSON lines, append-only, two kinds::
 
     {"schema": "repro-journal/v1", "kind": "admitted", "entry": 3,
-     "request": "{...the raw request line...}"}
+     "request": "{...the raw request line...}",
+     "trace": {"trace_id": "...", "parent_span_id": 0}}
     {"schema": "repro-journal/v1", "kind": "complete", "entry": 3,
      "recovered": false}
+
+The optional ``trace`` object on an admitted record is the request's
+resolved :class:`repro.obs.context.TraceContext` — the id the server
+*actually served under* (client-supplied or server-minted), so a
+``--recover`` replay keeps the original trace identity instead of
+minting a new one.  Absent on journals written before tracing existed;
+readers must tolerate both.
 
 A crash can truncate the *final* line mid-write; the loader tolerates
 exactly that (an unparseable tail is dropped, an unparseable interior
@@ -45,6 +53,7 @@ class JournalEntry:
 
     entry_id: int
     request_line: str
+    trace: dict[str, Any] | None = None  # serialized TraceContext, if any
 
 
 def load_records(path: str | Path) -> list[dict[str, Any]]:
@@ -75,7 +84,7 @@ def load_records(path: str | Path) -> list[dict[str, Any]]:
 
 def incomplete_entries(records: list[dict[str, Any]]) -> list[JournalEntry]:
     """The admitted-but-never-completed entries, in admission order."""
-    admitted: dict[int, str] = {}
+    admitted: dict[int, tuple[str, dict[str, Any] | None]] = {}
     completed: set[int] = set()
     for record in records:
         kind = record.get("kind")
@@ -83,11 +92,19 @@ def incomplete_entries(records: list[dict[str, Any]]) -> list[JournalEntry]:
         if not isinstance(entry, int):
             continue
         if kind == KIND_ADMITTED and isinstance(record.get("request"), str):
-            admitted[entry] = record["request"]
+            trace = record.get("trace")
+            admitted[entry] = (
+                record["request"],
+                trace if isinstance(trace, dict) else None,
+            )
         elif kind == KIND_COMPLETE:
             completed.add(entry)
     return [
-        JournalEntry(entry_id=entry, request_line=admitted[entry])
+        JournalEntry(
+            entry_id=entry,
+            request_line=admitted[entry][0],
+            trace=admitted[entry][1],
+        )
         for entry in sorted(admitted)
         if entry not in completed
     ]
@@ -123,6 +140,8 @@ def validate_records(
         if kind == KIND_ADMITTED:
             if not isinstance(record.get("request"), str):
                 problems.append(f"{where}: admitted record missing 'request'")
+            if "trace" in record and not isinstance(record["trace"], dict):
+                problems.append(f"{where}: 'trace' must be an object")
             if entry in admitted:
                 problems.append(f"{where}: duplicate admitted entry {entry}")
             admitted.add(entry)
@@ -170,18 +189,25 @@ class RequestJournal:
         """The predecessor's admitted-but-unanswered entries (replay set)."""
         return list(self._incomplete)
 
-    def record_admitted(self, request_line: str) -> int:
-        """Journal one admitted request *before* it is dispatched."""
+    def record_admitted(
+        self, request_line: str, trace: dict[str, Any] | None = None
+    ) -> int:
+        """Journal one admitted request *before* it is dispatched.
+
+        ``trace`` is the request's resolved trace context (wire form) —
+        recorded so a recovery replay serves under the original id.
+        """
         entry_id = self._next_entry
         self._next_entry += 1
-        self._append(
-            {
-                "schema": JOURNAL_SCHEMA,
-                "kind": KIND_ADMITTED,
-                "entry": entry_id,
-                "request": request_line,
-            }
-        )
+        record: dict[str, Any] = {
+            "schema": JOURNAL_SCHEMA,
+            "kind": KIND_ADMITTED,
+            "entry": entry_id,
+            "request": request_line,
+        }
+        if trace is not None:
+            record["trace"] = trace
+        self._append(record)
         return entry_id
 
     def record_complete(self, entry_id: int, recovered: bool = False) -> None:

@@ -28,6 +28,12 @@ Operations:
 ``stats``
     Server statistics: request/admission counters, queue depth,
     in-flight bytes, cache hit/miss/store counts, pool shape.
+``metrics``
+    Live telemetry as Prometheus text format v0.0.4 (see
+    :mod:`repro.obs.telemetry`): per-op request counters and latency
+    histograms over the server's rolling window, admission/cache/runtime
+    counters.  The result carries the exposition under ``text`` plus its
+    ``content_type``.
 ``shutdown``
     Ask the server to stop accepting work and exit gracefully after
     in-flight requests drain.
@@ -36,6 +42,14 @@ Error responses carry a stable ``code`` from :data:`ERROR_CODES`;
 ``overloaded`` rejections additionally carry ``retry_after_ms`` — the
 admission controller's backoff hint (see
 :mod:`repro.server.admission`).
+
+Requests may carry an optional ``trace`` object (a serialized
+:class:`repro.obs.context.TraceContext`) correlating the server-side
+span tree with the caller's: a well-formed one is adopted as the
+request's trace identity, a malformed one degrades to "untraced".
+Forward compatibility is part of the contract: unknown top-level request
+fields from newer clients are ignored, never rejected, so the ``trace``
+field (and future additions) need no schema bump.
 
 Parsing is strict but total: any defective line produces a
 :class:`ProtocolError` (which the server turns into a ``bad_request``
@@ -49,6 +63,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs import context as obs_context
+from repro.obs.context import TraceContext
 
 PROTOCOL_SCHEMA = "repro-serve/v1"
 
@@ -56,9 +72,10 @@ OP_SOLVE = "solve"
 OP_PLAN = "plan"
 OP_PING = "ping"
 OP_STATS = "stats"
+OP_METRICS = "metrics"
 OP_SHUTDOWN = "shutdown"
 
-OPS = (OP_SOLVE, OP_PLAN, OP_PING, OP_STATS, OP_SHUTDOWN)
+OPS = (OP_SOLVE, OP_PLAN, OP_PING, OP_STATS, OP_METRICS, OP_SHUTDOWN)
 
 # Ops that carry a graph payload and run through the dispatcher.
 SOLVE_OPS = (OP_SOLVE, OP_PLAN)
@@ -104,6 +121,7 @@ class Request:
     deadline: float | None = None
     options: dict[str, Any] = field(default_factory=dict)
     nbytes: int = 0  # wire size, the admission controller's currency
+    trace: TraceContext | None = None  # client-supplied trace identity
 
 
 def parse_request(line: str | bytes) -> Request:
@@ -172,6 +190,9 @@ def parse_request(line: str | bytes) -> Request:
         raise ProtocolError(
             ERROR_BAD_REQUEST, "'options' must be an object with string keys"
         )
+    # Lenient by design: trace context is a correlation hint, so a
+    # malformed (or absent) 'trace' yields None rather than an error.
+    trace = obs_context.from_wire(payload.get("trace"))
     return Request(
         id=request_id,
         op=op,
@@ -180,6 +201,7 @@ def parse_request(line: str | bytes) -> Request:
         deadline=deadline,
         options=dict(options),
         nbytes=nbytes,
+        trace=trace,
     )
 
 
@@ -190,6 +212,7 @@ def encode_request(
     method: str = "auto",
     deadline: float | None = None,
     options: dict[str, Any] | None = None,
+    trace: TraceContext | None = None,
 ) -> str:
     """One request as a single JSON line (trailing newline included)."""
     payload: dict[str, Any] = {
@@ -205,6 +228,8 @@ def encode_request(
         payload["deadline"] = deadline
     if options:
         payload["options"] = options
+    if trace is not None:
+        payload["trace"] = trace.as_wire()
     return json.dumps(payload, sort_keys=True) + "\n"
 
 
@@ -272,6 +297,7 @@ __all__ = [
     "ERROR_UNSUPPORTED_SCHEMA",
     "MAX_LINE_BYTES",
     "OPS",
+    "OP_METRICS",
     "OP_PING",
     "OP_PLAN",
     "OP_SHUTDOWN",

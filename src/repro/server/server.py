@@ -26,13 +26,21 @@ Lifecycle of one request::
         └──────────┴─ defects ⇒ bad_request/... error response
 
 Every stage is observable: ``server.request_start`` / ``server.request_end``
-events (end carries per-request latency), request counters, and
-admission events/gauges from the controller.  When the server is given
-a run directory, shutdown writes ``events.jsonl`` + ``metrics.json``
-there — the same artifact shapes as a bench run — and only then does a
+events (end carries per-request latency and the trace id), request
+counters, and admission events/gauges from the controller.  When the
+server is given a run directory, shutdown writes ``events.jsonl`` +
+``metrics.json`` (+ ``trace.jsonl`` when tracing is enabled) there —
+the same artifact shapes as a bench run — and only then does a
 ``server.latency_ms`` histogram (p50/p99) enter the metrics snapshot:
 bench-run metrics must stay timing-free so same-seed runs stay
 byte-identical.
+
+Two *live* surfaces exist besides the artifacts: every solve/plan
+request is served under a :class:`repro.obs.context.TraceContext`
+(client-supplied or minted) whose id is echoed in the result payload as
+``trace_id``, and an always-on :class:`repro.obs.telemetry.TelemetryWindow`
+feeds the ``metrics`` op's Prometheus exposition (per-op counters,
+latency histograms, rolling-window rates — what ``repro top`` renders).
 
 :func:`serve_background` runs a server on a daemon thread with its own
 event loop — the harness used by tests, the smoke checker, and the
@@ -49,10 +57,16 @@ import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.obs import context as obs_context
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry as obs_telemetry
+from repro.obs import trace as obs_trace
+from repro.obs.context import TraceContext
+from repro.obs.telemetry import TelemetryWindow
 from repro.parallel.cache import SolveCache
 from repro.parallel.pool import WorkerPool
+from repro.runtime.anytime import DEGRADED_STATUSES
 from repro.server import protocol
 from repro.server.admission import (
     AdmissionController,
@@ -62,6 +76,18 @@ from repro.server.dispatch import Dispatcher
 from repro.server.journal import RequestJournal
 
 DEFAULT_HOST = "127.0.0.1"
+
+# Runtime counters surfaced by the stats op (crash-tolerance activity:
+# retry/backoff, breaker trips, pool healing) — read from the global
+# metrics registry, so nonzero only on observed (``--run-dir``) servers.
+RUNTIME_STAT_COUNTERS = {
+    "retry_attempts": "runtime.retry.attempts",
+    "retry_give_ups": "runtime.retry.give_ups",
+    "breaker_opens": "runtime.breaker.opens",
+    "worker_crashes": "parallel.pool.worker_crashes",
+    "quarantines": "parallel.pool.quarantines",
+    "spans_adopted": "parallel.pool.spans_adopted",
+}
 
 
 class SolveServer:
@@ -90,6 +116,7 @@ class SolveServer:
         run_dir: str | Path | None = None,
         journal_dir: str | Path | None = None,
         recover: bool = False,
+        telemetry: TelemetryWindow | None = None,
     ) -> None:
         if (port is None) == (unix_path is None):
             raise ValueError("exactly one of port= or unix_path= must be set")
@@ -115,6 +142,10 @@ class SolveServer:
             RequestJournal(journal_dir) if journal_dir is not None else None
         )
         self.recover = recover
+        # Live telemetry is always on: a handful of dict updates per
+        # request, and the `metrics` op must answer on any server.  Pass
+        # a custom window to control its span (or inject a test clock).
+        self.telemetry = telemetry if telemetry is not None else TelemetryWindow()
         self.requests_total = 0
         self.recovered_total = 0
         self._server: asyncio.base_events.Server | None = None
@@ -217,8 +248,14 @@ class SolveServer:
                     op=None if request is None else request.op,
                 )
             if request is not None and request.op in protocol.SOLVE_OPS:
+                # Replay under the *original* trace identity: the journal
+                # recorded the context the request was served with, so
+                # recovered work joins the same trace, not a fresh one.
+                ctx = obs_context.from_wire(entry.trace) or request.trace
+                if ctx is None:
+                    ctx = TraceContext(obs_context.new_trace_id())
                 with contextlib.suppress(Exception):
-                    await self.dispatcher.handle(request)
+                    await self._dispatch_traced(request, ctx, recovered=True)
             self.recovered_total += 1
             self.journal.record_complete(entry.entry_id, recovered=True)
         if entries and obs_metrics.METRICS.enabled:
@@ -260,7 +297,8 @@ class SolveServer:
             self._loop.call_soon_threadsafe(self._shutdown.set)
 
     def _write_artifacts(self) -> None:
-        """Drop run artifacts (events.jsonl, metrics.json) on shutdown."""
+        """Drop run artifacts (events.jsonl, metrics.json, trace.jsonl)
+        on shutdown."""
         if self.run_dir is None:
             return
         self.run_dir.mkdir(parents=True, exist_ok=True)
@@ -268,6 +306,13 @@ class SolveServer:
             obs_events.write_events(self.run_dir / "events.jsonl")
         if obs_metrics.METRICS.enabled:
             (self.run_dir / "metrics.json").write_text(obs_metrics.to_json())
+        if obs_trace.TRACER.enabled:
+            # One Span.as_dict per line, every span tagged with its
+            # request's trace_id — the input `repro runs trace-request`
+            # assembles per-request Chrome traces from.
+            from repro.obs import export as obs_export
+
+            obs_export.write_trace(self.run_dir / "trace.jsonl", "jsonl")
 
     # -- connection plumbing -------------------------------------------
     async def _handle_connection(
@@ -314,12 +359,17 @@ class SolveServer:
     ) -> None:
         started = time.monotonic()
         request_id: str | None = None
+        op_label = "invalid"  # telemetry label for unparseable lines
+        outcome = "error"
+        error_code: str | None = None
+        trace_ctx: TraceContext | None = None
         ticket = None
         journal_entry: int | None = None
         self.requests_total += 1
         try:
             request = protocol.parse_request(line)
             request_id = request.id
+            op_label = request.op
             if obs_events.EVENTS.enabled:
                 obs_events.emit(
                     obs_events.EVENT_SERVER_REQUEST_START,
@@ -329,25 +379,47 @@ class SolveServer:
                 )
             if request.op == protocol.OP_PING:
                 response = protocol.ok_response(request.id, request.op, {})
+                outcome = "ok"
             elif request.op == protocol.OP_STATS:
                 response = protocol.ok_response(
                     request.id, request.op, self._stats_payload()
                 )
+                outcome = "ok"
+            elif request.op == protocol.OP_METRICS:
+                response = protocol.ok_response(
+                    request.id, request.op, self._metrics_payload()
+                )
+                outcome = "ok"
             elif request.op == protocol.OP_SHUTDOWN:
                 response = protocol.ok_response(request.id, request.op, {})
                 self.request_shutdown()
+                outcome = "ok"
             else:
+                # The request's trace identity: the client's context when
+                # it sent a well-formed one, a server-minted id otherwise.
+                trace_ctx = request.trace or TraceContext(
+                    obs_context.new_trace_id()
+                )
                 ticket = self.admission.admit(request.nbytes)
                 if self.journal is not None:
                     # Write-ahead: the raw line lands fsync'd in the
                     # journal before any solving starts, so a crash from
-                    # here on leaves a replayable record.
+                    # here on leaves a replayable record.  The resolved
+                    # trace rides along so recovery replays the same id.
                     journal_entry = self.journal.record_admitted(
-                        line.decode("utf-8", errors="replace").strip()
+                        line.decode("utf-8", errors="replace").strip(),
+                        trace=trace_ctx.as_wire(),
                     )
-                result = await self.dispatcher.handle(request)
+                result = await self._dispatch_traced(request, trace_ctx)
                 response = protocol.ok_response(request.id, request.op, result)
+                outcome = (
+                    "degraded"
+                    if result.get("status") in DEGRADED_STATUSES
+                    else "ok"
+                )
         except RejectedError as exc:
+            outcome = "rejected"
+            error_code = protocol.ERROR_OVERLOADED
             response = protocol.error_response(
                 request_id,
                 protocol.ERROR_OVERLOADED,
@@ -355,8 +427,12 @@ class SolveServer:
                 retry_after_ms=exc.retry_after_ms,
             )
         except protocol.ProtocolError as exc:
+            outcome = "error"
+            error_code = exc.code
             response = protocol.error_response(request_id, exc.code, str(exc))
         except Exception as exc:  # noqa: BLE001 — the server must survive
+            outcome = "error"
+            error_code = protocol.ERROR_INTERNAL
             response = protocol.error_response(
                 request_id,
                 protocol.ERROR_INTERNAL,
@@ -370,6 +446,9 @@ class SolveServer:
                 # recovery would just repeat the same outcome.
                 self.journal.record_complete(journal_entry)
         latency_ms = (time.monotonic() - started) * 1000.0
+        self.telemetry.record(
+            op_label, latency_ms, outcome=outcome, code=error_code
+        )
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("server.requests")
             # The latency histogram belongs to *observed server runs*
@@ -381,10 +460,12 @@ class SolveServer:
             if self.run_dir is not None:
                 obs_metrics.observe("server.latency_ms", latency_ms)
         if obs_events.EVENTS.enabled:
+            # The trace attr joins events.jsonl to trace.jsonl per request.
             obs_events.emit(
                 obs_events.EVENT_SERVER_REQUEST_END,
                 id=request_id,
                 latency_ms=round(latency_ms, 3),
+                trace=None if trace_ctx is None else trace_ctx.trace_id,
             )
         async with write_lock:
             try:
@@ -393,11 +474,41 @@ class SolveServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass  # client went away; the work is already done
 
+    async def _dispatch_traced(
+        self, request: protocol.Request, ctx: TraceContext, recovered: bool = False
+    ) -> dict[str, Any]:
+        """One solve/plan dispatch under its trace identity.
+
+        The root ``server.request`` span is *detached* (stack-free): it
+        stays open across ``await`` points while other requests
+        interleave on the loop, so it must never sit on the span stack
+        where it would corrupt their nesting.  Children attach through
+        the ambient context instead — re-rooted under the root span's
+        index before the dispatcher runs.
+        """
+        with obs_context.use(ctx):
+            attrs: dict[str, Any] = {"id": request.id, "op": request.op}
+            if recovered:
+                attrs["recovered"] = True
+            with obs_trace.detached_span("server.request", **attrs) as root:
+                inner = ctx.child(root.index) if root is not None else ctx
+                with obs_context.use(inner):
+                    result = await self.dispatcher.handle(request)
+        result["trace_id"] = ctx.trace_id
+        return result
+
     def _stats_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
             "requests_total": self.requests_total,
             "jobs": self.jobs,
             "admission": self.admission.stats(),
+            # Crash-tolerance activity (PR 7), read from the global
+            # metrics registry: zeros on unobserved servers (the registry
+            # only records under --run-dir), live counts on observed ones.
+            "runtime": {
+                key: obs_metrics.counter(name)
+                for key, name in sorted(RUNTIME_STAT_COUNTERS.items())
+            },
         }
         if self.journal is not None:
             payload["journal"] = str(self.journal.path)
@@ -405,6 +516,188 @@ class SolveServer:
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
         return payload
+
+    def _metrics_payload(self) -> dict[str, Any]:
+        return {
+            "content_type": obs_telemetry.CONTENT_TYPE,
+            "text": self.exposition(),
+        }
+
+    def exposition(self) -> str:
+        """The server's live telemetry as Prometheus text format v0.0.4.
+
+        Cumulative per-op request/outcome/error counters and latency
+        histograms, rolling-window gauges (rps, error rate, live
+        quantiles), admission and cache state, and the runtime
+        crash-tolerance counters — everything ``repro top`` renders.
+        """
+        totals = self.telemetry.totals()
+        window = self.telemetry.window()
+        admission = self.admission.stats()
+        families: list[list[str]] = [
+            obs_telemetry.scalar_family(
+                "repro_server_requests_total",
+                "counter",
+                "Requests received, by protocol op.",
+                [({"op": op}, data["requests"]) for op, data in totals.items()],
+            ),
+            obs_telemetry.scalar_family(
+                "repro_server_request_outcomes_total",
+                "counter",
+                "Terminal request outcomes (ok/degraded/rejected/error).",
+                [
+                    ({"op": op, "outcome": outcome}, count)
+                    for op, data in totals.items()
+                    for outcome, count in data["outcomes"].items()
+                    if count
+                ],
+            ),
+            obs_telemetry.scalar_family(
+                "repro_server_errors_total",
+                "counter",
+                "Error responses by op and protocol error code.",
+                [
+                    ({"op": op, "code": code}, count)
+                    for op, data in totals.items()
+                    for code, count in data["errors"].items()
+                ],
+            ),
+        ]
+        latency_samples = [
+            ({"op": op}, data["latency"]) for op, data in totals.items()
+        ]
+        if latency_samples:
+            families.append(
+                obs_telemetry.histogram_family(
+                    "repro_server_request_latency_ms",
+                    "Request latency in milliseconds, by op "
+                    "(log-spaced buckets, cumulative since start).",
+                    latency_samples,
+                )
+            )
+        families.extend(
+            [
+                obs_telemetry.scalar_family(
+                    "repro_server_window_rps",
+                    "gauge",
+                    "Requests per second over the rolling window, by op.",
+                    [({"op": op}, view["rps"]) for op, view in window.items()],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_window_error_rate",
+                    "gauge",
+                    "Error+rejection fraction over the rolling window, by op.",
+                    [
+                        ({"op": op}, view["error_rate"])
+                        for op, view in window.items()
+                    ],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_window_p50_ms",
+                    "gauge",
+                    "Rolling-window median latency estimate, by op.",
+                    [
+                        ({"op": op}, view["p50_ms"])
+                        for op, view in window.items()
+                        if view["p50_ms"] is not None
+                    ],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_window_p99_ms",
+                    "gauge",
+                    "Rolling-window p99 latency estimate, by op.",
+                    [
+                        ({"op": op}, view["p99_ms"])
+                        for op, view in window.items()
+                        if view["p99_ms"] is not None
+                    ],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_uptime_seconds",
+                    "gauge",
+                    "Seconds since this server's telemetry began.",
+                    [({}, self.telemetry.uptime_seconds())],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_jobs",
+                    "gauge",
+                    "Worker processes (1 = inline solving).",
+                    [({}, self.jobs)],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_queue_depth",
+                    "gauge",
+                    "Admitted requests currently in flight.",
+                    [({}, admission["depth"])],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_inflight_bytes",
+                    "gauge",
+                    "Wire bytes of admitted in-flight requests.",
+                    [({}, admission["inflight_bytes"])],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_admitted_total",
+                    "counter",
+                    "Requests past admission control.",
+                    [({}, admission["admitted_total"])],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_admission_rejected_total",
+                    "counter",
+                    "Requests rejected by admission control.",
+                    [({}, admission["rejected_total"])],
+                ),
+                obs_telemetry.scalar_family(
+                    "repro_server_recovered_total",
+                    "counter",
+                    "Journal entries replayed by --recover.",
+                    [({}, self.recovered_total)],
+                ),
+            ]
+        )
+        if self.cache is not None:
+            stats = self.cache.stats
+            families.append(
+                obs_telemetry.scalar_family(
+                    "repro_server_cache_hits_total",
+                    "counter",
+                    "Solve-cache hits, by tier.",
+                    [
+                        ({"tier": "memory"}, stats.memory_hits),
+                        ({"tier": "persistent"}, stats.persistent_hits),
+                    ],
+                )
+            )
+            families.append(
+                obs_telemetry.scalar_family(
+                    "repro_server_cache_misses_total",
+                    "counter",
+                    "Solve-cache misses.",
+                    [({}, stats.misses)],
+                )
+            )
+            families.append(
+                obs_telemetry.scalar_family(
+                    "repro_server_cache_stores_total",
+                    "counter",
+                    "Solve-cache stores.",
+                    [({}, stats.stores)],
+                )
+            )
+        families.append(
+            obs_telemetry.scalar_family(
+                "repro_server_runtime_total",
+                "counter",
+                "Crash-tolerance activity (retry/breaker/pool healing), "
+                "by kind; live only on observed (--run-dir) servers.",
+                [
+                    ({"kind": key}, obs_metrics.counter(name))
+                    for key, name in sorted(RUNTIME_STAT_COUNTERS.items())
+                ],
+            )
+        )
+        return obs_telemetry.render_exposition(families)
 
 
 @contextlib.contextmanager

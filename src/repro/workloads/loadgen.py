@@ -10,8 +10,14 @@ whole requests instead of join keys.
 :func:`run_load` drives ``concurrency`` asyncio clients (one connection
 each, many in-flight requests per connection) through the mix and
 reduces the outcomes to a :class:`LoadResult`: terminal-status counts,
-throughput, and p50/p99 client-side latency — the scalars the bench
-scenario publishes into ``BENCH_<date>.json``.
+throughput, and p50/p99 client-side latency — overall and per op — the
+scalars the bench scenario publishes into ``BENCH_<date>.json``.
+
+Every request carries a *derived* trace id
+(:func:`repro.obs.context.derived_trace_id` of the seed and request
+index), so a journaled/traced server run under load yields server-side
+span trees addressable by request index after the fact — the same
+determinism contract as the mix itself.
 
 The *mix* is deterministic in the seed; the *timings* of course are not.
 Rejected requests (admission control) are counted, not retried — the
@@ -30,6 +36,7 @@ from typing import Any
 
 from repro.graphs.generators import random_connected_bipartite
 from repro.graphs.io import dump_bipartite
+from repro.obs.context import TraceContext, derived_trace_id
 from repro.runtime.retry import CircuitBreaker, RetryPolicy
 from repro.server.client import AsyncServeClient
 from repro.server.protocol import OP_PLAN, OP_SOLVE
@@ -70,6 +77,7 @@ class LoadResult:
     degraded: int
     elapsed_seconds: float
     latencies_ms: list[float] = field(default_factory=list)
+    op_latencies_ms: dict[str, list[float]] = field(default_factory=dict)
     statuses: dict[str, int] = field(default_factory=dict)
     error_codes: dict[str, int] = field(default_factory=dict)
 
@@ -81,11 +89,18 @@ class LoadResult:
 
     def latency_quantile(self, q: float) -> float:
         """The q-quantile of client-observed latency in ms (0.0 if none)."""
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
-        return ordered[rank]
+        return _quantile(self.latencies_ms, q)
+
+    def per_op(self) -> dict[str, dict[str, Any]]:
+        """Per-op latency breakdown: sample count and p50/p99 in ms."""
+        return {
+            op: {
+                "requests": len(samples),
+                "p50_ms": round(_quantile(samples, 0.50), 3),
+                "p99_ms": round(_quantile(samples, 0.99), 3),
+            }
+            for op, samples in sorted(self.op_latencies_ms.items())
+        }
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -97,9 +112,18 @@ class LoadResult:
             "throughput_rps": round(self.throughput_rps, 2),
             "p50_ms": round(self.latency_quantile(0.50), 3),
             "p99_ms": round(self.latency_quantile(0.99), 3),
+            "per_op": self.per_op(),
             "statuses": dict(sorted(self.statuses.items())),
             "error_codes": dict(sorted(self.error_codes.items())),
         }
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
 
 
 def build_graph_pool(spec: LoadSpec) -> list[str]:
@@ -167,11 +191,15 @@ async def drive_load(
         try:
             # next() on a shared iterator is race-free here: workers are
             # coroutines on one loop, and there is no await around it.
-            for _index, (op, graph_text) in cursor:
+            for index, (op, graph_text) in cursor:
+                # Trace identity is derived, not random: request `index`
+                # under `seed` always travels as the same trace_id, so a
+                # load run's server-side traces are addressable offline.
+                trace = TraceContext(derived_trace_id(spec.seed, index))
                 started = time.perf_counter()
                 try:
                     response = await client.request(
-                        op, graph_text, deadline=spec.deadline
+                        op, graph_text, deadline=spec.deadline, trace=trace
                     )
                 except (ConnectionError, OSError):
                     outcome.errors += 1
@@ -182,6 +210,7 @@ async def drive_load(
                     continue
                 latency_ms = (time.perf_counter() - started) * 1000.0
                 outcome.latencies_ms.append(latency_ms)
+                outcome.op_latencies_ms.setdefault(op, []).append(latency_ms)
                 if response.get("ok"):
                     outcome.ok += 1
                     status = response["result"].get("status", "optimal")

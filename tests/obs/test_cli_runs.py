@@ -116,6 +116,86 @@ class TestRunsTrend:
         assert out.count("REGRESSION") >= 2
 
 
+class TestRunsTraceRequest:
+    TRACE_ID = "ab" * 16
+
+    def _write_trace(self, runs_dir, request_id="req-9"):
+        records = [
+            {
+                "name": "server.request",
+                "index": 0,
+                "parent": None,
+                "depth": 0,
+                "start_unix": 100.0,
+                "duration_ns": 5_000_000,
+                "attrs": {"id": request_id, "op": "solve"},
+                "trace_id": self.TRACE_ID,
+                "remote_parent": None,
+            },
+            {
+                "name": "solver.solve",
+                "index": 1,
+                "parent": 0,
+                "depth": 1,
+                "start_unix": 100.001,
+                "duration_ns": 2_000_000,
+                "attrs": {"origin": "worker"},
+                "trace_id": self.TRACE_ID,
+                "remote_parent": None,
+            },
+        ]
+        path = runs_dir / "run-a-baseline" / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+
+    def test_assembles_one_requests_chrome_trace(
+        self, runs_dir, tmp_path, capsys
+    ):
+        self._write_trace(runs_dir)
+        target = tmp_path / "req.json"
+        assert main(["runs", "trace-request", "run-a-baseline", "req-9",
+                     "-o", str(target), "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 span(s)" in out
+        assert self.TRACE_ID in out
+        assert "perfetto" in out
+        document = json.loads(target.read_text())
+        assert document["otherData"]["request_id"] == "req-9"
+        assert [e["name"] for e in document["traceEvents"]] == [
+            "server.request", "solver.solve",
+        ]
+        assert {e["pid"] for e in document["traceEvents"]} == {1, 2}
+
+    def test_unknown_request_id_exits_2(self, runs_dir, capsys):
+        self._write_trace(runs_dir)
+        assert main(["runs", "trace-request", "run-a-baseline", "nope",
+                     "--runs-dir", str(runs_dir)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_run_exits_2(self, runs_dir, capsys):
+        assert main(["runs", "trace-request", "no-such", "r1",
+                     "--runs-dir", str(runs_dir)]) == 2
+
+    def test_run_without_trace_jsonl_exits_2_with_hint(self, runs_dir, capsys):
+        assert main(["runs", "trace-request", "run-a-baseline", "r1",
+                     "--runs-dir", str(runs_dir)]) == 2
+        assert "--run-dir" in capsys.readouterr().err
+
+    def test_garbage_lines_in_trace_jsonl_tolerated(
+        self, runs_dir, tmp_path, capsys
+    ):
+        self._write_trace(runs_dir)
+        path = runs_dir / "run-a-baseline" / "trace.jsonl"
+        path.write_text(
+            "not json\n\n[1, 2]\n" + path.read_text(), encoding="utf-8"
+        )
+        target = tmp_path / "req.json"
+        assert main(["runs", "trace-request", "run-a-baseline", "req-9",
+                     "-o", str(target), "--runs-dir", str(runs_dir)]) == 0
+        assert "2 span(s)" in capsys.readouterr().out
+
+
 class TestReport:
     def test_report_writes_self_contained_html(self, runs_dir, tmp_path, capsys):
         target = tmp_path / "report.html"

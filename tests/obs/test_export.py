@@ -261,3 +261,98 @@ class TestValidateChromeTrace:
     def test_context_label_used_in_messages(self):
         (problem,) = validate_chrome_trace([self._event(ph="Z")], context="f.json")
         assert problem.startswith("f.json.traceEvents[0]")
+
+
+def _request_records(request_id="req-1", trace_id="ab" * 16):
+    """trace.jsonl-style records for one traced request plus a stranger."""
+    return [
+        {
+            "name": "server.request",
+            "index": 0,
+            "parent": None,
+            "depth": 0,
+            "start_unix": 100.0,
+            "duration_ns": 5_000_000,
+            "attrs": {"id": request_id, "op": "solve"},
+            "trace_id": trace_id,
+            "remote_parent": None,
+        },
+        {
+            "name": "server.dispatch",
+            "index": 1,
+            "parent": 0,
+            "depth": 1,
+            "start_unix": 100.001,
+            "duration_ns": 3_000_000,
+            "attrs": {},
+            "trace_id": trace_id,
+            "remote_parent": None,
+        },
+        {
+            "name": "solver.solve",
+            "index": 2,
+            "parent": 1,
+            "depth": 2,
+            "start_unix": 100.002,
+            "duration_ns": 1_000_000,
+            "attrs": {"origin": "worker"},
+            "trace_id": trace_id,
+            "remote_parent": None,
+        },
+        # A different request entirely — must be excluded.
+        {
+            "name": "server.request",
+            "index": 3,
+            "parent": None,
+            "depth": 0,
+            "start_unix": 200.0,
+            "duration_ns": 1_000,
+            "attrs": {"id": "other", "op": "ping"},
+            "trace_id": "cd" * 16,
+            "remote_parent": None,
+        },
+    ]
+
+
+class TestRequestTrace:
+    def test_selects_only_the_requests_trace(self):
+        from repro.obs.export import request_trace
+
+        document = request_trace(_request_records(), "req-1")
+        assert validate_chrome_trace(document) == []
+        assert document["otherData"]["request_id"] == "req-1"
+        assert document["otherData"]["trace_ids"] == ["ab" * 16]
+        names = [event["name"] for event in document["traceEvents"]]
+        assert names == ["server.request", "server.dispatch", "solver.solve"]
+        assert "other" not in {
+            event["args"].get("id") for event in document["traceEvents"]
+        }
+
+    def test_worker_origin_spans_get_their_own_pid(self):
+        from repro.obs.export import request_trace
+
+        document = request_trace(_request_records(), "req-1")
+        by_name = {e["name"]: e for e in document["traceEvents"]}
+        assert by_name["server.request"]["pid"] == 1
+        assert by_name["solver.solve"]["pid"] == 2
+
+    def test_timestamps_relative_to_earliest_selected_span(self):
+        from repro.obs.export import request_trace
+
+        document = request_trace(_request_records(), "req-1")
+        ts = [event["ts"] for event in document["traceEvents"]]
+        assert ts[0] == 0.0
+        assert ts == sorted(ts)
+
+    def test_unknown_request_id_raises(self):
+        from repro.obs.export import request_trace
+
+        with pytest.raises(ValueError, match="not found"):
+            request_trace(_request_records(), "no-such-request")
+
+    def test_garbage_records_are_skipped(self):
+        from repro.obs.export import request_trace
+
+        records = [None, "junk", {"no": "trace_id"}, *_request_records()]
+        document = request_trace(records, "req-1")
+        assert len(document["traceEvents"]) == 3

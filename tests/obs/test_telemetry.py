@@ -1,0 +1,252 @@
+"""Live telemetry: the rolling window and the Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import HistogramSummary
+from repro.obs.telemetry import (
+    CONTENT_TYPE,
+    TelemetryWindow,
+    histogram_family,
+    parse_exposition,
+    render_exposition,
+    sample_line,
+    scalar_family,
+    validate_exposition,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTelemetryWindow:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            TelemetryWindow(window_seconds=0)
+        with pytest.raises(ValueError):
+            TelemetryWindow(slots=0)
+
+    def test_cumulative_totals(self):
+        clock = FakeClock()
+        window = TelemetryWindow(window_seconds=60, slots=6, clock=clock)
+        window.record("solve", 5.0)
+        window.record("solve", 7.0, outcome="degraded")
+        window.record("plan", 2.0, outcome="error", code="internal")
+        assert window.requests_total() == 3
+        assert window.requests_total("solve") == 2
+        totals = window.totals()
+        assert totals["solve"]["outcomes"]["ok"] == 1
+        assert totals["solve"]["outcomes"]["degraded"] == 1
+        assert totals["plan"]["errors"] == {"internal": 1}
+        assert totals["solve"]["latency"].count == 2
+
+    def test_unknown_outcome_counts_as_error(self):
+        window = TelemetryWindow(clock=FakeClock())
+        window.record("solve", 1.0, outcome="exploded")
+        assert window.totals()["solve"]["outcomes"]["error"] == 1
+
+    def test_window_view_rates(self):
+        clock = FakeClock()
+        window = TelemetryWindow(window_seconds=60, slots=6, clock=clock)
+        clock.advance(30.0)
+        for _ in range(6):
+            window.record("solve", 4.0)
+        window.record("solve", 4.0, outcome="rejected")
+        window.record("solve", 4.0, outcome="error", code="internal")
+        view = window.window()["solve"]
+        assert view["requests"] == 8
+        assert view["error_rate"] == pytest.approx(2 / 8)
+        assert view["degraded_rate"] == 0.0
+        # Uptime (30s) clamps the denominator below the 60s window span.
+        assert view["rps"] == pytest.approx(8 / 30.0)
+        assert view["p50_ms"] is not None
+
+    def test_old_slots_expire_from_the_window(self):
+        clock = FakeClock()
+        window = TelemetryWindow(window_seconds=60, slots=6, clock=clock)
+        window.record("solve", 1.0)
+        clock.advance(120.0)  # two full windows later
+        window.record("plan", 1.0)
+        view = window.window()
+        assert "solve" not in view  # expired from the live view
+        assert view["plan"]["requests"] == 1
+        # ...but cumulative totals never forget.
+        assert window.requests_total("solve") == 1
+
+    def test_slot_recycling_replaces_not_clears(self):
+        clock = FakeClock()
+        window = TelemetryWindow(window_seconds=6, slots=6, clock=clock)
+        window.record("solve", 1.0)
+        stale = window._slots[0]
+        clock.advance(6.0)  # wraps onto the same ring position
+        window.record("solve", 1.0)
+        assert window._slots[0] is not stale  # replaced whole, not mutated
+        assert stale.outcomes  # the stale object still holds its counts
+
+    def test_uptime_tracks_clock(self):
+        clock = FakeClock(100.0)
+        window = TelemetryWindow(clock=clock)
+        clock.advance(12.5)
+        assert window.uptime_seconds() == pytest.approx(12.5)
+
+
+class TestExpositionRender:
+    def test_scalar_family_shape(self):
+        lines = scalar_family(
+            "x_total", "counter", "Things counted.", [({"op": "solve"}, 3)]
+        )
+        assert lines == [
+            "# HELP x_total Things counted.",
+            "# TYPE x_total counter",
+            'x_total{op="solve"} 3',
+        ]
+
+    def test_scalar_family_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            scalar_family("x", "histogram", "h", [])
+
+    def test_sample_line_escaping_and_values(self):
+        line = sample_line("m", {"label": 'quo"te\\n'}, math.inf)
+        assert line == 'm{label="quo\\"te\\\\n"} +Inf'
+
+    def test_histogram_family_cumulative_buckets(self):
+        summary = HistogramSummary()
+        for value in (0.5, 1.0, 3.0, 100.0):
+            summary.observe(value)
+        lines = histogram_family("lat_ms", "Latency.", [({"op": "solve"}, summary)])
+        text = render_exposition([lines])
+        families, problems = parse_exposition(text)
+        assert problems == []
+        assert validate_exposition(text) == []
+        buckets = [
+            (sample.labels["le"], sample.value)
+            for sample in families["lat_ms"].samples
+            if sample.name == "lat_ms_bucket"
+        ]
+        # Cumulative and capped by the +Inf bucket == count.
+        assert buckets[-1] == ("+Inf", 4.0)
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)
+        [count] = [
+            sample.value
+            for sample in families["lat_ms"].samples
+            if sample.name == "lat_ms_count"
+        ]
+        assert count == 4.0
+
+    def test_content_type_pins_the_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestExpositionParse:
+    def test_round_trip(self):
+        text = render_exposition(
+            [
+                scalar_family(
+                    "reqs_total",
+                    "counter",
+                    "Requests.",
+                    [({"op": "solve"}, 9), ({"op": "plan"}, 2)],
+                ),
+                scalar_family("up_seconds", "gauge", "Uptime.", [({}, 12.5)]),
+            ]
+        )
+        families, problems = parse_exposition(text)
+        assert problems == []
+        assert families["reqs_total"].kind == "counter"
+        assert {
+            (s.labels.get("op"), s.value) for s in families["reqs_total"].samples
+        } == {("solve", 9.0), ("plan", 2.0)}
+        assert families["up_seconds"].samples[0].value == 12.5
+        assert validate_exposition(
+            text, required={"reqs_total": "counter", "up_seconds": "gauge"}
+        ) == []
+
+    def test_samples_without_type_flagged(self):
+        problems = validate_exposition("naked_metric 1\n")
+        assert any("without a TYPE" in p for p in problems)
+
+    def test_missing_required_family_flagged(self):
+        problems = validate_exposition(
+            "# TYPE a counter\na 1\n", required={"b": "counter"}
+        )
+        assert any("required family b is missing" in p for p in problems)
+
+    def test_required_family_kind_mismatch_flagged(self):
+        problems = validate_exposition(
+            "# TYPE a gauge\na 1\n", required={"a": "counter"}
+        )
+        assert any("expected 'counter'" in p for p in problems)
+
+    def test_histogram_missing_inf_bucket_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        problems = validate_exposition(text)
+        assert any("+Inf" in p for p in problems)
+
+    def test_histogram_non_cumulative_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 9\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(text)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_histogram_count_mismatch_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 9\n"
+            "h_count 4\n"
+        )
+        problems = validate_exposition(text)
+        assert any("_count disagrees" in p for p in problems)
+
+    def test_unparseable_sample_line_flagged(self):
+        _families, problems = parse_exposition("not a metric line!!!\n")
+        assert problems
+
+
+class TestWindowExposition:
+    def test_live_window_renders_and_validates(self):
+        clock = FakeClock()
+        window = TelemetryWindow(window_seconds=60, slots=6, clock=clock)
+        for latency in (1.0, 2.0, 4.0, 150.0):
+            window.record("solve", latency)
+        window.record("plan", 3.0, outcome="rejected", code="overloaded")
+        totals = window.totals()
+        text = render_exposition(
+            [
+                scalar_family(
+                    "reqs_total",
+                    "counter",
+                    "Requests.",
+                    [({"op": op}, t["requests"]) for op, t in totals.items()],
+                ),
+                histogram_family(
+                    "lat_ms",
+                    "Latency.",
+                    [({"op": op}, t["latency"]) for op, t in totals.items()],
+                ),
+            ]
+        )
+        assert validate_exposition(
+            text, required={"reqs_total": "counter", "lat_ms": "histogram"}
+        ) == []

@@ -7,6 +7,7 @@ import pytest
 from repro.server.client import ServeClient
 from repro.server.protocol import OP_PLAN, OP_SOLVE
 from repro.server.server import SolveServer, serve_background
+from repro.obs.context import derived_trace_id, is_trace_id
 from repro.workloads.loadgen import (
     LoadResult,
     LoadSpec,
@@ -94,6 +95,41 @@ class TestLoadResult:
         assert result.latency_quantile(0.5) == 0.0
         assert result.throughput_rps == 0.0
 
+    def test_per_op_breakdown(self):
+        result = LoadResult(
+            requests=5,
+            ok=5,
+            errors=0,
+            rejected=0,
+            degraded=0,
+            elapsed_seconds=1.0,
+            latencies_ms=[10.0, 20.0, 30.0, 1.0, 2.0],
+            op_latencies_ms={
+                "solve": [10.0, 20.0, 30.0],
+                "plan": [1.0, 2.0],
+            },
+        )
+        per_op = result.per_op()
+        assert list(per_op) == ["plan", "solve"]  # sorted, deterministic
+        assert per_op["solve"] == {
+            "requests": 3,
+            "p50_ms": 20.0,
+            "p99_ms": 30.0,
+        }
+        assert per_op["plan"]["requests"] == 2
+        assert result.as_dict()["per_op"] == per_op
+
+
+class TestDerivedTraceIds:
+    def test_load_trace_ids_are_addressable_offline(self):
+        # Anyone holding (seed, request index) can reconstruct the exact
+        # trace id the generator stamped on that request — no shared
+        # state, no side channel.
+        assert derived_trace_id(3, 0) == derived_trace_id(3, 0)
+        for index in range(5):
+            assert is_trace_id(derived_trace_id(3, index))
+        assert len({derived_trace_id(3, i) for i in range(100)}) == 100
+
 
 class TestLiveLoad:
     def test_run_load_against_background_server(self, tmp_path):
@@ -111,6 +147,13 @@ class TestLiveLoad:
             assert result.ok > 0
             assert len(result.latencies_ms) == result.ok + result.rejected
             assert result.elapsed_seconds > 0
+            # The per-op breakdown accounts for every timed request.
+            per_op = result.per_op()
+            assert sum(v["requests"] for v in per_op.values()) == len(
+                result.latencies_ms
+            )
+            for view in per_op.values():
+                assert view["p99_ms"] >= view["p50_ms"] >= 0.0
             # The server outlives the load.
             with ServeClient(unix_path=live.address) as client:
                 assert client.ping()["ok"] is True

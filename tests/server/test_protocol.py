@@ -5,6 +5,7 @@ import json
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.obs.context import TraceContext, derived_trace_id
 from repro.server import protocol
 from repro.server.protocol import (
     ERROR_BAD_REQUEST,
@@ -112,6 +113,50 @@ class TestParseRequest:
             json.dumps({"id": "r", "op": "ping", "graph": GRAPH})
         )
         assert request.graph_text is None
+
+
+class TestForwardCompat:
+    """Unknown fields from newer clients are ignored, never rejected."""
+
+    def test_unknown_top_level_fields_ignored(self):
+        request = parse_request(
+            _line(future_field="x", priority=9, hints={"a": 1})
+        )
+        assert request.id == "r1"
+        assert request.op == "solve"
+        assert request.trace is None
+
+    def test_trace_context_round_trip(self):
+        ctx = TraceContext(derived_trace_id(5, 11), parent_span_id=3)
+        line = encode_request("r1", "solve", GRAPH, trace=ctx)
+        assert parse_request(line.rstrip("\n")).trace == ctx
+
+    def test_absent_trace_parses_to_none(self):
+        assert parse_request(_line()).trace is None
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "not a dict",
+            42,
+            {},
+            {"trace_id": "short"},
+            {"trace_id": 17},
+            {"trace_id": "Z" * 32},
+        ],
+    )
+    def test_malformed_trace_degrades_to_untraced(self, trace):
+        # A correlation hint must never cost a request: bad trace
+        # payloads parse as None instead of raising bad_request.
+        request = parse_request(_line(trace=trace))
+        assert request.trace is None
+
+    def test_trace_with_bad_parent_keeps_the_id(self):
+        trace_id = derived_trace_id(0, 0)
+        request = parse_request(
+            _line(trace={"trace_id": trace_id, "parent_span_id": "x"})
+        )
+        assert request.trace == TraceContext(trace_id)
 
 
 class TestRoundTrip:
