@@ -2,9 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-baseline perf-gate profile-smoke \
-	chaos-smoke report-smoke parallel-smoke serve-smoke crash-smoke \
-	telemetry-smoke runs-index examples docs check clean
+.PHONY: install test bench bench-smoke bench-baseline perf-gate plan-gate \
+	plan-baseline profile-smoke chaos-smoke report-smoke parallel-smoke \
+	serve-smoke crash-smoke telemetry-smoke runs-index examples docs \
+	check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +55,44 @@ perf-gate:
 	$(PYTHON) tools/bench_diff.py benchmarks/baseline.json \
 		.perf-gate/BENCH_*.json --tolerance 0.25
 	rm -rf .perf-gate
+
+# Plan-quality gate (docs/OBSERVABILITY.md): a fresh smoke bench of the
+# engine scenarios must produce schema-valid plan records (plans.jsonl
+# and `repro explain --json`), and their per-predicate calibration
+# (q-error p90, shadow choice accuracy) must stay within tolerance of
+# the committed baseline.  Calibration derives from output counts and
+# pebbling costs — never timings — so same-seed runs gate
+# deterministically.
+plan-gate:
+	rm -rf .plan-gate
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+		--scenario engine-planner --scenario engine-equijoin \
+		--scenario engine-spatial --scenario engine-chain \
+		--out-dir .plan-gate --runs-dir .plan-gate/runs \
+		--no-bench-file --no-publish
+	PYTHONPATH=src $(PYTHON) -m repro explain --scenario engine-planner \
+		--json > .plan-gate/explain.json
+	$(PYTHON) tools/check_plan_quality.py --validate \
+		.plan-gate/runs/*/plans.jsonl .plan-gate/explain.json
+	$(PYTHON) tools/check_plan_quality.py \
+		--baseline benchmarks/plan_baseline.json \
+		.plan-gate/runs/*/plans.jsonl
+	rm -rf .plan-gate
+
+# Refresh the committed plan-quality baseline (same workload as
+# plan-gate).  Run at a clean commit and commit the result.
+plan-baseline:
+	rm -rf .plan-baseline
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+		--scenario engine-planner --scenario engine-equijoin \
+		--scenario engine-spatial --scenario engine-chain \
+		--out-dir .plan-baseline --runs-dir .plan-baseline/runs \
+		--no-bench-file --no-publish
+	$(PYTHON) tools/check_plan_quality.py \
+		--write-baseline benchmarks/plan_baseline.json \
+		.plan-baseline/runs/*/plans.jsonl
+	rm -rf .plan-baseline
+	@echo "benchmarks/plan_baseline.json refreshed — commit it"
 
 # Profiling smoke: `repro profile` on a tiny workload must attribute
 # nonzero self time (the CLI exits 1 on an empty profile).
@@ -191,6 +230,7 @@ check: test bench examples docs
 # benchmarks/results/ is the committed perf-trajectory feed — never clean it.
 clean:
 	rm -rf .pytest_cache .bench-smoke .bench-baseline .perf-gate \
-		.report-smoke .parallel-smoke .serve-smoke .crash-smoke \
-		.telemetry-smoke .solve-cache.db src/repro.egg-info
+		.plan-gate .plan-baseline .report-smoke .parallel-smoke \
+		.serve-smoke .crash-smoke .telemetry-smoke .solve-cache.db \
+		src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -28,6 +28,12 @@ Commands
 ``join <left-file> <right-file> [--predicate P]``
     Join two typed relation files (see :mod:`repro.relations.io`) through
     the query engine and print rows plus EXPLAIN ANALYZE output.
+``explain [<left-file> <right-file> | --scenario S] [--analyze] [--json]``
+    Render a join's structured plan record (:mod:`repro.obs.planquality`):
+    the candidate algorithms with their estimated costs and reasons, and
+    — with ``--analyze`` — actual output size, q-error, and (with
+    ``--shadow``) plan regret.  ``--json`` emits the ``repro-plan/v1``
+    document; ``--scenario`` explains every join a bench scenario plans.
 ``decide <graph-file> <K>``
     PEBBLE(D) (Def 4.1): decide ``pi(G) <= K`` with a verifiable
     certificate either way.
@@ -48,11 +54,12 @@ Commands
     span forest: Chrome trace-event JSON for Perfetto/chrome://tracing,
     folded stacks for flamegraph.pl, or raw JSONL
     (:mod:`repro.obs.export`).
-``runs {index,list,show,compare,trend} [--runs-dir DIR]``
+``runs {index,list,show,compare,trend,plan-quality} [--runs-dir DIR]``
     Query the cross-run registry (:mod:`repro.obs.registry`): persist the
     SQLite index, list runs, drill into one run (including its event
-    log), compare two runs scenario-by-scenario, or print a scenario's
-    timing trend with perf-gate regression flags.
+    log), compare two runs scenario-by-scenario, print a scenario's
+    timing trend with perf-gate regression flags, or trend per-predicate
+    plan-quality calibration (q-error percentiles, choice accuracy).
 ``report [--html] [-o OUT] [--runs-dir DIR]``
     Render the self-contained cross-run HTML dashboard
     (:mod:`repro.obs.report_html`): run overview with artifact links plus
@@ -61,9 +68,10 @@ Commands
     Run the persistent solve server (:mod:`repro.server`): concurrent
     solve/plan requests over newline-delimited JSON, one shared worker
     pool and solve cache, bounded admission with retry-after rejections.
-``client {solve,plan,ping,stats,shutdown,load} [...]``
-    Talk to a running solve server: single requests, or ``load`` to
-    drive the zipf-skewed async load generator
+``client {solve,plan,explain,ping,stats,shutdown,load} [...]``
+    Talk to a running solve server: single requests (``explain`` sends
+    two relation files and prints the server-rendered plan record), or
+    ``load`` to drive the zipf-skewed async load generator
     (:mod:`repro.workloads.loadgen`) and print throughput/latency.
 """
 
@@ -286,6 +294,90 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"{format_value(a)}\t{format_value(b)}")
     if limit < len(result.rows):
         print(f"... ({len(result.rows) - limit} more rows)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import planquality as obs_plans
+
+    if args.scenario is not None:
+        from repro.obs.bench import SCENARIOS, BenchConfig
+
+        if args.scenario not in SCENARIOS:
+            known = ", ".join(sorted(SCENARIOS))
+            print(
+                f"error: unknown scenario {args.scenario!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        was_enabled = obs_plans.is_enabled()
+        obs_plans.reset()
+        obs_plans.enable()
+        try:
+            SCENARIOS[args.scenario].run(BenchConfig(smoke=True, seed=args.seed))
+            records = list(obs_plans.records())
+        finally:
+            obs_plans.reset()
+            if not was_enabled:
+                obs_plans.disable()
+        if args.json:
+            document = {
+                "schema": obs_plans.PLAN_SCHEMA,
+                "records": [record.as_dict() for record in records],
+            }
+            print(_json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        if not records:
+            print(f"scenario {args.scenario!r} planned no joins")
+            return 0
+        for index, record in enumerate(records):
+            if index:
+                print()
+            print(record.render())
+        return 0
+
+    if args.left_file is None or args.right_file is None:
+        print(
+            "error: provide two relation files, or --scenario NAME",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.engine import JoinQuery, execute, plan as plan_query
+    from repro.joins import predicates as predicate_module
+    from repro.relations.io import load_relation
+    from repro.runtime import Budget, use_budget
+
+    with open(args.left_file) as handle:
+        left = load_relation("R", handle.read())
+    with open(args.right_file) as handle:
+        right = load_relation("S", handle.read())
+    if args.predicate == "band":
+        predicate = predicate_module.Band(args.band_width)
+    else:
+        predicate_class = getattr(predicate_module, _PREDICATES[args.predicate])
+        predicate = predicate_class()
+    budget = Budget(deadline=args.deadline) if args.deadline is not None else None
+    query = JoinQuery(left, right, predicate)
+    with use_budget(budget):
+        if args.analyze:
+            result = execute(query, shadow=args.shadow)
+            the_plan = result.plan
+        else:
+            the_plan = plan_query(query)
+    record = the_plan.record
+    if args.json:
+        document = {
+            "schema": obs_plans.PLAN_SCHEMA,
+            "records": [] if record is None else [record.as_dict()],
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    elif record is not None:
+        print(record.render())
+    else:
+        print(the_plan.explain())
     return 0
 
 
@@ -718,6 +810,64 @@ def _cmd_runs_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_plan_quality(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.analysis.report import Table
+
+    registry = _registry_for(args)
+    predicates = registry.plan_predicates()
+    if not predicates:
+        print(f"no plan records indexed under {args.runs_dir}/")
+        return 0
+    if args.predicate is not None and args.predicate not in predicates:
+        known = ", ".join(predicates)
+        print(
+            f"error: no runs recorded predicate {args.predicate!r} "
+            f"(known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs.registry import DEFAULT_TOLERANCE
+
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    selected = [args.predicate] if args.predicate is not None else predicates
+    for index, predicate in enumerate(selected):
+        points = registry.plan_trend(
+            predicate,
+            metric=args.metric,
+            tolerance=tolerance,
+            limit=args.limit,
+        )
+        table = Table(
+            ["run", "created (UTC)", "commit", args.metric, "vs prev", "verdict"],
+            title=f"plan quality: {predicate} / {args.metric} "
+            f"({len(points)} run(s))",
+        )
+        for point in points:
+            created = (
+                "-"
+                if point["created_unix"] is None
+                else _time.strftime(
+                    "%Y-%m-%d %H:%M:%S", _time.gmtime(point["created_unix"])
+                )
+            )
+            table.add_row(
+                [
+                    point["run_id"],
+                    created,
+                    point["git_sha"][:10],
+                    "-" if point["value"] is None else round(point["value"], 4),
+                    "-" if point["ratio"] is None else f"{point['ratio']:.2f}x",
+                    point["verdict"],
+                ]
+            )
+        if index:
+            print()
+        print(table.render())
+    return 0
+
+
 def _cmd_runs_trace_request(args: argparse.Namespace) -> int:
     import json as _json
     from pathlib import Path
@@ -982,6 +1132,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
     if args.op in SOLVE_OPS and not args.graph_files:
         print(f"error: op {args.op!r} needs graph file(s)", file=sys.stderr)
         return 2
+    if args.op == "explain" and len(args.graph_files) != 2:
+        print(
+            "error: op 'explain' needs a left and a right relation file",
+            file=sys.stderr,
+        )
+        return 2
     retry = None
     if args.retries > 0:
         from repro.runtime.retry import RetryPolicy
@@ -1017,6 +1173,32 @@ def _cmd_client(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
                     exit_code = 1
+        elif args.op == "explain":
+            with open(args.graph_files[0]) as handle:
+                left_text = handle.read()
+            with open(args.graph_files[1]) as handle:
+                right_text = handle.read()
+            response = client.explain(
+                left_text,
+                right_text,
+                predicate=args.predicate,
+                band_width=args.band_width,
+                analyze=args.analyze,
+                deadline=args.deadline,
+            )
+            if response.get("ok"):
+                result = response["result"]
+                if args.json:
+                    print(json.dumps(result, indent=2, sort_keys=True))
+                else:
+                    print(result.get("render") or result["explain"])
+            else:
+                error = response.get("error", {})
+                print(
+                    f"error: {error.get('code')}: {error.get('message')}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
         else:
             response = client.request(args.op)
             if response.get("ok"):
@@ -1123,6 +1305,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds for planning + execution",
     )
     join.set_defaults(func=_cmd_join)
+
+    explain = commands.add_parser(
+        "explain",
+        help="render a join's structured plan record (tree or repro-plan/v1 JSON)",
+    )
+    explain.add_argument("left_file", nargs="?")
+    explain.add_argument("right_file", nargs="?")
+    explain.add_argument(
+        "--predicate",
+        default="equality",
+        choices=sorted(_PREDICATES) + ["band"],
+    )
+    explain.add_argument("--band-width", type=float, default=0.0)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the join so the record carries actuals and q-error",
+    )
+    explain.add_argument(
+        "--shadow",
+        action="store_true",
+        help="with --analyze: shadow-execute runner-up candidates "
+        "to measure plan regret",
+    )
+    explain.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock budget in seconds for planning + execution",
+    )
+    explain.add_argument(
+        "--scenario",
+        help="instead of relation files: run this bench scenario "
+        "(smoke-sized) under plan logging and explain every join it plans",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=0, help="scenario mode: input seed"
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-plan/v1 record document instead of text",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     decide = commands.add_parser(
         "decide", help="PEBBLE(D): decide pi(G) <= K (Def 4.1)"
@@ -1307,6 +1532,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runs_trend.set_defaults(func=_cmd_runs_trend)
 
+    runs_plan_quality = runs_commands.add_parser(
+        "plan-quality",
+        help="per-predicate q-error / choice-accuracy calibration across runs",
+    )
+    _runs_common(runs_plan_quality)
+    runs_plan_quality.add_argument(
+        "--predicate", help="only this predicate class (default: all)"
+    )
+    runs_plan_quality.add_argument(
+        "--metric",
+        default="q_p90",
+        choices=["q_p50", "q_p90", "q_max", "misestimates", "choice_accuracy"],
+        help="calibration statistic to trend (default q_p90)",
+    )
+    runs_plan_quality.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed worsening fraction (default: the perf-gate threshold)",
+    )
+    runs_plan_quality.add_argument(
+        "--limit", type=int, help="only the newest N points"
+    )
+    runs_plan_quality.set_defaults(func=_cmd_runs_plan_quality)
+
     runs_trace_request = runs_commands.add_parser(
         "trace-request",
         help="assemble one request's Chrome trace from a server run's "
@@ -1449,13 +1699,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "op",
-        choices=["solve", "plan", "ping", "stats", "metrics", "shutdown", "load"],
+        choices=[
+            "solve",
+            "plan",
+            "explain",
+            "ping",
+            "stats",
+            "metrics",
+            "shutdown",
+            "load",
+        ],
     )
-    client.add_argument("graph_files", nargs="*")
+    client.add_argument(
+        "graph_files",
+        nargs="*",
+        help="graph file(s) for solve/plan; left and right relation "
+        "files for explain",
+    )
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, help="server TCP port")
     client.add_argument("--unix", help="server Unix socket path")
     client.add_argument("--method", default="auto")
+    client.add_argument(
+        "--predicate",
+        default="equality",
+        choices=sorted(_PREDICATES) + ["band"],
+        help="explain op: join predicate",
+    )
+    client.add_argument(
+        "--band-width", type=float, default=0.0, help="explain op: band width"
+    )
+    client.add_argument(
+        "--analyze",
+        action="store_true",
+        help="explain op: execute the join so the record carries actuals",
+    )
+    client.add_argument(
+        "--json",
+        action="store_true",
+        help="explain op: print the full result JSON instead of the render",
+    )
     client.add_argument(
         "--deadline", type=float, help="per-request deadline in seconds"
     )

@@ -18,7 +18,7 @@ from repro.engine.query import JoinQuery
 from repro.engine.planner import Plan, plan
 from repro.engine.executor import QueryResult, execute
 from repro.engine.chain import ChainQuery, ChainResult, execute_chain
-from repro.engine.stats import ColumnStats, estimate_selectivity
+from repro.engine.stats import ColumnStats, derive_seed, estimate_selectivity
 
 __all__ = [
     "JoinQuery",
@@ -30,5 +30,6 @@ __all__ = [
     "ChainResult",
     "execute_chain",
     "ColumnStats",
+    "derive_seed",
     "estimate_selectivity",
 ]

@@ -3,6 +3,14 @@
 Execution materializes the value pairs and, when requested, builds the
 join graph and converts the emission order into a pebbling trace — the
 paper's model as an explain-analyze metric for real executions.
+
+Execution also *closes the planner's feedback loop*: the plan's
+structured record (:class:`~repro.obs.planquality.PlanRecord`) is
+completed with the actual output size, the derived q-error is observed
+as a metric, a ``planner.misestimate`` event fires when the estimate was
+off by more than the threshold, and — with ``shadow=True`` on small
+inputs — the runner-up candidates are shadow-executed and scored by
+pebbling effective cost so plan regret is measurable, not guessed.
 """
 
 from __future__ import annotations
@@ -17,7 +25,9 @@ from repro.graphs.bipartite import BipartiteGraph
 from repro.joins.algorithms import block_nested_loops
 from repro.joins.join_graph import build_join_graph_cached
 from repro.joins.trace import TraceReport, trace_report
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import planquality
 from repro.obs import trace as obs_trace
 from repro.runtime.budget import Budget, current_budget
 
@@ -36,8 +46,19 @@ class QueryResult:
         return len(self.pairs)
 
     def explain_analyze(self) -> str:
-        """An EXPLAIN ANALYZE-style line including pebbling metrics."""
-        base = f"{self.plan.explain()}; actual m = {self.output_size}"
+        """An EXPLAIN ANALYZE-style line including pebbling metrics.
+
+        Rendered from the plan's structured record when present (the
+        same record ``repro explain --json`` serializes), so the text
+        and JSON forms cannot disagree.
+        """
+        record = self.plan.record
+        actual = (
+            record.actual_output
+            if record is not None and record.actual_output is not None
+            else self.output_size
+        )
+        base = f"{self.plan.explain()}; actual m = {actual}"
         if self.trace is None:
             return base
         return (
@@ -46,12 +67,84 @@ class QueryResult:
         )
 
 
+def _run_candidate(query: JoinQuery, name: str) -> list:
+    """Execute one candidate algorithm by name (shadow-execution path)."""
+    if name == "block-NL":
+        return block_nested_loops(query.left, query.right, query.predicate)
+    algorithm = algorithm_by_name(name)
+    if algorithm is None:
+        raise SolverError(f"unknown algorithm {name!r}")
+    return algorithm(query.left, query.right)
+
+
+def _shadow_execute(
+    query: JoinQuery,
+    record: planquality.PlanRecord,
+    pairs: list,
+    graph: BipartiteGraph,
+) -> None:
+    """Score every candidate by pebbling effective cost (the paper's
+    deterministic cost model — wall time would not replay) and complete
+    the record's regret fields in place."""
+    chosen_cost: int | None = None
+    best_cost: int | None = None
+    best_name: str | None = None
+    for candidate in record.candidates:
+        candidate_pairs = (
+            pairs if candidate.chosen else _run_candidate(query, candidate.algorithm)
+        )
+        report = trace_report(graph, candidate_pairs, candidate.algorithm)
+        candidate.shadow_cost = report.effective_cost
+        if candidate.chosen:
+            chosen_cost = report.effective_cost
+        if best_cost is None or report.effective_cost < best_cost:
+            best_cost = report.effective_cost
+            best_name = candidate.algorithm
+    record.shadow_checked = True
+    if chosen_cost is not None and chosen_cost == best_cost:
+        # Ties go to the planner: equal-cost alternatives are not regret.
+        record.best_algorithm = record.algorithm
+        record.regret = 0
+    else:
+        record.best_algorithm = best_name
+        record.regret = (
+            None
+            if chosen_cost is None or best_cost is None
+            else chosen_cost - best_cost
+        )
+
+
+def _close_feedback_loop(record: planquality.PlanRecord, actual: int) -> None:
+    """Fill actuals on the plan record and surface misestimates."""
+    record.actual_output = actual
+    q_error = record.q_error
+    if q_error is None:
+        return
+    if obs_metrics.METRICS.enabled:
+        obs_metrics.observe("planner.q_error", q_error)
+    if (
+        q_error > planquality.MISESTIMATE_THRESHOLD
+        and obs_events.EVENTS.enabled
+    ):
+        obs_events.emit(
+            obs_events.EVENT_PLANNER_MISESTIMATE,
+            predicate=record.predicate,
+            algorithm=record.algorithm,
+            estimated_output=record.estimated_output,
+            actual_output=actual,
+            q_error=round(q_error, 4),
+        )
+        if obs_metrics.METRICS.enabled:
+            obs_metrics.inc("planner.misestimates")
+
+
 def execute(
     query: JoinQuery,
     chosen_plan: Plan | None = None,
     with_trace: bool = True,
     join_graph: BipartiteGraph | None = None,
     budget: Budget | None = None,
+    shadow: bool = False,
 ) -> QueryResult:
     """Plan (unless a plan is supplied) and execute ``query``.
 
@@ -64,6 +157,12 @@ def execute(
     ``budget`` (explicit, or ambient via :func:`repro.runtime.use_budget`)
     threads a deadline through planning and sheds the optional pebbling
     trace under pressure: rows are the contract, the trace is diagnostics.
+
+    ``shadow=True`` additionally shadow-executes the plan's runner-up
+    candidates on small inputs (``input_size`` up to
+    :data:`~repro.obs.planquality.SHADOW_INPUT_LIMIT`) and records
+    plan-regret: whether the chosen candidate was the a-posteriori
+    cheapest by pebbling cost.  Skipped under deadline pressure.
     """
     if budget is None:
         budget = current_budget()
@@ -87,20 +186,36 @@ def execute(
                 (query.left.value(l_ref), query.right.value(r_ref))
                 for l_ref, r_ref in pairs
             ]
+        under_pressure = budget is not None and budget.under_pressure()
         trace = None
-        if with_trace and budget is not None and budget.under_pressure():
+        if with_trace and under_pressure:
             # Shed the diagnostic trace rather than blow the deadline.
             with_trace = False
             if obs_metrics.METRICS.enabled:
                 obs_metrics.inc("executor.trace_skipped")
+        graph: BipartiteGraph | None = join_graph
         if with_trace:
             with obs_trace.span("engine.trace"):
-                graph = join_graph if join_graph is not None else (
-                    build_join_graph_cached(
+                if graph is None:
+                    graph = build_join_graph_cached(
                         query.left, query.right, query.predicate
                     )
-                )
                 trace = trace_report(graph, pairs, name)
+        record = the_plan.record
+        if record is not None:
+            _close_feedback_loop(record, len(pairs))
+            if (
+                shadow
+                and not under_pressure
+                and len(record.candidates) > 1
+                and query.input_size <= planquality.SHADOW_INPUT_LIMIT
+            ):
+                with obs_trace.span("engine.shadow"):
+                    if graph is None:
+                        graph = build_join_graph_cached(
+                            query.left, query.right, query.predicate
+                        )
+                    _shadow_execute(query, record, pairs, graph)
         if obs_metrics.METRICS.enabled:
             obs_metrics.inc("executor.queries")
             obs_metrics.inc("executor.rows_emitted", len(rows))

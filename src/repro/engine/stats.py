@@ -8,6 +8,7 @@ is deterministic given the seed, so plans are reproducible.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Any
 
@@ -44,6 +45,33 @@ def collect_stats(relation: Relation) -> ColumnStats:
     )
 
 
+def derive_seed(
+    left: Relation,
+    right: Relation,
+    predicate: JoinPredicate,
+    seed: int = 0,
+) -> int:
+    """A per-call sampling seed derived from the *content identity* of the
+    estimate: relation names and sizes, the predicate class, and the base
+    seed.
+
+    Two properties matter for reproducible plans:
+
+    - **cross-process stability** — the derivation uses CRC-32, never
+      Python's randomized ``hash()``, so ``--jobs 1`` and ``--jobs N``
+      worker processes draw identical samples and produce identical
+      estimates (and therefore identical plans);
+    - **per-query independence** — distinct queries sharing a base seed
+      no longer reuse one sample-index sequence, so correlated sampling
+      artifacts cannot line up across a workload.
+    """
+    key = (
+        f"{left.name}|{len(left)}|{right.name}|{len(right)}|"
+        f"{predicate.name}|{seed}"
+    )
+    return zlib.crc32(key.encode("utf-8"))
+
+
 def estimate_selectivity(
     left: Relation,
     right: Relation,
@@ -64,6 +92,10 @@ def estimate_selectivity(
     nondeterministic across sample sizes, for more work than the exact
     count.  The chosen mode is surfaced through the
     ``planner.selectivity.{exact,sampled}`` metrics counters.
+
+    The sampled path seeds a private generator via :func:`derive_seed`
+    (``seed`` is the base seed of that derivation), so estimates are a
+    pure function of the inputs — identical in every process.
     """
     n_left, n_right = len(left), len(right)
     if n_left == 0 or n_right == 0:
@@ -79,7 +111,7 @@ def estimate_selectivity(
             obs_metrics.inc("planner.selectivity.exact")
             obs_metrics.inc("planner.selectivity.pairs_evaluated", cross)
         return hits / cross
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(left, right, predicate, seed))
     pairs = sample_size
     hits = 0
     for _ in range(pairs):

@@ -28,6 +28,7 @@ from repro.obs import events as obs_events
 from repro.obs import export as obs_export
 from repro.obs import manifest as obs_manifest
 from repro.obs import metrics as obs_metrics
+from repro.obs import planquality as obs_plans
 from repro.obs import trace as obs_trace
 from repro.runtime.budget import Budget, use_budget
 
@@ -115,12 +116,34 @@ def _engine_planner(config: BenchConfig) -> dict[str, Any]:
     ]
     total_m = 0
     worst_ratio = 1.0
+    records = []
     for query in cases:
-        result = execute(query)
+        # shadow=True: runner-up candidates are re-executed and scored by
+        # pebbling cost, so this scenario also measures plan regret.
+        result = execute(query, shadow=True)
         total_m += result.output_size
         if result.trace is not None:
             worst_ratio = max(worst_ratio, result.trace.cost_ratio)
-    return {"queries": len(cases), "total_m": total_m, "worst_ratio": worst_ratio}
+        if result.plan.record is not None:
+            records.append(result.plan.record)
+    # Plan-quality scalars for the perf/calibration trajectory: all are
+    # seed-deterministic (q-error from counts, regret from pebbling).
+    from repro.obs.planquality import percentile
+
+    q_errors = [r.q_error for r in records if r.q_error is not None]
+    checked = [r for r in records if r.choice_correct is not None]
+    return {
+        "queries": len(cases),
+        "total_m": total_m,
+        "worst_ratio": worst_ratio,
+        "plans": len(records),
+        "q_p90": round(percentile(q_errors, 0.90), 4) if q_errors else None,
+        "choice_accuracy": (
+            round(sum(1 for r in checked if r.choice_correct) / len(checked), 4)
+            if checked
+            else None
+        ),
+    }
 
 
 @scenario("engine-equijoin", "equijoin query throughput (bench_engine)")
@@ -592,12 +615,15 @@ def run_bench(
     was_trace = obs_trace.is_enabled()
     was_metrics = obs_metrics.is_enabled()
     was_events = obs_events.is_enabled()
+    was_plans = obs_plans.is_enabled()
     obs_trace.reset()
     obs_metrics.reset()
     obs_events.reset()
+    obs_plans.reset()
     obs_trace.enable()
     obs_metrics.enable()
     obs_events.enable()
+    obs_plans.enable()
     obs_events.set_run_id(the_run_id)
     obs_events.emit(
         obs_events.EVENT_RUN_START, mode=mode, seed=seed, scenarios=chosen
@@ -625,6 +651,8 @@ def run_bench(
             obs_metrics.disable()
         if not was_events:
             obs_events.disable()
+        if not was_plans:
+            obs_plans.disable()
 
     run_dir = obs_manifest.write_run(
         the_run_id,
@@ -642,6 +670,10 @@ def run_bench(
     # registry indexes exact nanosecond timings instead of re-parsing
     # rounded table cells.
     obs_manifest.write_atomic(run_dir / "bench.json", report.to_json())
+    # Every planned query's structured EXPLAIN record, estimate-vs-actual
+    # included — the run registry aggregates it into calibration tables.
+    if obs_plans.records():
+        obs_plans.write_plans(run_dir / "plans.jsonl")
     # Every bench run leaves an inspectable trace next to its manifest:
     # open trace.json in Perfetto, feed trace.folded to flamegraph.pl.
     obs_export.write_trace(run_dir / "trace.json", "perfetto")

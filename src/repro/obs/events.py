@@ -74,6 +74,8 @@ EVENT_RETRY_GIVE_UP = "retry.give_up"
 EVENT_POOL_WORKER_CRASH = "pool.worker_crash"
 EVENT_POOL_QUARANTINE = "pool.quarantine"
 EVENT_SERVER_RECOVER = "server.recover"
+EVENT_PLANNER_PLAN = "planner.plan"
+EVENT_PLANNER_MISESTIMATE = "planner.misestimate"
 
 VOCABULARY = (
     EVENT_RUN_START,
@@ -100,6 +102,8 @@ VOCABULARY = (
     EVENT_POOL_WORKER_CRASH,
     EVENT_POOL_QUARANTINE,
     EVENT_SERVER_RECOVER,
+    EVENT_PLANNER_PLAN,
+    EVENT_PLANNER_MISESTIMATE,
 )
 
 

@@ -6,14 +6,17 @@ turns the pile of directories into one longitudinal store so questions
 like "how did exact-solver timing move over the last N runs" are a query,
 not a shell loop.
 
-Three tables in ``runs/registry.db`` (see ``docs/OBSERVABILITY.md``):
+Four tables in ``runs/registry.db`` (see ``docs/OBSERVABILITY.md``):
 
 - ``runs`` — one row per run directory: id, git SHA, seed, mode, status,
   creation time, artifact inventory;
 - ``scenarios`` — per-run bench scenario rows (status, best/mean wall
   nanoseconds, repeats, result scalars);
 - ``metrics`` — flattened ``metrics.json`` values (counters, gauges, and
-  histogram count/mean/p50/p90/p99).
+  histogram count/mean/p50/p90/p99);
+- ``plan_quality`` — per-run, per-predicate-class planner calibration
+  aggregated from ``plans.jsonl`` (q-error p50/p90/max, misestimate
+  count, choice accuracy; see :mod:`repro.obs.planquality`).
 
 The database is a **cache, never a source of truth**: it is rebuilt from
 the artifacts alone (:meth:`RunRegistry.rebuild`), so deleting it loses
@@ -37,6 +40,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.obs import planquality
+
 REGISTRY_SCHEMA = "repro-registry/v1"
 DB_FILENAME = "registry.db"
 
@@ -49,9 +54,15 @@ ARTIFACT_FILES = (
     "report.md",
     "bench.json",
     "events.jsonl",
+    "plans.jsonl",
     "trace.json",
     "trace.folded",
 )
+
+# Plan-quality columns `plan_trend` accepts; for every metric except
+# choice_accuracy a higher value is worse (q-error grows with
+# miscalibration, accuracy shrinks with it).
+PLAN_METRICS = ("q_p50", "q_p90", "q_max", "misestimates", "choice_accuracy")
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
@@ -109,8 +120,24 @@ CREATE TABLE IF NOT EXISTS metrics (
     value REAL,
     PRIMARY KEY (run_id, kind, name)
 );
+CREATE TABLE IF NOT EXISTS plan_quality (
+    run_id TEXT NOT NULL,
+    predicate TEXT NOT NULL,
+    plans INTEGER,
+    executed INTEGER,
+    q_p50 REAL,
+    q_p90 REAL,
+    q_max REAL,
+    misestimates INTEGER,
+    shadow_checked INTEGER,
+    choice_correct INTEGER,
+    choice_accuracy REAL,
+    PRIMARY KEY (run_id, predicate)
+);
 CREATE INDEX IF NOT EXISTS idx_scenarios_by_name ON scenarios (scenario);
 CREATE INDEX IF NOT EXISTS idx_metrics_by_name ON metrics (name);
+CREATE INDEX IF NOT EXISTS idx_plan_quality_by_predicate
+    ON plan_quality (predicate);
 """
 
 
@@ -133,6 +160,7 @@ class IndexedRun:
     problems: list[str] = field(default_factory=list)
     scenarios: list[dict[str, Any]] = field(default_factory=list)
     metrics: list[tuple[str, str, float]] = field(default_factory=list)
+    plan_quality: list[dict[str, Any]] = field(default_factory=list)
 
 
 def _read_json(path: Path, problems: list[str]) -> Any | None:
@@ -228,6 +256,31 @@ def _metrics_rows(payload: Any) -> list[tuple[str, str, float]]:
     return rows
 
 
+def _plan_quality_rows(path: Path, problems: list[str]) -> list[dict[str, Any]]:
+    """Per-predicate calibration rows aggregated from one ``plans.jsonl``.
+
+    Malformed lines become problem notes (same contract as every other
+    artifact: a truncated log marks the run partial, never crashes the
+    scan); well-formed records still aggregate.
+    """
+    if not path.is_file():
+        return []
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        problems.append(f"plans.jsonl: unreadable ({exc})")
+        return []
+    records: list[planquality.PlanRecord] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(planquality.PlanRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            problems.append(f"plans.jsonl:{number}: bad plan record ({exc})")
+    return planquality.calibration(records) if records else []
+
+
 def parse_run_dir(run_dir: str | Path) -> IndexedRun:
     """Parse one run directory into an :class:`IndexedRun`.
 
@@ -280,6 +333,8 @@ def parse_run_dir(run_dir: str | Path) -> IndexedRun:
         run.scenarios = _scenarios_from_tables(
             _read_json(run_dir / "tables.json", problems)
         )
+
+    run.plan_quality = _plan_quality_rows(run_dir / "plans.jsonl", problems)
 
     if problems:
         run.status = STATUS_PARTIAL
@@ -368,6 +423,31 @@ class RunRegistry:
                 " VALUES (?, ?, ?, ?)",
                 [(run.run_id, kind, name, value) for kind, name, value in run.metrics],
             )
+            self._conn.execute(
+                "DELETE FROM plan_quality WHERE run_id = ?", (run.run_id,)
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO plan_quality (run_id, predicate,"
+                " plans, executed, q_p50, q_p90, q_max, misestimates,"
+                " shadow_checked, choice_correct, choice_accuracy)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run.run_id,
+                        row["predicate"],
+                        row["plans"],
+                        row["executed"],
+                        row["q_p50"],
+                        row["q_p90"],
+                        row["q_max"],
+                        row["misestimates"],
+                        row["shadow_checked"],
+                        row["choice_correct"],
+                        row["choice_accuracy"],
+                    )
+                    for row in run.plan_quality
+                ],
+            )
         return run
 
     def rebuild(self, runs_dir: str | Path) -> list[IndexedRun]:
@@ -377,7 +457,7 @@ class RunRegistry:
         missing ``runs_dir`` just yields an empty index.
         """
         with self._conn:
-            for table in ("runs", "scenarios", "metrics"):
+            for table in ("runs", "scenarios", "metrics", "plan_quality"):
                 self._conn.execute(f"DELETE FROM {table}")
         runs_dir = Path(runs_dir)
         if not runs_dir.is_dir():
@@ -461,6 +541,37 @@ class RunRegistry:
         ).fetchall()
         return [{"kind": r[0], "name": r[1], "value": r[2]} for r in rows]
 
+    def plan_quality_for(self, run_id: str) -> list[dict[str, Any]]:
+        """Per-predicate-class calibration rows of one run."""
+        rows = self._conn.execute(
+            "SELECT predicate, plans, executed, q_p50, q_p90, q_max,"
+            " misestimates, shadow_checked, choice_correct, choice_accuracy"
+            " FROM plan_quality WHERE run_id = ? ORDER BY predicate",
+            (run_id,),
+        ).fetchall()
+        return [
+            {
+                "predicate": r[0],
+                "plans": r[1],
+                "executed": r[2],
+                "q_p50": r[3],
+                "q_p90": r[4],
+                "q_max": r[5],
+                "misestimates": r[6],
+                "shadow_checked": r[7],
+                "choice_correct": r[8],
+                "choice_accuracy": r[9],
+            }
+            for r in rows
+        ]
+
+    def plan_predicates(self) -> list[str]:
+        """Every predicate class with calibration data across all runs."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT predicate FROM plan_quality ORDER BY predicate"
+        ).fetchall()
+        return [r[0] for r in rows]
+
     def series(
         self, scenario: str, metric: str = "best_ns", limit: int | None = None
     ) -> list[dict[str, Any]]:
@@ -533,6 +644,80 @@ class RunRegistry:
             previous = value
         return points
 
+    def plan_series(
+        self,
+        predicate: str,
+        metric: str = "q_p90",
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """The calibration series of one predicate class across runs,
+        oldest first; ``value`` is None where a run has no data."""
+        if metric not in PLAN_METRICS:
+            raise ValueError(
+                f"metric must be one of {PLAN_METRICS}, got {metric!r}"
+            )
+        points = []
+        for run in self.runs():
+            for row in self.plan_quality_for(run["run_id"]):
+                if row["predicate"] != predicate:
+                    continue
+                points.append(
+                    {
+                        "run_id": run["run_id"],
+                        "git_sha": run["git_sha"],
+                        "created_unix": run["created_unix"],
+                        "mode": run["mode"],
+                        "plans": row["plans"],
+                        "value": row[metric],
+                    }
+                )
+        if limit is not None:
+            points = points[-limit:]
+        return points
+
+    def plan_trend(
+        self,
+        predicate: str,
+        metric: str = "q_p90",
+        tolerance: float = DEFAULT_TOLERANCE,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """The plan-quality series with per-point regression verdicts.
+
+        Same vocabulary and tolerance as the perf gate: a point whose
+        ratio against the previous comparable point moves past the
+        tolerance *in the bad direction* is a REGRESSION — and the bad
+        direction flips for ``choice_accuracy`` (shrinks when the
+        planner miscalibrates) versus the q-error metrics (grow).
+        """
+        points = self.plan_series(predicate, metric=metric, limit=limit)
+        higher_is_worse = metric != "choice_accuracy"
+        previous: float | None = None
+        for point in points:
+            value = point["value"]
+            if value is None:
+                point["ratio"] = None
+                point["verdict"] = "no-data"
+                continue
+            if previous is None or previous <= 0:
+                point["ratio"] = None
+                point["verdict"] = "baseline"
+            else:
+                ratio = value / previous
+                point["ratio"] = ratio
+                worse = ratio > 1.0 + tolerance
+                better = ratio < 1.0 - tolerance
+                if not higher_is_worse:
+                    worse, better = better, worse
+                if worse:
+                    point["verdict"] = "REGRESSION"
+                elif better:
+                    point["verdict"] = "faster"
+                else:
+                    point["verdict"] = "ok"
+            previous = value
+        return points
+
     def compare(
         self,
         run_a: str,
@@ -591,6 +776,10 @@ class RunRegistry:
             },
             "metrics": {
                 run["run_id"]: self.metrics_for(run["run_id"])
+                for run in self.runs()
+            },
+            "plan_quality": {
+                run["run_id"]: self.plan_quality_for(run["run_id"])
                 for run in self.runs()
             },
         }

@@ -9,7 +9,11 @@ external requests — summarising everything the run registry knows:
   stacks, event log);
 - a **per-scenario drill-down**: the timing trend across runs as a
   sparkline plus a point table with the same regression verdicts as
-  ``repro runs trend`` and the perf gate.
+  ``repro runs trend`` and the perf gate;
+- a **plan quality & calibration section**: per-predicate-class q-error
+  (p90) trends across runs as sparklines plus the calibration table
+  (q-error p50/p90/max, misestimates, choice accuracy) aggregated from
+  each run's ``plans.jsonl`` (see :mod:`repro.obs.planquality`).
 
 Only artifacts that actually exist are linked (partial runs simply show
 fewer links), so the report-smoke CI job can assert that **every** link
@@ -37,6 +41,7 @@ _ARTIFACT_LABELS = (
     ("metrics.json", "metrics"),
     ("bench.json", "bench"),
     ("events.jsonl", "events"),
+    ("plans.jsonl", "plans"),
     ("trace.json", "trace"),
     ("trace.folded", "flamegraph"),
     ("tables.json", "tables"),
@@ -198,6 +203,71 @@ def _scenario_section(
     return out
 
 
+def _fmt_q(value: float | None) -> str:
+    return "-" if value is None else f"{value:.2f}"
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "-" if value is None else f"{value:.0%}"
+
+
+def _plan_quality_section(
+    registry: RunRegistry, predicate: str, tolerance: float
+) -> list[str]:
+    points = registry.plan_trend(predicate, metric="q_p90", tolerance=tolerance)
+    values = [p["value"] for p in points]
+    flags = [p["verdict"] == "REGRESSION" for p in points]
+    regressions = sum(flags)
+    out = [
+        f'<h3 id="plan-{_esc(predicate)}">Predicate <code>{_esc(predicate)}'
+        "</code></h3>"
+    ]
+    summary = f"{len(points)} run(s)"
+    if regressions:
+        summary += (
+            f', <span class="verdict-REGRESSION">{regressions} regression(s)'
+            "</span>"
+        )
+    out.append(f"<p>{summary} — q-error p90 per run:</p>")
+    out.append(
+        f'<div class="spark">{_inline_svg(sparkline_svg(values, flags))}</div>'
+    )
+    out.append("<table>")
+    out.append(
+        "<thead><tr><th>run</th><th>plans</th><th>q-error p50</th>"
+        "<th>q-error p90</th><th>q-error max</th><th>misestimates</th>"
+        "<th>choice accuracy</th><th>vs prev</th><th>verdict</th>"
+        "</tr></thead><tbody>"
+    )
+    for point in points:
+        row = next(
+            (
+                r
+                for r in registry.plan_quality_for(point["run_id"])
+                if r["predicate"] == predicate
+            ),
+            {},
+        )
+        ratio = "-" if point["ratio"] is None else f"{point['ratio']:.2f}x"
+        out.append(
+            "<tr>"
+            f'<td><a href="#run-{_esc(point["run_id"])}"><code>'
+            f'{_esc(point["run_id"])}</code></a></td>'
+            f'<td class="num">{_esc(row.get("plans", "-"))}</td>'
+            f'<td class="num">{_esc(_fmt_q(row.get("q_p50")))}</td>'
+            f'<td class="num">{_esc(_fmt_q(row.get("q_p90")))}</td>'
+            f'<td class="num">{_esc(_fmt_q(row.get("q_max")))}</td>'
+            f'<td class="num">{_esc(row.get("misestimates", "-"))}</td>'
+            f'<td class="num">{_esc(_fmt_pct(row.get("choice_accuracy")))}</td>'
+            f'<td class="num">{_esc(ratio)}</td>'
+            f'<td class="verdict-{_esc(point["verdict"])}">'
+            f"{_esc(point['verdict'])}</td>"
+            "</tr>"
+        )
+    out.append("</tbody></table>")
+    return out
+
+
 def render_report(
     registry: RunRegistry,
     link_root: str | Path = ".",
@@ -227,6 +297,18 @@ def render_report(
     parts.extend(_overview_section(registry, link_root))
     for scenario in registry.scenario_names():
         parts.extend(_scenario_section(registry, scenario, tolerance))
+    predicates = registry.plan_predicates()
+    if predicates:
+        parts.append('<h2 id="plan-quality">Plan quality &amp; calibration</h2>')
+        parts.append(
+            '<p class="muted">Per-predicate-class planner calibration '
+            "aggregated from each run's <code>plans.jsonl</code>: q-error "
+            "= max(est/act, act/est) on output-size estimates, choice "
+            "accuracy from shadow-executed runner-up plans "
+            "(<code>make plan-gate</code> gates these).</p>"
+        )
+        for predicate in predicates:
+            parts.extend(_plan_quality_section(registry, predicate, tolerance))
     parts.append("</body>")
     parts.append("</html>")
     return "\n".join(parts) + "\n"

@@ -139,6 +139,7 @@ class ServeClient:
         options: dict[str, Any] | None = None,
         request_id: str | None = None,
         trace: TraceContext | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> str:
         """Write one request line; returns the request id (no read)."""
         if self._sock is None:
@@ -152,6 +153,7 @@ class ServeClient:
             deadline=deadline,
             options=options,
             trace=trace,
+            extra=extra,
         )
         self._sock.sendall(line.encode("utf-8"))
         return rid
@@ -185,6 +187,7 @@ class ServeClient:
         deadline: float | None = None,
         options: dict[str, Any] | None = None,
         trace: TraceContext | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Send one request and block for its response (retrying under
         the client's policy, when one was given)."""
@@ -196,6 +199,7 @@ class ServeClient:
                 deadline=deadline,
                 options=options,
                 trace=trace,
+                extra=extra,
             )
             return self.recv(rid)
         controller = self._retry.controller(f"client.{op}")
@@ -213,6 +217,7 @@ class ServeClient:
                     deadline=deadline,
                     options=options,
                     trace=trace,
+                    extra=extra,
                 )
                 response = self.recv(rid)
             except _RETRY_ERRORS as exc:
@@ -244,6 +249,37 @@ class ServeClient:
 
     def plan(self, graph_text: str, **kwargs: Any) -> dict[str, Any]:
         return self.request(protocol.OP_PLAN, graph_text, **kwargs)
+
+    def explain(
+        self,
+        left_text: str,
+        right_text: str,
+        predicate: str = "equality",
+        band_width: float | None = None,
+        analyze: bool = False,
+        shadow: bool = False,
+        **kwargs: Any,
+    ) -> dict[str, Any]:
+        """Ask the server to plan (``analyze=True``: execute) one join
+        over two relation texts and return its plan record."""
+        extra: dict[str, Any] = {
+            "left": left_text,
+            "right": right_text,
+            "predicate": predicate,
+        }
+        if band_width is not None:
+            extra["band_width"] = band_width
+        options: dict[str, Any] = dict(kwargs.pop("options", None) or {})
+        if analyze:
+            options["analyze"] = True
+        if shadow:
+            options["shadow"] = True
+        return self.request(
+            protocol.OP_EXPLAIN,
+            options=options or None,
+            extra=extra,
+            **kwargs,
+        )
 
     def ping(self) -> dict[str, Any]:
         return self.request(protocol.OP_PING)

@@ -30,11 +30,16 @@ import asyncio
 from typing import Any
 
 from repro.core.solvers.registry import solve as registry_solve
-from repro.errors import GraphError
+from repro.engine.executor import execute as engine_execute
+from repro.engine.planner import plan as engine_plan
+from repro.engine.query import JoinQuery
+from repro.errors import GraphError, PredicateError, RelationError
 from repro.graphs.components import component_vertex_sets
 from repro.graphs.io import load_bipartite, load_graph
+from repro.joins import predicates as predicate_module
 from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
+from repro.obs import planquality
 from repro.obs import trace as obs_trace
 from repro.parallel import pool as pool_mod
 from repro.parallel.cache import CacheToken, SolveCache, cache_key, use_cache
@@ -44,16 +49,27 @@ from repro.parallel.service import (
     rebind_result,
     split_deadline,
 )
+from repro.relations.io import load_relation
 from repro.runtime import faults
 from repro.runtime.budget import Budget
 from repro.server.protocol import (
     ERROR_INVALID_GRAPH,
+    OP_EXPLAIN,
     OP_SOLVE,
     ProtocolError,
     Request,
 )
 
 AnyGraph = pool_mod.AnyGraph
+
+# The explain op's wire predicate names, mapped to their constructors
+# ("band" is special-cased: it carries a width).
+EXPLAIN_PREDICATES = {
+    "containment": predicate_module.SetContainment,
+    "equality": predicate_module.Equality,
+    "overlap": predicate_module.SpatialOverlap,
+    "set-overlap": predicate_module.SetOverlap,
+}
 
 
 def parse_graph_text(text: str) -> AnyGraph:
@@ -106,7 +122,8 @@ class Dispatcher:
         self.memo_cap = memo_cap
 
     async def handle(self, request: Request) -> dict[str, Any]:
-        """Solve one ``solve``/``plan`` request; returns the result payload.
+        """Serve one ``solve``/``plan``/``explain`` request; returns the
+        result payload.
 
         Raises :class:`ProtocolError` for defective graphs; budget
         exhaustion is *not* an error — it surfaces as a degraded
@@ -129,7 +146,64 @@ class Dispatcher:
             if ctx is not None and dispatch_span is not None:
                 ctx = ctx.child(dispatch_span.index)
             with obs_context.use(ctx):
+                if request.op == OP_EXPLAIN:
+                    return await self._explain(request)
                 return await self._dispatch(request)
+
+    async def _explain(self, request: Request) -> dict[str, Any]:
+        """Plan (and with ``options.analyze`` execute) one join described
+        by relation texts; returns the plan's structured record plus its
+        renderings.
+
+        ``options.shadow`` (with ``analyze``) additionally shadow-executes
+        the runner-up candidates on small inputs so the record carries
+        plan-regret.  The ``record`` payload is byte-for-byte what
+        ``repro explain --json`` emits locally — one source of truth for
+        both surfaces.
+        """
+        assert request.left_text is not None and request.right_text is not None
+        faults.maybe_fail("server.dispatch")
+        try:
+            left = load_relation("R", request.left_text)
+            right = load_relation("S", request.right_text)
+        except RelationError as exc:
+            raise ProtocolError(ERROR_INVALID_GRAPH, str(exc)) from exc
+        if request.predicate == "band":
+            predicate = predicate_module.Band(request.band_width)
+        else:
+            predicate = EXPLAIN_PREDICATES[request.predicate]()
+        deadline = request.deadline
+        if deadline is None:
+            deadline = self.default_deadline
+        budget = Budget(deadline=deadline) if deadline is not None else None
+        if budget is not None:
+            budget.start()
+        options = request.options
+        try:
+            query = JoinQuery(left, right, predicate)
+            if options.get("analyze"):
+                result = engine_execute(
+                    query, budget=budget, shadow=bool(options.get("shadow"))
+                )
+                the_plan = result.plan
+                text = result.explain_analyze()
+            else:
+                the_plan = engine_plan(query, budget=budget)
+                text = the_plan.explain()
+        except PredicateError as exc:
+            # Relations that do not fit the predicate (e.g. equality over
+            # mixed domains) are a client input defect, not a server bug.
+            raise ProtocolError(ERROR_INVALID_GRAPH, str(exc)) from exc
+        payload: dict[str, Any] = {
+            "schema": planquality.PLAN_SCHEMA,
+            "explain": text,
+            "algorithm": the_plan.algorithm_name,
+        }
+        record = the_plan.record
+        if record is not None:
+            payload["render"] = record.render()
+            payload["record"] = record.as_dict()
+        return payload
 
     async def _dispatch(self, request: Request) -> dict[str, Any]:
         assert request.graph_text is not None

@@ -23,6 +23,13 @@ Operations:
     Same pipeline, but the response omits the scheme — a join-*plan*
     summary (per-component shape, costs, status) at a fraction of the
     response bytes.
+``explain``
+    Plan (and with ``options.analyze`` execute) a join described by two
+    relation texts (``left``/``right``, the format of
+    :mod:`repro.relations.io`) and a ``predicate`` name; the result
+    carries the plan's structured record (``repro-plan/v1``) plus its
+    text renderings — the same record ``repro explain`` serializes
+    locally, so the two surfaces cannot drift.
 ``ping``
     Liveness probe; carries no payload.
 ``stats``
@@ -70,15 +77,20 @@ PROTOCOL_SCHEMA = "repro-serve/v1"
 
 OP_SOLVE = "solve"
 OP_PLAN = "plan"
+OP_EXPLAIN = "explain"
 OP_PING = "ping"
 OP_STATS = "stats"
 OP_METRICS = "metrics"
 OP_SHUTDOWN = "shutdown"
 
-OPS = (OP_SOLVE, OP_PLAN, OP_PING, OP_STATS, OP_METRICS, OP_SHUTDOWN)
+OPS = (OP_SOLVE, OP_PLAN, OP_EXPLAIN, OP_PING, OP_STATS, OP_METRICS, OP_SHUTDOWN)
 
 # Ops that carry a graph payload and run through the dispatcher.
 SOLVE_OPS = (OP_SOLVE, OP_PLAN)
+
+# Wire names the explain op accepts for 'predicate' (the CLI's
+# --predicate vocabulary); "band" additionally carries 'band_width'.
+EXPLAIN_PREDICATES = ("band", "containment", "equality", "overlap", "set-overlap")
 
 # Stable machine-readable error codes.
 ERROR_BAD_REQUEST = "bad_request"
@@ -122,6 +134,11 @@ class Request:
     options: dict[str, Any] = field(default_factory=dict)
     nbytes: int = 0  # wire size, the admission controller's currency
     trace: TraceContext | None = None  # client-supplied trace identity
+    # The explain op's payload: two relation texts and a predicate name.
+    left_text: str | None = None
+    right_text: str | None = None
+    predicate: str | None = None
+    band_width: float = 0.0
 
 
 def parse_request(line: str | bytes) -> Request:
@@ -169,6 +186,31 @@ def parse_request(line: str | bytes) -> Request:
             )
     else:
         graph_text = None
+    left_text = payload.get("left")
+    right_text = payload.get("right")
+    predicate = payload.get("predicate")
+    band_width = payload.get("band_width", 0.0)
+    if op == OP_EXPLAIN:
+        for name, value in (("left", left_text), ("right", right_text)):
+            if not isinstance(value, str) or not value.strip():
+                raise ProtocolError(
+                    ERROR_BAD_REQUEST,
+                    f"op 'explain' requires a non-empty {name!r} relation string",
+                )
+        if not isinstance(predicate, str) or predicate not in EXPLAIN_PREDICATES:
+            raise ProtocolError(
+                ERROR_BAD_REQUEST,
+                "'predicate' must be one of "
+                + ", ".join(EXPLAIN_PREDICATES),
+            )
+        if isinstance(band_width, bool) or not isinstance(
+            band_width, (int, float)
+        ):
+            raise ProtocolError(ERROR_BAD_REQUEST, "'band_width' must be a number")
+        band_width = float(band_width)
+    else:
+        left_text = right_text = predicate = None
+        band_width = 0.0
     method = payload.get("method", "auto")
     if not isinstance(method, str):
         raise ProtocolError(ERROR_BAD_REQUEST, "'method' must be a string")
@@ -202,6 +244,10 @@ def parse_request(line: str | bytes) -> Request:
         options=dict(options),
         nbytes=nbytes,
         trace=trace,
+        left_text=left_text,
+        right_text=right_text,
+        predicate=predicate,
+        band_width=band_width,
     )
 
 
@@ -213,8 +259,15 @@ def encode_request(
     deadline: float | None = None,
     options: dict[str, Any] | None = None,
     trace: TraceContext | None = None,
+    extra: dict[str, Any] | None = None,
 ) -> str:
-    """One request as a single JSON line (trailing newline included)."""
+    """One request as a single JSON line (trailing newline included).
+
+    ``extra`` merges additional top-level fields (the explain op's
+    ``left``/``right``/``predicate``, or future additions — servers
+    ignore fields they do not know) without ever overriding the named
+    parameters.
+    """
     payload: dict[str, Any] = {
         "schema": PROTOCOL_SCHEMA,
         "id": request_id,
@@ -230,6 +283,9 @@ def encode_request(
         payload["options"] = options
     if trace is not None:
         payload["trace"] = trace.as_wire()
+    if extra:
+        for key, value in extra.items():
+            payload.setdefault(key, value)
     return json.dumps(payload, sort_keys=True) + "\n"
 
 
@@ -295,8 +351,10 @@ __all__ = [
     "ERROR_OVERLOADED",
     "ERROR_UNKNOWN_OP",
     "ERROR_UNSUPPORTED_SCHEMA",
+    "EXPLAIN_PREDICATES",
     "MAX_LINE_BYTES",
     "OPS",
+    "OP_EXPLAIN",
     "OP_METRICS",
     "OP_PING",
     "OP_PLAN",

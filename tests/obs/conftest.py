@@ -12,6 +12,7 @@ import pytest
 from repro.joins.join_graph import clear_join_graph_cache
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
+from repro.obs import planquality as obs_plans
 from repro.obs import trace as obs_trace
 
 
@@ -19,9 +20,11 @@ def _reset_collectors() -> None:
     obs_trace.disable()
     obs_metrics.disable()
     obs_events.disable()
+    obs_plans.disable()
     obs_trace.reset()
     obs_metrics.reset()
     obs_events.reset()
+    obs_plans.reset()
     clear_join_graph_cache()
 
 

@@ -260,3 +260,72 @@ class TestBenchPublish:
         assert names[0] == "run.start"
         assert names[-1] == "run.end"
         assert "bench.scenario_start" in names
+
+
+class TestRunsPlanQuality:
+    @pytest.fixture()
+    def plan_runs_dir(self, tmp_path):
+        from repro.obs.planquality import CandidateRecord, PlanRecord
+
+        runs = tmp_path / "plan-runs"
+        for name, created, actual in (("run-x", 1000.0, 10), ("run-y", 2000.0, 40)):
+            run_dir = runs / name
+            run_dir.mkdir(parents=True)
+            (run_dir / "manifest.json").write_text(
+                json.dumps(
+                    {
+                        "run_id": name,
+                        "created_unix": created,
+                        "git_sha": f"{name}sha",
+                        "extra": {"failed": [], "mode": "smoke"},
+                    }
+                )
+            )
+            record = PlanRecord(
+                query="q",
+                predicate="equality",
+                left="R",
+                right="S",
+                left_size=2,
+                right_size=2,
+                algorithm="hash",
+                reason="r",
+                estimated_output=10.0,
+                candidates=[CandidateRecord("hash", 1.0, "r", chosen=True)],
+                actual_output=actual,
+            )
+            (run_dir / "plans.jsonl").write_text(
+                json.dumps(record.as_dict(), sort_keys=True) + "\n"
+            )
+        return runs
+
+    def test_trend_table_with_verdicts(self, plan_runs_dir, capsys):
+        assert main(
+            ["runs", "plan-quality", "--runs-dir", str(plan_runs_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan quality: equality / q_p90" in out
+        assert "run-x" in out and "run-y" in out
+        assert "4.00x" in out  # q-error 1.0 -> 4.0
+        assert "REGRESSION" in out
+
+    def test_metric_selection(self, plan_runs_dir, capsys):
+        assert main(
+            ["runs", "plan-quality", "--runs-dir", str(plan_runs_dir),
+             "--metric", "misestimates"]
+        ) == 0
+        assert "misestimates" in capsys.readouterr().out
+
+    def test_unknown_predicate_exits_two(self, plan_runs_dir, capsys):
+        assert main(
+            ["runs", "plan-quality", "--runs-dir", str(plan_runs_dir),
+             "--predicate", "no-such"]
+        ) == 2
+        assert "known: equality" in capsys.readouterr().err
+
+    def test_no_plan_records(self, runs_dir, capsys):
+        # The perf fixtures carry no plans.jsonl at all.
+        assert main(
+            ["runs", "plan-quality", "--runs-dir", str(runs_dir)]
+        ) == 0
+        assert "no plan records indexed" in capsys.readouterr().out

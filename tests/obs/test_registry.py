@@ -186,3 +186,141 @@ class TestGateToleranceReuse:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         assert DEFAULT_TOLERANCE == module.DEFAULT_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Plan-quality tables and trend analytics (PR 9).
+# ---------------------------------------------------------------------------
+
+
+def _plan_record(predicate, estimated, actual, regret=None):
+    from repro.obs.planquality import CandidateRecord, PlanRecord
+
+    record = PlanRecord(
+        query="q",
+        predicate=predicate,
+        left="R",
+        right="S",
+        left_size=2,
+        right_size=2,
+        algorithm="hash",
+        reason="r",
+        estimated_output=float(estimated),
+        candidates=[CandidateRecord("hash", 1.0, "r", chosen=True)],
+        actual_output=actual,
+    )
+    if regret is not None:
+        record.shadow_checked = True
+        record.best_algorithm = "hash" if regret == 0 else "sort-merge"
+        record.regret = regret
+    return record
+
+
+def _plan_run(runs_dir, name, created, records):
+    run_dir = runs_dir / name
+    run_dir.mkdir(parents=True)
+    (run_dir / "manifest.json").write_text(
+        json.dumps(
+            {
+                "run_id": name,
+                "created_unix": created,
+                "git_sha": f"{name}sha",
+                "extra": {"failed": [], "mode": "smoke"},
+            }
+        )
+    )
+    (run_dir / "plans.jsonl").write_text(
+        "".join(json.dumps(r.as_dict(), sort_keys=True) + "\n" for r in records)
+    )
+    return run_dir
+
+
+@pytest.fixture()
+def plan_registry(tmp_path):
+    runs = tmp_path / "runs"
+    # run-1: perfectly calibrated; run-2: q-error 2.0 and one wrong
+    # shadow choice; equality only appears in run-1.
+    _plan_run(
+        runs,
+        "run-1",
+        1000.0,
+        [
+            _plan_record("equality", 10, 10, regret=0),
+            _plan_record("spatial-overlap", 4, 4, regret=0),
+        ],
+    )
+    _plan_run(
+        runs,
+        "run-2",
+        2000.0,
+        [
+            _plan_record("spatial-overlap", 4, 8, regret=3),
+            _plan_record("spatial-overlap", 4, 8, regret=0),
+        ],
+    )
+    with RunRegistry() as reg:
+        reg.rebuild(runs)
+        yield reg
+
+
+class TestPlanQuality:
+    def test_rows_round_trip_from_plans_jsonl(self, plan_registry):
+        rows = plan_registry.plan_quality_for("run-1")
+        assert [r["predicate"] for r in rows] == ["equality", "spatial-overlap"]
+        equality = rows[0]
+        assert equality["plans"] == 1
+        assert equality["q_p90"] == 1.0
+        assert equality["choice_accuracy"] == 1.0
+
+    def test_plan_predicates_global(self, plan_registry):
+        assert plan_registry.plan_predicates() == [
+            "equality",
+            "spatial-overlap",
+        ]
+
+    def test_series_keeps_coverage_order(self, plan_registry):
+        points = plan_registry.plan_series("spatial-overlap", metric="q_p90")
+        assert [p["run_id"] for p in points] == ["run-1", "run-2"]
+        assert [p["value"] for p in points] == [1.0, 2.0]
+
+    def test_series_rejects_unknown_metric(self, plan_registry):
+        with pytest.raises(ValueError):
+            plan_registry.plan_series("equality", metric="latency")
+
+    def test_trend_flags_q_error_growth(self, plan_registry):
+        points = plan_registry.plan_trend(
+            "spatial-overlap", metric="q_p90", tolerance=0.25
+        )
+        assert [p["verdict"] for p in points] == ["baseline", "REGRESSION"]
+        assert points[1]["ratio"] == 2.0
+
+    def test_trend_direction_flips_for_choice_accuracy(self, plan_registry):
+        # Accuracy halves run-1 -> run-2 (1.0 -> 0.5): for every other
+        # metric a falling value is an improvement, for accuracy it is
+        # the regression.
+        points = plan_registry.plan_trend(
+            "spatial-overlap", metric="choice_accuracy", tolerance=0.25
+        )
+        assert [p["verdict"] for p in points] == ["baseline", "REGRESSION"]
+        falling_q = plan_registry.plan_trend(
+            "spatial-overlap", metric="q_p90", tolerance=0.25
+        )
+        assert falling_q[1]["verdict"] == "REGRESSION"  # q grows: regression
+
+    def test_missing_coverage_is_no_data(self, plan_registry):
+        points = plan_registry.plan_trend("equality", metric="q_p90")
+        assert [p["run_id"] for p in points] == ["run-1"]
+        assert points[0]["verdict"] == "baseline"
+
+    def test_malformed_plans_jsonl_marks_run_partial(self, tmp_path):
+        runs = tmp_path / "runs"
+        run_dir = _plan_run(
+            runs, "run-bad", 1000.0, [_plan_record("equality", 1, 1)]
+        )
+        with (run_dir / "plans.jsonl").open("a") as handle:
+            handle.write("{not json\n")
+        run = parse_run_dir(run_dir)
+        assert run.status == "partial"
+        assert any("plans.jsonl" in p for p in run.problems)
+        # Well-formed records still aggregate.
+        assert run.plan_quality[0]["predicate"] == "equality"

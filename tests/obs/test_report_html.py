@@ -170,3 +170,68 @@ class TestSparkline:
 
 def test_report_title_mentions_report():
     assert re.search(r"report", REPORT_TITLE)
+
+
+class TestPlanQualitySection:
+    """The calibration section renders iff runs carry plans.jsonl."""
+
+    @pytest.fixture()
+    def plan_registry(self, tmp_path):
+        import json
+
+        from repro.obs.planquality import CandidateRecord, PlanRecord
+
+        runs = tmp_path / "runs"
+        for name, created, actual in (("run-x", 1000.0, 10), ("run-y", 2000.0, 40)):
+            run_dir = runs / name
+            run_dir.mkdir(parents=True)
+            (run_dir / "manifest.json").write_text(
+                json.dumps(
+                    {
+                        "run_id": name,
+                        "created_unix": created,
+                        "git_sha": f"{name}sha",
+                        "extra": {"failed": [], "mode": "smoke"},
+                    }
+                )
+            )
+            record = PlanRecord(
+                query="q",
+                predicate="equality",
+                left="R",
+                right="S",
+                left_size=2,
+                right_size=2,
+                algorithm="hash",
+                reason="r",
+                estimated_output=10.0,
+                candidates=[CandidateRecord("hash", 1.0, "r", chosen=True)],
+                actual_output=actual,
+                shadow_checked=True,
+                best_algorithm="hash",
+                regret=0,
+            )
+            (run_dir / "plans.jsonl").write_text(
+                json.dumps(record.as_dict(), sort_keys=True) + "\n"
+            )
+        with RunRegistry() as reg:
+            reg.rebuild(runs)
+            yield reg
+
+    def test_calibration_section_rendered(self, plan_registry):
+        document = render_report(plan_registry)
+        assert '<h2 id="plan-quality">Plan quality &amp; calibration</h2>' in document
+        assert '<h3 id="plan-equality">' in document
+        # The per-predicate table carries the calibration columns and
+        # the q-error trend verdict (run-y quadruples the q-error).
+        assert "<th>q-error p90</th>" in document
+        assert "<th>choice accuracy</th>" in document
+        assert "verdict-REGRESSION" in document
+        assert "100%" in document  # choice accuracy formatted as percent
+        checker = _StructureChecker()
+        checker.feed(document)
+        assert checker.problems == []
+
+    def test_section_absent_without_plan_records(self, registry):
+        document = render_report(registry, link_root=FIXTURES)
+        assert "Plan quality" not in document

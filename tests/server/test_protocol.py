@@ -163,7 +163,14 @@ class TestRoundTrip:
     @pytest.mark.parametrize("op", OPS)
     def test_encode_then_parse(self, op):
         graph = GRAPH if op in protocol.SOLVE_OPS else None
-        line = encode_request("x7", op, graph, deadline=2.0)
+        # explain carries relation texts instead of a graph (as extra
+        # top-level fields any other op ignores).
+        extra = (
+            {"left": "1\n2\n", "right": "2\n3\n", "predicate": "equality"}
+            if op == protocol.OP_EXPLAIN
+            else None
+        )
+        line = encode_request("x7", op, graph, deadline=2.0, extra=extra)
         assert line.endswith("\n") and line.count("\n") == 1
         request = parse_request(line.rstrip("\n"))
         assert request.id == "x7"

@@ -226,3 +226,76 @@ class TestSolveCommand:
         assert "hit(s)" in warm
         # Identical per-graph lines; only the cache stats line may differ.
         assert cold.splitlines()[:-1] == warm.splitlines()[:-1]
+
+
+class TestExplainCommand:
+    def _relations(self, tmp_path):
+        left = tmp_path / "left.txt"
+        right = tmp_path / "right.txt"
+        left.write_text("1\n2\n3\n")
+        right.write_text("2\n3\n4\n")
+        return left, right
+
+    def test_file_mode_plan_only(self, tmp_path, capsys):
+        left, right = self._relations(tmp_path)
+        assert main(["explain", str(left), str(right)]) == 0
+        out = capsys.readouterr().out
+        assert "-> hash" in out
+        assert "est. cost" in out  # candidate lines
+        assert "actual m" not in out  # plan-only: nothing executed
+
+    def test_file_mode_analyze_shadow(self, tmp_path, capsys):
+        left, right = self._relations(tmp_path)
+        assert main(
+            ["explain", str(left), str(right), "--analyze", "--shadow"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "actual m = 2" in out
+        assert "a-posteriori best:" in out
+
+    def test_json_document_validates(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.planquality import validate_explain_document
+
+        left, right = self._relations(tmp_path)
+        assert main(
+            ["explain", str(left), str(right), "--analyze", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert validate_explain_document(document) == []
+        assert document["records"][0]["actual_output"] == 2
+
+    def test_band_predicate(self, tmp_path, capsys):
+        left = tmp_path / "left.txt"
+        right = tmp_path / "right.txt"
+        left.write_text("1.0\n2.0\n")
+        right.write_text("1.2\n9.0\n")
+        assert main(
+            ["explain", str(left), str(right),
+             "--predicate", "band", "--band-width", "0.5"]
+        ) == 0
+        assert "-> block-NL" in capsys.readouterr().out
+
+    def test_scenario_mode_json_validates(self, capsys):
+        import json
+
+        from repro.obs import planquality
+        from repro.obs.planquality import validate_explain_document
+
+        assert main(["explain", "--scenario", "engine-planner", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert validate_explain_document(document) == []
+        assert document["records"]
+        # The command restores the log's disabled state and leaves no
+        # records behind.
+        assert not planquality.is_enabled()
+        assert planquality.records() == []
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert main(["explain", "--scenario", "no-such"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_files_exit_two(self, capsys):
+        assert main(["explain"]) == 2
+        assert "two relation files" in capsys.readouterr().err

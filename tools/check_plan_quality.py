@@ -1,0 +1,278 @@
+"""Validate plan records and gate plan-quality calibration.
+
+The planner's counterpart of ``tools/bench_diff.py``: where the perf
+gate holds scenario *timings* to a committed trajectory, this gate holds
+the planner's *calibration* — per-predicate-class q-error percentiles
+and shadow-execution choice accuracy — to a committed baseline
+(``benchmarks/plan_baseline.json``).
+
+Modes::
+
+    # schema validation: plans.jsonl files and/or `repro explain --json`
+    # documents (repro-plan/v1)
+    python tools/check_plan_quality.py --validate runs/*/plans.jsonl explain.json
+
+    # gate: recompute calibration from record files and compare
+    python tools/check_plan_quality.py --baseline benchmarks/plan_baseline.json \
+        runs/*/plans.jsonl
+
+    # regenerate the committed baseline from record files
+    python tools/check_plan_quality.py --write-baseline benchmarks/plan_baseline.json \
+        runs/*/plans.jsonl
+
+The gate's vocabulary and tolerance semantics mirror ``bench_diff.py``:
+``ok`` / ``better`` / ``REGRESSION`` / ``MISSING`` per (predicate,
+metric), with a symmetric tolerance band.  ``q_p90`` regresses when it
+*grows* past ``baseline * (1 + tolerance)``; ``choice_accuracy``
+regresses when it *shrinks* below ``baseline * (1 - tolerance)`` — the
+bad direction flips, exactly as in the registry's ``plan_trend``.
+
+Exit status: 0 on success, 1 on any validation problem or regression,
+2 on unreadable inputs or usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.planquality import (  # noqa: E402
+    PLAN_SCHEMA,
+    PlanRecord,
+    calibration,
+    validate_explain_document,
+    validate_jsonl,
+)
+
+BASELINE_SCHEMA = "repro-plan-baseline/v1"
+DEFAULT_TOLERANCE = 0.25
+
+# The calibration scalars the gate compares, with their bad direction.
+GATED_METRICS = (
+    ("q_p90", "up"),  # q-error p90 regresses when it grows
+    ("choice_accuracy", "down"),  # accuracy regresses when it shrinks
+)
+
+
+def _load_text(path: Path) -> str | None:
+    try:
+        return path.read_text()
+    except OSError as exc:
+        print(f"{path}: unreadable ({exc})", file=sys.stderr)
+        return None
+
+
+def _looks_like_document(text: str) -> bool:
+    """An explain document is one JSON object carrying ``records``;
+    plans.jsonl is one record object per line."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(payload, dict) and "records" in payload
+
+
+def validate_file(path: Path) -> list[str]:
+    """Schema-validate one file (auto-detecting document vs JSONL)."""
+    text = _load_text(path)
+    if text is None:
+        return [f"{path}: unreadable"]
+    if _looks_like_document(text):
+        return validate_explain_document(json.loads(text), context=str(path))
+    return validate_jsonl(text, context=str(path))
+
+
+def load_records(path: Path) -> tuple[list[PlanRecord], list[str]]:
+    """Parse one file's plan records; problems are schema failures."""
+    problems = validate_file(path)
+    if problems:
+        return [], problems
+    text = _load_text(path)
+    assert text is not None  # validate_file already read it
+    if _looks_like_document(text):
+        raw = json.loads(text)["records"]
+    else:
+        raw = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [PlanRecord.from_dict(entry) for entry in raw], []
+
+
+def gather(paths: list[Path]) -> tuple[list[dict], int]:
+    """Calibration rows over every record in ``paths`` + failure count."""
+    records: list[PlanRecord] = []
+    failures = 0
+    for path in paths:
+        loaded, problems = load_records(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        records.extend(loaded)
+    return calibration(records), failures
+
+
+def write_baseline(path: Path, rows: list[dict], tolerance: float) -> None:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tolerance": tolerance,
+        "predicates": {
+            row["predicate"]: {
+                "plans": row["plans"],
+                "q_p50": row["q_p50"],
+                "q_p90": row["q_p90"],
+                "q_max": row["q_max"],
+                "misestimates": row["misestimates"],
+                "choice_accuracy": row["choice_accuracy"],
+            }
+            for row in rows
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> dict | None:
+    text = _load_text(path)
+    if text is None:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"{path}: unparseable JSON ({exc})", file=sys.stderr)
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        print(
+            f"{path}: not a {BASELINE_SCHEMA} document",
+            file=sys.stderr,
+        )
+        return None
+    return payload
+
+
+def _verdict(
+    metric: str, direction: str, base: float | None, new: float | None, tolerance: float
+) -> tuple[str, str]:
+    """One (ratio, verdict) cell; ``-`` ratio where incomparable."""
+    if base is None and new is None:
+        return "-", "ok"  # neither side has data (e.g. accuracy unshadowed)
+    if new is None:
+        return "-", "MISSING"
+    if base is None or base <= 0:
+        return "-", "new"
+    ratio = new / base
+    worse = ratio > 1.0 + tolerance
+    better = ratio < 1.0 - tolerance
+    if direction == "down":
+        worse, better = better, worse
+    if worse:
+        return f"{ratio:.2f}x", "REGRESSION"
+    if better:
+        return f"{ratio:.2f}x", "better"
+    return f"{ratio:.2f}x", "ok"
+
+
+def compare(baseline: dict, rows: list[dict], tolerance: float) -> int:
+    """Print the gate table; returns the number of regressions."""
+    by_predicate = {row["predicate"]: row for row in rows}
+    regressions = 0
+    header = f"{'predicate':<16} {'metric':<16} {'base':>8} {'new':>8} {'ratio':>7} verdict"
+    print(header)
+    print("-" * len(header))
+    predicates = sorted(set(baseline["predicates"]) | set(by_predicate))
+    for predicate in predicates:
+        base_row = baseline["predicates"].get(predicate)
+        new_row = by_predicate.get(predicate)
+        for metric, direction in GATED_METRICS:
+            base = None if base_row is None else base_row.get(metric)
+            new = None if new_row is None else new_row.get(metric)
+            ratio, verdict = _verdict(metric, direction, base, new, tolerance)
+            if verdict in ("REGRESSION", "MISSING"):
+                regressions += 1
+            fmt = lambda v: "-" if v is None else f"{v:.4f}"  # noqa: E731
+            print(
+                f"{predicate:<16} {metric:<16} {fmt(base):>8} {fmt(new):>8} "
+                f"{ratio:>7} {verdict}"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate plan records / gate plan-quality calibration"
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-validate plans.jsonl files and explain documents",
+    )
+    mode.add_argument(
+        "--baseline",
+        metavar="BASELINE.json",
+        help="gate the files' calibration against this committed baseline",
+    )
+    mode.add_argument(
+        "--write-baseline",
+        metavar="BASELINE.json",
+        help="regenerate the committed baseline from the files",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed worsening fraction (default: the baseline's own, "
+        f"or {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    paths = [Path(name) for name in args.files]
+
+    if args.validate:
+        failures = 0
+        for path in paths:
+            problems = validate_file(path)
+            if problems:
+                failures += 1
+                for problem in problems:
+                    print(problem, file=sys.stderr)
+            else:
+                print(f"{path}: ok ({PLAN_SCHEMA})")
+        return 1 if failures else 0
+
+    if args.write_baseline:
+        rows, failures = gather(paths)
+        if failures:
+            return 2
+        if not rows:
+            print("error: no plan records in the given files", file=sys.stderr)
+            return 2
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        target = Path(args.write_baseline)
+        write_baseline(target, rows, tolerance)
+        print(f"baseline for {len(rows)} predicate class(es) written to {target}")
+        return 0
+
+    baseline = load_baseline(Path(args.baseline))
+    if baseline is None:
+        return 2
+    rows, failures = gather(paths)
+    if failures:
+        return 2
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance", DEFAULT_TOLERANCE)
+    regressions = compare(baseline, rows, tolerance)
+    if regressions:
+        print(f"{regressions} plan-quality regression(s)", file=sys.stderr)
+        return 1
+    print("plan quality within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
