@@ -4,8 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-smoke bench-baseline perf-gate plan-gate \
 	plan-baseline profile-smoke chaos-smoke report-smoke parallel-smoke \
-	serve-smoke crash-smoke telemetry-smoke runs-index examples docs \
-	check clean
+	serve-smoke crash-smoke telemetry-smoke wcoj-smoke runs-index \
+	examples docs check clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -210,6 +210,23 @@ telemetry-smoke:
 		tests/server/test_telemetry.py -q
 	PYTHONPATH=src $(PYTHON) tools/check_metrics_exposition.py .telemetry-smoke
 	rm -rf .telemetry-smoke
+
+# Worst-case-optimality gate (docs/MULTIWAY.md): the multiway join
+# suites, then the two wcoj bench scenarios — on the skewed triangle
+# LFTJ's intermediates must stay within the AGM bound while the binary
+# cascade's measured AND estimated intermediates exceed it (the planner
+# sees the blowup coming); on the uniform 4-cycle LFTJ must stay within
+# the bound.  Wall-clock speedups are printed, never gated.
+wcoj-smoke:
+	rm -rf .wcoj-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/joins/test_multiway.py \
+		tests/joins/test_properties_multiway.py -q
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke \
+		--scenario wcoj-triangle --scenario wcoj-4cycle \
+		--out-dir .wcoj-smoke --runs-dir .wcoj-smoke/runs \
+		--no-publish
+	$(PYTHON) tools/check_wcoj_smoke.py .wcoj-smoke/BENCH_*.json
+	rm -rf .wcoj-smoke
 
 # Build (or refresh) the queryable SQLite index over runs/.
 runs-index:

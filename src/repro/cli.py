@@ -28,6 +28,12 @@ Commands
 ``join <left-file> <right-file> [--predicate P]``
     Join two typed relation files (see :mod:`repro.relations.io`) through
     the query engine and print rows plus EXPLAIN ANALYZE output.
+``multiway [--instance I] [--n N] [--skew S] [--algorithm A] [--json]``
+    Evaluate a cyclic conjunctive query (triangle, 4-cycle, clique) with
+    the worst-case-optimal engine (:mod:`repro.joins.multiway`): print
+    the plan (binary cascade vs LFTJ with estimated intermediate sizes),
+    the execution counters against the AGM bound, and the pebbling trace
+    of the projected output.
 ``explain [<left-file> <right-file> | --scenario S] [--analyze] [--json]``
     Render a join's structured plan record (:mod:`repro.obs.planquality`):
     the candidate algorithms with their estimated costs and reasons, and
@@ -294,6 +300,90 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"{format_value(a)}\t{format_value(b)}")
     if limit < len(result.rows):
         print(f"... ({len(result.rows) - limit} more rows)")
+    return 0
+
+
+def _cmd_multiway(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.engine import execute_multiway, plan_multiway
+    from repro.joins.multiway import agm_bound, fractional_edge_cover
+    from repro.runtime import Budget, use_budget
+    from repro.workloads.multiway import (
+        clique_query,
+        four_cycle_query,
+        triangle_query,
+    )
+
+    if args.instance == "triangle":
+        query = triangle_query(args.n, skew=args.skew, seed=args.seed)
+    elif args.instance == "4cycle":
+        query = four_cycle_query(args.n, skew=args.skew, seed=args.seed)
+    else:
+        query = clique_query(args.clique_k, args.n, skew=args.skew, seed=args.seed)
+    budget = Budget(deadline=args.deadline) if args.deadline is not None else None
+    with use_budget(budget):
+        if args.algorithm == "auto":
+            the_plan = plan_multiway(query)
+            result = execute_multiway(
+                query, chosen_plan=the_plan, with_trace=not args.no_trace
+            )
+        else:
+            the_plan = None
+            result = execute_multiway(
+                query, algorithm=args.algorithm, with_trace=not args.no_trace
+            )
+    cover = fractional_edge_cover(query)
+    agm = result.agm if result.agm >= 0 else agm_bound(query)
+    if args.json:
+        document = {
+            "query": query.describe(),
+            "instance": args.instance,
+            "n": args.n,
+            "skew": args.skew,
+            "agm_bound": round(agm, 2),
+            "fractional_edge_cover": {
+                name: str(weight) for name, weight in sorted(cover.items())
+            },
+            "execution": result.result.as_dict(),
+            "plan": None if the_plan is None else the_plan.record.as_dict(),
+            "trace": None if result.trace is None else result.trace.as_dict(),
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"query: {query.describe()}")
+    sizes = ", ".join(
+        f"|{atom.name}| = {len(atom.distinct_rows())}" for atom in query.atoms
+    )
+    cover_text = ", ".join(f"w_{name} = {w}" for name, w in sorted(cover.items()))
+    print(f"sizes: {sizes}")
+    print(f"fractional edge cover: {cover_text}  ->  AGM bound {agm:.1f}")
+    if the_plan is not None and the_plan.record is not None:
+        print()
+        print(the_plan.record.render())
+        print()
+    run = result.result
+    print(
+        f"{run.algorithm}: {run.output_size} bindings, "
+        f"{run.intermediates} intermediates (AGM bound {agm:.1f}), "
+        f"{run.seeks} seeks"
+    )
+    if run.stage_sizes:
+        print(f"cascade stage sizes: {list(run.stage_sizes)}")
+    if result.trace is not None:
+        t = result.trace
+        print(
+            f"trace ({t.left_atom} x {t.right_atom}): "
+            f"{t.projected_pairs} projected pairs, "
+            f"effective cost {t.report.effective_cost} "
+            f"(ratio {t.report.cost_ratio:.4f}), "
+            f"{t.report.jumps} jumps, beta0 = {t.beta0}"
+        )
+    limit = args.limit if args.limit is not None else 0
+    for row in run.bindings[:limit]:
+        print("\t".join(str(v) for v in row))
+    if limit and limit < run.output_size:
+        print(f"... ({run.output_size - limit} more bindings)")
     return 0
 
 
@@ -1305,6 +1395,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds for planning + execution",
     )
     join.set_defaults(func=_cmd_join)
+
+    multiway = commands.add_parser(
+        "multiway",
+        help="evaluate a cyclic conjunctive query with the WCOJ engine",
+    )
+    multiway.add_argument(
+        "--instance",
+        default="triangle",
+        choices=["triangle", "4cycle", "clique"],
+        help="query shape (default: triangle)",
+    )
+    multiway.add_argument(
+        "--n", type=int, default=200, help="rows per relation (default: 200)"
+    )
+    multiway.add_argument(
+        "--skew",
+        default="worst-case",
+        choices=["uniform", "zipf", "worst-case"],
+        help="row distribution (default: worst-case, the AGM-tight instance)",
+    )
+    multiway.add_argument(
+        "--clique-k",
+        type=int,
+        default=4,
+        help="clique size for --instance clique (default: 4)",
+    )
+    multiway.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=["auto", "lftj", "generic", "binary-cascade"],
+        help="force an algorithm instead of planning (default: auto)",
+    )
+    multiway.add_argument("--seed", type=int, default=0)
+    multiway.add_argument(
+        "--limit", type=int, help="print at most this many result bindings"
+    )
+    multiway.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip the pebbling-trace projection",
+    )
+    multiway.add_argument(
+        "--deadline",
+        type=float,
+        help="wall-clock budget in seconds for planning + execution",
+    )
+    multiway.add_argument("--json", action="store_true")
+    multiway.set_defaults(func=_cmd_multiway)
 
     explain = commands.add_parser(
         "explain",

@@ -18,6 +18,12 @@ from repro.engine.query import JoinQuery
 from repro.engine.planner import Plan, plan
 from repro.engine.executor import QueryResult, execute
 from repro.engine.chain import ChainQuery, ChainResult, execute_chain
+from repro.engine.multiway import (
+    MultiwayPlan,
+    MultiwayQueryResult,
+    execute_multiway,
+    plan_multiway,
+)
 from repro.engine.stats import ColumnStats, derive_seed, estimate_selectivity
 
 __all__ = [
@@ -29,6 +35,10 @@ __all__ = [
     "ChainQuery",
     "ChainResult",
     "execute_chain",
+    "MultiwayPlan",
+    "MultiwayQueryResult",
+    "plan_multiway",
+    "execute_multiway",
     "ColumnStats",
     "derive_seed",
     "estimate_selectivity",

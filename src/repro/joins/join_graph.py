@@ -37,13 +37,42 @@ def _empty_graph(left: Relation, right: Relation) -> BipartiteGraph:
     return BipartiteGraph(left=left.refs(), right=right.refs())
 
 
+def _dedup_pairs(pairs):
+    """Yield each (left-ref, right-ref) pair once, in first-seen order."""
+    seen: set = set()
+    for pair in pairs:
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def _add_edges(graph: BipartiteGraph, pairs) -> BipartiteGraph:
+    """The single edge-insertion point shared by every extraction path.
+
+    Accelerated paths can surface the same candidate pair more than once
+    (duplicate sweep events, posting-list unions); the naive path cannot.
+    ``BipartiteGraph.add_edge`` happens to be idempotent (set-backed), so
+    paths that skipped their own dedup were still correct — but only by
+    accident of the storage choice.  Routing every path through one dedup
+    point makes the semantics uniform by construction, and a multigraph-
+    backed storage swap could no longer silently diverge between paths.
+    """
+    for r_ref, s_ref in _dedup_pairs(pairs):
+        graph.add_edge(r_ref, s_ref)
+    return graph
+
+
 def _naive(left: Relation, right: Relation, predicate: JoinPredicate) -> BipartiteGraph:
     graph = _empty_graph(left, right)
-    for r_ref, r_val in left.items():
-        for s_ref, s_val in right.items():
-            if predicate.matches(r_val, s_val):
-                graph.add_edge(r_ref, s_ref)
-    return graph
+    return _add_edges(
+        graph,
+        (
+            (r_ref, s_ref)
+            for r_ref, r_val in left.items()
+            for s_ref, s_val in right.items()
+            if predicate.matches(r_val, s_val)
+        ),
+    )
 
 
 def _hash_equality(left: Relation, right: Relation) -> BipartiteGraph:
@@ -51,35 +80,41 @@ def _hash_equality(left: Relation, right: Relation) -> BipartiteGraph:
     buckets: dict = {}
     for s_ref, s_val in right.items():
         buckets.setdefault(s_val, []).append(s_ref)
-    for r_ref, r_val in left.items():
-        for s_ref in buckets.get(r_val, ()):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    return _add_edges(
+        graph,
+        (
+            (r_ref, s_ref)
+            for r_ref, r_val in left.items()
+            for s_ref in buckets.get(r_val, ())
+        ),
+    )
 
 
 def _sweep_spatial(left: Relation, right: Relation) -> BipartiteGraph:
     graph = _empty_graph(left, right)
     left_entries = [(value, ref) for ref, value in left.items()]
     right_entries = [(value, ref) for ref, value in right.items()]
-    for r_ref, s_ref in sweep_rectangle_pairs(left_entries, right_entries):
-        if not graph.has_edge(r_ref, s_ref):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    return _add_edges(graph, sweep_rectangle_pairs(left_entries, right_entries))
 
 
 def _polygon_filter_verify(
     left: Relation, right: Relation, predicate: JoinPredicate
 ) -> BipartiteGraph:
     # Filter on bounding boxes with the sweep, verify with the real test.
+    # Candidates are deduplicated *before* verification so each pair pays
+    # the exact predicate at most once.
     graph = _empty_graph(left, right)
     left_entries = [(value.bounding_box(), ref) for ref, value in left.items()]
     right_entries = [(value.bounding_box(), ref) for ref, value in right.items()]
-    for r_ref, s_ref in sweep_rectangle_pairs(left_entries, right_entries):
-        if graph.has_edge(r_ref, s_ref):
-            continue
-        if predicate.matches(left.value(r_ref), right.value(s_ref)):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    candidates = _dedup_pairs(sweep_rectangle_pairs(left_entries, right_entries))
+    return _add_edges(
+        graph,
+        (
+            (r_ref, s_ref)
+            for r_ref, s_ref in candidates
+            if predicate.matches(left.value(r_ref), right.value(s_ref))
+        ),
+    )
 
 
 def _sweep_intervals(left: Relation, right: Relation) -> BipartiteGraph:
@@ -88,54 +123,61 @@ def _sweep_intervals(left: Relation, right: Relation) -> BipartiteGraph:
     graph = _empty_graph(left, right)
     left_entries = [(value, ref) for ref, value in left.items()]
     right_entries = [(value, ref) for ref, value in right.items()]
-    for r_ref, s_ref in sweep_interval_pairs(left_entries, right_entries):
-        if not graph.has_edge(r_ref, s_ref):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    return _add_edges(graph, sweep_interval_pairs(left_entries, right_entries))
 
 
 def _inverted_containment(left: Relation, right: Relation) -> BipartiteGraph:
     graph = _empty_graph(left, right)
     index = InvertedIndex([(ref, value) for ref, value in right.items()])
-    for r_ref, r_val in left.items():
-        for s_ref in index.superset_candidates(r_val):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    return _add_edges(
+        graph,
+        (
+            (r_ref, s_ref)
+            for r_ref, r_val in left.items()
+            for s_ref in index.superset_candidates(r_val)
+        ),
+    )
 
 
 def _inverted_set_overlap(left: Relation, right: Relation) -> BipartiteGraph:
     # Overlap = union (not intersection) of the posting lists of the left
     # set's elements; exact, no verification needed.
-    graph = _empty_graph(left, right)
-    index = InvertedIndex([(ref, value) for ref, value in right.items()])
-    for r_ref, r_val in left.items():
-        candidates: set = set()
-        for element in r_val:
-            candidates |= index.postings(element)
-        for s_ref in sorted(candidates, key=repr):
-            graph.add_edge(r_ref, s_ref)
-    return graph
+    def pairs():
+        index = InvertedIndex([(ref, value) for ref, value in right.items()])
+        for r_ref, r_val in left.items():
+            candidates: set = set()
+            for element in r_val:
+                candidates |= index.postings(element)
+            for s_ref in sorted(candidates, key=repr):
+                yield r_ref, s_ref
+
+    return _add_edges(_empty_graph(left, right), pairs())
 
 
 def _sorted_band(left: Relation, right: Relation, width: float) -> BipartiteGraph:
     # Classic band-join merge: sort both sides, slide a window of radius
     # `width` over the right side as the left side advances.
-    graph = _empty_graph(left, right)
-    left_sorted = sorted(left.items(), key=lambda item: item[1])
-    right_sorted = sorted(right.items(), key=lambda item: item[1])
-    low = 0
-    for r_ref, r_val in left_sorted:
-        # Window bounds compare the *difference* against the width, exactly
-        # as Band.matches computes |a - b| <= width; the algebraically equal
-        # forms `right < r_val - width` / `right <= r_val + width` round
-        # differently near the boundary and disagree with the predicate.
-        while low < len(right_sorted) and r_val - right_sorted[low][1] > width:
-            low += 1
-        probe = low
-        while probe < len(right_sorted) and right_sorted[probe][1] - r_val <= width:
-            graph.add_edge(r_ref, right_sorted[probe][0])
-            probe += 1
-    return graph
+    def pairs():
+        left_sorted = sorted(left.items(), key=lambda item: item[1])
+        right_sorted = sorted(right.items(), key=lambda item: item[1])
+        low = 0
+        for r_ref, r_val in left_sorted:
+            # Window bounds compare the *difference* against the width,
+            # exactly as Band.matches computes |a - b| <= width; the
+            # algebraically equal forms `right < r_val - width` /
+            # `right <= r_val + width` round differently near the boundary
+            # and disagree with the predicate.
+            while low < len(right_sorted) and r_val - right_sorted[low][1] > width:
+                low += 1
+            probe = low
+            while (
+                probe < len(right_sorted)
+                and right_sorted[probe][1] - r_val <= width
+            ):
+                yield r_ref, right_sorted[probe][0]
+                probe += 1
+
+    return _add_edges(_empty_graph(left, right), pairs())
 
 
 def build_join_graph(

@@ -1,0 +1,47 @@
+"""Worst-case-optimal multiway joins: LFTJ, generic join, and the AGM bound.
+
+The binary join layer evaluates one predicate between two relations; this
+package evaluates full conjunctive queries ``R(a,b) ⋈ S(b,c) ⋈ T(c,a)``
+where no binary plan is worst-case optimal:
+
+- :mod:`repro.joins.multiway.query` — :class:`Atom` / :class:`MultiwayQuery`,
+  the hypergraph representation, plus a brute-force oracle;
+- :mod:`repro.joins.multiway.trie` — sorted-array trie views and the
+  ``open/up/next/seek`` iterator Leapfrog Triejoin navigates;
+- :mod:`repro.joins.multiway.leapfrog` — Leapfrog Triejoin (Veldhuizen);
+- :mod:`repro.joins.multiway.generic` — generic join (Ngo–Ré–Rudra), the
+  reference worst-case-optimal evaluator;
+- :mod:`repro.joins.multiway.cascade` — the binary hash-join cascade
+  strawman and its skew-aware cost estimate;
+- :mod:`repro.joins.multiway.bounds` — fractional edge covers and the AGM
+  output bound, solved exactly over rationals.
+"""
+
+from repro.joins.multiway.bounds import agm_bound, fractional_edge_cover
+from repro.joins.multiway.cascade import binary_cascade, estimate_cascade
+from repro.joins.multiway.generic import generic_join
+from repro.joins.multiway.leapfrog import leapfrog_triejoin
+from repro.joins.multiway.query import (
+    Atom,
+    MultiwayQuery,
+    choose_variable_order,
+    naive_multiway,
+)
+from repro.joins.multiway.result import MultiwayResult
+from repro.joins.multiway.trie import TrieIterator, TrieRelation
+
+__all__ = [
+    "Atom",
+    "MultiwayQuery",
+    "MultiwayResult",
+    "TrieIterator",
+    "TrieRelation",
+    "agm_bound",
+    "binary_cascade",
+    "choose_variable_order",
+    "estimate_cascade",
+    "fractional_edge_cover",
+    "generic_join",
+    "leapfrog_triejoin",
+    "naive_multiway",
+]

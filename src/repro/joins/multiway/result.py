@@ -1,0 +1,45 @@
+"""Shared result record for the multiway join algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.joins.multiway.query import Row
+
+
+@dataclass
+class MultiwayResult:
+    """One multiway execution: distinct bindings plus work counters.
+
+    ``bindings`` is in the algorithm's emission order (LFTJ emits sorted
+    under the variable order; the binary cascade emits probe order), which
+    is what the pebbling trace bridge consumes.  ``intermediates`` counts
+    materialized/visited partial results: search-tree nodes for LFTJ and
+    generic join, materialized stage tuples for the binary cascade — the
+    quantity the AGM bound story is about.  ``seeks`` counts trie seek
+    operations (0 for algorithms that do not seek).
+    """
+
+    algorithm: str
+    order: tuple[str, ...]
+    bindings: list[Row] = field(default_factory=list)
+    intermediates: int = 0
+    seeks: int = 0
+    stage_sizes: tuple[int, ...] = ()
+
+    @property
+    def output_size(self) -> int:
+        return len(self.bindings)
+
+    def binding_set(self) -> set[Row]:
+        return set(self.bindings)
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "order": list(self.order),
+            "output_size": self.output_size,
+            "intermediates": self.intermediates,
+            "seeks": self.seeks,
+            "stage_sizes": list(self.stage_sizes),
+        }

@@ -1,0 +1,133 @@
+"""Sorted-array trie view of an atom, plus the LFTJ trie iterator.
+
+A :class:`TrieRelation` materializes an atom's distinct rows with columns
+permuted to follow a global variable order, then sorts them
+lexicographically.  The sorted array *is* the trie: every trie node is a
+contiguous row range sharing a prefix, and the children of a node are the
+distinct values of the next column within that range.  No pointer structure
+is built; :class:`TrieIterator` navigates with binary search, which is what
+gives Leapfrog Triejoin its ``O(log n)`` seeks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PredicateError
+from repro.joins.multiway.query import Atom, Row
+
+
+class TrieRelation:
+    """An atom's rows, deduplicated and sorted under a global variable order."""
+
+    def __init__(self, atom: Atom, order: tuple[str, ...]) -> None:
+        depth_vars = tuple(v for v in order if v in atom.variables)
+        if set(depth_vars) != set(atom.variables):
+            raise PredicateError(
+                f"variable order {order} does not cover atom {atom.describe()}"
+            )
+        perm = tuple(atom.variables.index(v) for v in depth_vars)
+        self.atom = atom
+        self.depth_vars = depth_vars
+        self.rows: list[Row] = sorted(
+            {tuple(row[i] for i in perm) for row in atom.rows}
+        )
+
+    @property
+    def arity(self) -> int:
+        return len(self.depth_vars)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class TrieIterator:
+    """Leapfrog trie iterator: ``open``/``up``/``next``/``seek`` over one trie.
+
+    State is a stack of row ranges.  At depth ``d`` the iterator sits on a
+    *key*: the value ``rows[lo][d]`` shared by the contiguous sub-range
+    ``[lo, hi)``.  Rows are lexicographically sorted, so within the parent
+    range the column-``d`` values are sorted and binary search applies.
+    """
+
+    def __init__(self, trie: TrieRelation) -> None:
+        self._rows = trie.rows
+        self._arity = trie.arity
+        # Parent ranges per depth; depth -1 is the virtual root.
+        self._parents: list[tuple[int, int]] = [(0, len(self._rows))]
+        self._lo = 0
+        self._hi = len(self._rows)
+        self._depth = -1
+        self.at_end = len(self._rows) == 0
+        self.seeks = 0
+
+    # -- navigation -------------------------------------------------------
+
+    def key(self) -> Any:
+        if self.at_end or self._depth < 0:
+            raise PredicateError("trie iterator has no current key")
+        return self._rows[self._lo][self._depth]
+
+    def open(self) -> None:
+        """Descend to the first key of the next column."""
+        if self.at_end:
+            raise PredicateError("cannot open a trie iterator at end")
+        if self._depth + 1 >= self._arity:
+            raise PredicateError("trie iterator already at max depth")
+        parent = (self._lo, self._hi)
+        self._parents.append(parent)
+        self._depth += 1
+        self._lo = parent[0]
+        self._hi = self._run_end(self._lo, parent[1])
+
+    def up(self) -> None:
+        """Return to the parent column (restores its full key range)."""
+        if self._depth < 0:
+            raise PredicateError("trie iterator already at root")
+        self._lo, self._hi = self._parents.pop()
+        self._depth -= 1
+        self.at_end = False
+
+    def next(self) -> None:
+        """Advance to the next distinct key at this depth."""
+        parent_hi = self._parents[-1][1]
+        self._lo = self._hi
+        if self._lo >= parent_hi:
+            self.at_end = True
+        else:
+            self._hi = self._run_end(self._lo, parent_hi)
+
+    def seek(self, target: Any) -> None:
+        """Jump to the least key ``>= target`` at this depth (leapfrog step)."""
+        parent_lo, parent_hi = self._parents[-1]
+        self.seeks += 1
+        lo, hi, d = max(self._lo, parent_lo), parent_hi, self._depth
+        rows = self._rows
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rows[mid][d] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._lo = lo
+        if lo >= parent_hi:
+            self.at_end = True
+        else:
+            self.at_end = False
+            self._hi = self._run_end(lo, parent_hi)
+
+    # -- internals --------------------------------------------------------
+
+    def _run_end(self, lo: int, parent_hi: int) -> int:
+        """End of the run of rows sharing ``rows[lo][depth]`` within the parent."""
+        d = self._depth
+        rows = self._rows
+        key = rows[lo][d]
+        a, b = lo + 1, parent_hi
+        while a < b:
+            mid = (a + b) // 2
+            if rows[mid][d] == key:
+                a = mid + 1
+            else:
+                b = mid
+        return a

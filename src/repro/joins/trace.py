@@ -98,3 +98,95 @@ def trace_report(
 def beta0(graph: BipartiteGraph) -> int:
     """Convenience re-export of the Betti number for report code."""
     return betti_number(graph.without_isolated_vertices())
+
+
+@dataclass(frozen=True)
+class MultiwayTraceReport:
+    """Pebbling-cost accounting for one *multiway* execution.
+
+    A multiway output is a stream of full variable bindings, not tuple
+    pairs, so the bridge first projects it onto two atoms: each binding
+    maps to the (first) row of each atom matching it, giving a
+    ``TupleRef``–``TupleRef`` pair.  Deduplicated keep-first, that pair
+    stream is a join-output order over the bipartite graph it spans, and
+    the binary pebbling machinery applies unchanged.  ``beta0`` is the
+    Betti number of the projected graph — the paper's obstruction to
+    perfect pebbling, reported here so multiway runs can be compared with
+    the binary benchmarks on the same axis.
+    """
+
+    report: TraceReport
+    beta0: int
+    left_atom: str
+    right_atom: str
+    projected_pairs: int  # distinct pairs the bindings project to
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.report.algorithm,
+            "left_atom": self.left_atom,
+            "right_atom": self.right_atom,
+            "projected_pairs": self.projected_pairs,
+            "effective_cost": self.report.effective_cost,
+            "cost_ratio": round(self.report.cost_ratio, 4),
+            "jumps": self.report.jumps,
+            "beta0": self.beta0,
+            "lower_bound": self.report.lower_bound,
+            "upper_bound": self.report.upper_bound,
+        }
+
+
+def multiway_trace_report(
+    query,
+    bindings,
+    algorithm: str,
+    atom_pair: tuple[int, int] = (0, 1),
+) -> MultiwayTraceReport:
+    """Project a multiway execution onto an atom pair and pebble it.
+
+    ``query`` is a :class:`~repro.joins.multiway.query.MultiwayQuery`,
+    ``bindings`` the emitted full bindings in execution order (canonical
+    ``query.variables()`` column order).  ``atom_pair`` picks which two
+    atoms the bindings are projected onto (default: the first two).
+    """
+    left, right = (query.atoms[i] for i in atom_pair)
+    if left.name == right.name:
+        raise SchemeError("trace projection needs two distinct atoms")
+    order = query.variables()
+    var_index = {v: i for i, v in enumerate(order)}
+
+    def first_row_index(atom):
+        # Keep-first: a binding pebbles the first matching row of the atom.
+        mapping: dict[tuple, int] = {}
+        for ordinal, row in enumerate(atom.rows):
+            mapping.setdefault(tuple(row), ordinal)
+        positions = tuple(var_index[v] for v in atom.variables)
+        return mapping, positions
+
+    left_rows, left_pos = first_row_index(left)
+    right_rows, right_pos = first_row_index(right)
+    pairs: JoinOutput = []
+    seen: set[tuple[TupleRef, TupleRef]] = set()
+    for binding in bindings:
+        lrow = tuple(binding[i] for i in left_pos)
+        rrow = tuple(binding[i] for i in right_pos)
+        pair = (
+            TupleRef(left.name, left_rows[lrow]),
+            TupleRef(right.name, right_rows[rrow]),
+        )
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+    graph = BipartiteGraph()
+    for lref, rref in pairs:
+        graph.add_left_vertex(lref)
+        graph.add_right_vertex(rref)
+        graph.add_edge(lref, rref)
+    report = trace_report(graph, pairs, algorithm)
+    return MultiwayTraceReport(
+        report=report,
+        beta0=beta0(graph),
+        left_atom=left.name,
+        right_atom=right.name,
+        projected_pairs=len(pairs),
+    )

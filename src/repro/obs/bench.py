@@ -371,6 +371,77 @@ def _server_load(config: BenchConfig) -> dict[str, Any]:
     }
 
 
+def _wcoj_scenario(query) -> dict[str, Any]:
+    """Shared body of the WCOJ scenarios: plan, race LFTJ against the
+    binary cascade, and report both against the AGM bound."""
+    import time
+
+    from repro.engine import execute_multiway, plan_multiway
+    from repro.joins.multiway import agm_bound, estimate_cascade
+
+    the_plan = plan_multiway(query)
+
+    def race(name: str, repeats: int = 3):
+        """Best-of-N wall clock, so one scheduler hiccup cannot flip the
+        LFTJ-vs-cascade comparison."""
+        best_ns, best = None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter_ns()
+            run = execute_multiway(query, algorithm=name, with_trace=False)
+            elapsed = time.perf_counter_ns() - t0
+            if best_ns is None or elapsed < best_ns:
+                best_ns, best = elapsed, run
+        return best, best_ns
+
+    lftj, lftj_ns = race("lftj")
+    cascade, cascade_ns = race("binary-cascade")
+    if lftj.result.binding_set() != cascade.result.binding_set():
+        raise RuntimeError("lftj and binary cascade disagree on the output set")
+    # Feed the plan's feedback loop (actuals, q-error) from the LFTJ run.
+    trace = execute_multiway(query, chosen_plan=the_plan).trace
+    agm = agm_bound(query)
+    stages = estimate_cascade(query)
+    return {
+        # Deterministic: counters and estimates.
+        "m": lftj.result.output_size,
+        "agm_bound": round(agm, 1),
+        "lftj_intermediates": lftj.result.intermediates,
+        "cascade_intermediates": cascade.result.intermediates,
+        "cascade_estimate": max(stages[:-1], default=0),
+        "plan": the_plan.algorithm_name,
+        "beta0": None if trace is None else trace.beta0,
+        "cost_ratio": None if trace is None else round(trace.report.cost_ratio, 4),
+        # Timings (excluded from determinism gates like wall_ns).
+        "lftj_ms": round(lftj_ns / 1e6, 3),
+        "cascade_ms": round(cascade_ns / 1e6, 3),
+        "speedup_vs_cascade": round(cascade_ns / max(1, lftj_ns), 2),
+    }
+
+
+@scenario(
+    "wcoj-triangle",
+    "skewed triangle: LFTJ vs binary cascade against the AGM bound",
+)
+def _wcoj_triangle(config: BenchConfig) -> dict[str, Any]:
+    from repro.workloads.multiway import triangle_query
+
+    n = config.size(600, 400)
+    query = triangle_query(n, skew="worst-case", seed=config.seed)
+    return {"n": n, "skew": "worst-case", **_wcoj_scenario(query)}
+
+
+@scenario(
+    "wcoj-4cycle",
+    "4-cycle query: worst-case-optimal evaluation within the AGM bound",
+)
+def _wcoj_4cycle(config: BenchConfig) -> dict[str, Any]:
+    from repro.workloads.multiway import four_cycle_query
+
+    n = config.size(300, 120)
+    query = four_cycle_query(n, skew="uniform", seed=config.seed)
+    return {"n": n, "skew": "uniform", **_wcoj_scenario(query)}
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------

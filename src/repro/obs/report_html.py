@@ -175,6 +175,23 @@ def _scenario_section(
             "</span>"
         )
     out.append(f"<p>{summary} — best wall-clock per run, ms:</p>")
+    if points:
+        # Surface the newest run's deterministic result scalars (output
+        # sizes, intermediate counters, AGM bounds, …) next to the
+        # timing trend — the wcoj gate's numbers live here.
+        latest = points[-1]["run_id"]
+        for entry in registry.scenarios_for(latest):
+            if entry["scenario"] == scenario and entry["results"]:
+                rendered = " ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(entry["results"].items())
+                )
+                out.append(
+                    f'<p class="muted">latest results '
+                    f"(<code>{_esc(latest)}</code>): "
+                    f"<code>{_esc(rendered)}</code></p>"
+                )
+                break
     out.append(
         f'<div class="spark">{_inline_svg(sparkline_svg(values, flags))}</div>'
     )

@@ -6,6 +6,11 @@ benchmarks all draw from the same distributions.
 """
 
 from repro.workloads.equijoin import fk_pk_workload, zipf_equijoin_workload
+from repro.workloads.multiway import (
+    clique_query,
+    four_cycle_query,
+    triangle_query,
+)
 from repro.workloads.spatial import (
     clustered_rectangles_workload,
     map_overlay_workload,
@@ -21,4 +26,7 @@ __all__ = [
     "map_overlay_workload",
     "zipf_sets_workload",
     "market_basket_workload",
+    "triangle_query",
+    "four_cycle_query",
+    "clique_query",
 ]

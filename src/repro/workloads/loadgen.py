@@ -83,6 +83,8 @@ class LoadResult:
 
     @property
     def throughput_rps(self) -> float:
+        """Requests per second; 0.0 on a degenerate window (no elapsed
+        time recorded — e.g. a wave that failed before the clock moved)."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.requests / self.elapsed_seconds
@@ -119,8 +121,21 @@ class LoadResult:
 
 
 def _quantile(samples: list[float], q: float) -> float:
+    """Nearest-rank quantile, total over every degenerate window.
+
+    Contract (pinned by tests/workloads/test_loadgen_stats.py):
+
+    - empty window  -> 0.0 (an all-error cold wave records no latencies;
+      stats must stay JSON-renderable rather than raise);
+    - one sample    -> that sample, for every q;
+    - q outside [0, 1] (caller bug or NaN-ish arithmetic upstream) is
+      clamped to the nearest valid quantile instead of indexing out of
+      range.
+    """
     if not samples:
         return 0.0
+    if not (0.0 <= q <= 1.0):  # also catches NaN, which fails both compares
+        q = 0.0 if q < 0.0 else 1.0
     ordered = sorted(samples)
     rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
     return ordered[rank]

@@ -1,0 +1,110 @@
+"""AGM-bound instance generators for the multiway join engine.
+
+Cyclic query shapes (triangle, 4-cycle, k-clique) with three row
+distributions per relation:
+
+- ``uniform`` — endpoints drawn uniformly from a universe sized so the
+  output stays moderate; binary cascades do fine here, which is the point
+  (the planner should pick them);
+- ``zipf`` — both endpoints Zipf-skewed, so every pairwise join
+  concentrates on heavy-hitter values and materializes a super-linear
+  intermediate while the cyclic output stays small;
+- ``worst-case`` — the deterministic star + co-star construction that
+  makes the AGM separation exact: ``R = S = T = {(0,i)} ∪ {(i,0)}``.
+  Every pairwise join has Θ(n²) tuples, the triangle output is Θ(n), and
+  the AGM bound is ``(2n+1)^{3/2}`` — the canonical instance where
+  worst-case-optimal joins beat every binary plan.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro.errors import WorkloadError
+from repro.joins.multiway.query import Atom, MultiwayQuery
+from repro.workloads.equijoin import _zipf_keys
+
+SKEWS = ("uniform", "zipf", "worst-case")
+
+
+def _pairs(
+    rng: random.Random, n: int, universe: int, skew: str, zipf_s: float
+) -> tuple[tuple[int, int], ...]:
+    if skew == "uniform":
+        return tuple(
+            (rng.randrange(universe), rng.randrange(universe)) for _ in range(n)
+        )
+    if skew == "zipf":
+        left = _zipf_keys(rng, n, universe, zipf_s)
+        right = _zipf_keys(rng, n, universe, zipf_s)
+        return tuple(zip(left, right))
+    # worst-case: star (hub 0 fanning out) + co-star (everything into hub 0).
+    arms = max(1, n // 2)
+    rows = [(0, i) for i in range(arms + 1)] + [(i, 0) for i in range(1, arms + 1)]
+    return tuple(rows)
+
+
+def _check(n: int, skew: str) -> None:
+    if n < 1:
+        raise WorkloadError("instance size must be positive")
+    if skew not in SKEWS:
+        raise WorkloadError(f"skew must be one of {SKEWS}, got {skew!r}")
+
+
+def triangle_query(
+    n: int, skew: str = "uniform", seed: int = 0, zipf_s: float = 1.0
+) -> MultiwayQuery:
+    """``R(a,b) ⋈ S(b,c) ⋈ T(c,a)`` with ~``n`` rows per relation."""
+    _check(n, skew)
+    rng = random.Random(seed)
+    universe = max(2, int(round(n**0.75)))
+    atoms = tuple(
+        Atom(name, vars_, _pairs(rng, n, universe, skew, zipf_s))
+        for name, vars_ in (("R", ("a", "b")), ("S", ("b", "c")), ("T", ("c", "a")))
+    )
+    return MultiwayQuery(atoms=atoms)
+
+
+def four_cycle_query(
+    n: int, skew: str = "uniform", seed: int = 0, zipf_s: float = 1.0
+) -> MultiwayQuery:
+    """``R(a,b) ⋈ S(b,c) ⋈ T(c,d) ⋈ U(d,a)`` with ~``n`` rows per relation."""
+    _check(n, skew)
+    rng = random.Random(seed)
+    universe = max(2, int(round(n**0.75)))
+    shape = (
+        ("R", ("a", "b")),
+        ("S", ("b", "c")),
+        ("T", ("c", "d")),
+        ("U", ("d", "a")),
+    )
+    atoms = tuple(
+        Atom(name, vars_, _pairs(rng, n, universe, skew, zipf_s))
+        for name, vars_ in shape
+    )
+    return MultiwayQuery(atoms=atoms)
+
+
+def clique_query(
+    k: int, n: int, skew: str = "uniform", seed: int = 0, zipf_s: float = 1.0
+) -> MultiwayQuery:
+    """The ``k``-clique query: one binary atom per pair of ``k`` variables."""
+    if k < 3:
+        raise WorkloadError("clique queries need k >= 3")
+    if k > 6:
+        raise WorkloadError("clique queries above k=6 blow up the edge-cover LP")
+    _check(n, skew)
+    rng = random.Random(seed)
+    universe = max(2, int(round(n**0.75)))
+    variables = tuple(f"x{i}" for i in range(k))
+    atoms = []
+    for idx, (i, j) in enumerate(combinations(range(k), 2)):
+        atoms.append(
+            Atom(
+                f"E{idx}",
+                (variables[i], variables[j]),
+                _pairs(rng, n, universe, skew, zipf_s),
+            )
+        )
+    return MultiwayQuery(atoms=tuple(atoms))

@@ -169,3 +169,138 @@ def test_band_accelerated_equals_naive(left, right, width):
     fast = build_join_graph(left, right, Band(width))
     slow = build_join_graph(left, right, Band(width), accelerate=False)
     assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Boundary semantics of the interval merge join (closed intervals).
+#
+# The merge's tie-break takes the *left* side when `lo` values are equal;
+# these properties pin that the tie-break, the active-list pruning
+# (`hi >= lo`, which keeps touching intervals alive), and zero-width
+# intervals all agree with the predicate itself and with the plane sweep.
+# Integer endpoints with tiny lengths force heavy ties, touching endpoints
+# (a.hi == b.lo), and zero-width (point) intervals.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tie_heavy_intervals(draw, name: str):
+    values = draw(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 2)).map(
+                lambda t: Interval(float(t[0]), float(t[0] + t[1]))
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return Relation(name, values)
+
+
+@COMMON
+@given(tie_heavy_intervals("R"), tie_heavy_intervals("S"))
+def test_interval_merge_join_boundary_semantics(left, right):
+    from collections import Counter
+
+    from repro.geometry.interval import sweep_interval_pairs
+    from repro.joins.algorithms import interval_merge_join
+
+    merged = interval_merge_join(left, right)
+    predicate_pairs = [
+        (r_ref, s_ref)
+        for r_ref, r_iv in left.items()
+        for s_ref, s_iv in right.items()
+        if r_iv.overlaps(s_iv)
+    ]
+    # Multiset equality: every θ-matching pair exactly once, none invented.
+    assert Counter(merged) == Counter(predicate_pairs)
+    swept = sweep_interval_pairs(
+        [(v, ref) for ref, v in left.items()],
+        [(v, ref) for ref, v in right.items()],
+    )
+    assert Counter(merged) == Counter(swept)
+
+
+@COMMON
+@given(tie_heavy_intervals("R"), tie_heavy_intervals("S"))
+def test_interval_merge_join_emits_touching_and_zero_width(left, right):
+    from repro.joins.algorithms import interval_merge_join
+
+    out = set(interval_merge_join(left, right))
+    for r_ref, r_iv in left.items():
+        for s_ref, s_iv in right.items():
+            if r_iv.hi == s_iv.lo or s_iv.hi == r_iv.lo:
+                # Touching endpoints overlap under closed semantics …
+                assert (r_ref, s_ref) in out
+            if r_iv.lo == r_iv.hi == s_iv.lo == s_iv.hi:
+                # … and so do coincident zero-width (point) intervals.
+                assert (r_ref, s_ref) in out
+
+
+# ---------------------------------------------------------------------------
+# Edge-dedup uniformity: every extraction path inserts through one dedup
+# point, so naive and accelerated graphs must agree as edge *multisets*
+# (sorted edge lists + per-vertex degrees), not merely as sets.
+# ---------------------------------------------------------------------------
+
+
+def _assert_edge_multisets_match(fast, slow):
+    assert fast.edges() == slow.edges()
+    assert fast.num_edges == slow.num_edges
+    for vertex in fast.left + fast.right:
+        assert fast.degree(vertex) == slow.degree(vertex)
+
+
+@COMMON
+@given(numeric_relations, numeric_relations_s)
+def test_equality_edge_multisets_match(left, right):
+    fast = build_join_graph(left, right, Equality())
+    slow = build_join_graph(left, right, Equality(), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+@COMMON
+@given(interval_relation("R"), interval_relation("S"))
+def test_interval_edge_multisets_match(left, right):
+    fast = build_join_graph(left, right, SpatialOverlap())
+    slow = build_join_graph(left, right, SpatialOverlap(), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+@COMMON
+@given(rect_relation("R"), rect_relation("S"))
+def test_spatial_edge_multisets_match(left, right):
+    fast = build_join_graph(left, right, SpatialOverlap())
+    slow = build_join_graph(left, right, SpatialOverlap(), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+@COMMON
+@given(set_relation("R"), set_relation("S"))
+def test_set_overlap_edge_multisets_match(left, right):
+    fast = build_join_graph(left, right, SetOverlap())
+    slow = build_join_graph(left, right, SetOverlap(), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+@COMMON
+@given(set_relation("R"), set_relation("S"))
+def test_containment_edge_multisets_match(left, right):
+    fast = build_join_graph(left, right, SetContainment())
+    slow = build_join_graph(left, right, SetContainment(), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+@COMMON
+@given(numeric_relations, numeric_relations_s, st.floats(0, 3, allow_nan=False))
+def test_band_edge_multisets_match(left, right, width):
+    fast = build_join_graph(left, right, Band(width))
+    slow = build_join_graph(left, right, Band(width), accelerate=False)
+    _assert_edge_multisets_match(fast, slow)
+
+
+def test_dedup_pairs_keeps_first_occurrence_order():
+    from repro.joins.join_graph import _dedup_pairs
+
+    pairs = [("a", 1), ("b", 2), ("a", 1), ("c", 3), ("b", 2)]
+    assert list(_dedup_pairs(pairs)) == [("a", 1), ("b", 2), ("c", 3)]

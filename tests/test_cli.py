@@ -299,3 +299,51 @@ class TestExplainCommand:
     def test_missing_files_exit_two(self, capsys):
         assert main(["explain"]) == 2
         assert "two relation files" in capsys.readouterr().err
+
+
+class TestMultiwayCommand:
+    def test_auto_plan_text_output(self, capsys):
+        assert main(["multiway", "--n", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "R(a, b)" in out
+        assert "AGM bound" in out
+        assert "-> lftj" in out
+        assert "intermediates" in out
+        assert "beta0" in out
+
+    def test_forced_algorithm(self, capsys):
+        assert main(
+            ["multiway", "--n", "30", "--algorithm", "binary-cascade",
+             "--skew", "uniform", "--no-trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "binary-cascade" in out
+
+    def test_json_document(self, capsys):
+        import json
+
+        assert main(["multiway", "--n", "30", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["instance"] == "triangle"
+        assert document["execution"]["algorithm"] in (
+            "lftj", "generic", "binary-cascade"
+        )
+        assert document["agm_bound"] > 0
+        assert document["plan"]["predicate"] == "multiway"
+
+    def test_four_cycle_and_clique(self, capsys):
+        assert main(
+            ["multiway", "--instance", "4cycle", "--n", "30",
+             "--skew", "uniform", "--algorithm", "lftj"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["multiway", "--instance", "clique", "--clique-k", "3",
+             "--n", "20", "--skew", "uniform", "--algorithm", "generic"]
+        ) == 0
+        assert "x0" in capsys.readouterr().out
+
+    def test_limit_caps_binding_listing(self, capsys):
+        assert main(["multiway", "--n", "40", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "..." in out or "bindings" in out

@@ -1,0 +1,102 @@
+"""Degenerate-window statistics: quantiles and throughput stay total.
+
+An all-error cold wave records zero latencies; a wave that dies before
+the clock moves records zero elapsed time.  Every reducer on
+:class:`~repro.workloads.loadgen.LoadResult` must return well-defined,
+JSON-renderable values on those windows instead of raising — this module
+pins that contract for the empty, one-sample, and all-error cases.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.workloads.loadgen import LoadResult, _quantile
+
+
+def _result(**overrides) -> LoadResult:
+    base = dict(
+        requests=0,
+        ok=0,
+        errors=0,
+        rejected=0,
+        degraded=0,
+        elapsed_seconds=0.0,
+    )
+    base.update(overrides)
+    return LoadResult(**base)
+
+
+class TestQuantile:
+    def test_empty_window_is_zero(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert _quantile([], q) == 0.0
+
+    def test_one_sample_is_that_sample_for_every_q(self):
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert _quantile([42.5], q) == 42.5
+
+    def test_out_of_range_q_clamps_instead_of_indexing_out(self):
+        samples = [10.0, 20.0, 30.0]
+        assert _quantile(samples, -1.0) == 10.0
+        assert _quantile(samples, 2.0) == 30.0
+
+    def test_nan_q_clamps(self):
+        assert _quantile([10.0, 20.0], math.nan) == 20.0
+
+    def test_two_samples_median_is_lower(self):
+        assert _quantile([10.0, 20.0], 0.5) == 10.0
+
+
+class TestDegenerateWindows:
+    def test_empty_result_all_stats_defined(self):
+        result = _result()
+        assert result.throughput_rps == 0.0
+        assert result.latency_quantile(0.5) == 0.0
+        assert result.per_op() == {}
+        payload = result.as_dict()
+        assert payload["p50_ms"] == 0.0
+        assert payload["p99_ms"] == 0.0
+        assert payload["throughput_rps"] == 0.0
+        json.dumps(payload)  # must stay renderable
+
+    def test_one_sample_window(self):
+        result = _result(
+            requests=1,
+            ok=1,
+            elapsed_seconds=2.0,
+            latencies_ms=[7.0],
+            op_latencies_ms={"solve": [7.0]},
+        )
+        assert result.throughput_rps == 0.5
+        for q in (0.0, 0.5, 1.0):
+            assert result.latency_quantile(q) == 7.0
+        assert result.per_op()["solve"] == {
+            "requests": 1,
+            "p50_ms": 7.0,
+            "p99_ms": 7.0,
+        }
+
+    def test_all_error_cold_wave(self):
+        # Errors record no latencies: the latency stream is empty even
+        # though requests were made and wall time passed.
+        result = _result(
+            requests=5,
+            errors=5,
+            elapsed_seconds=1.25,
+            statuses={"error": 5},
+            error_codes={"boom": 5},
+        )
+        payload = result.as_dict()
+        assert result.throughput_rps == pytest.approx(4.0)
+        assert payload["p50_ms"] == 0.0
+        assert payload["p99_ms"] == 0.0
+        assert payload["per_op"] == {}
+        json.dumps(payload)
+
+    def test_zero_elapsed_never_divides(self):
+        result = _result(requests=3, ok=3, elapsed_seconds=0.0)
+        assert result.throughput_rps == 0.0
+        result = _result(requests=3, ok=3, elapsed_seconds=-1.0)
+        assert result.throughput_rps == 0.0

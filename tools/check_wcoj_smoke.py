@@ -1,0 +1,114 @@
+"""Gate for ``make wcoj-smoke``: the worst-case-optimality separation.
+
+The multiway engine promises (see ``docs/MULTIWAY.md``) that Leapfrog
+Triejoin's intermediate work is bounded by the AGM bound, while a binary
+hash-join cascade on the skewed (star + co-star) triangle materializes a
+super-linear first stage that *exceeds* that bound — and that the
+planner's cascade estimate sees the blowup coming.  This script checks
+that promise on the ``BENCH_*.json`` the smoke target produced:
+
+- ``wcoj-triangle`` (skewed): status ok, nonzero output, the plan chose
+  ``lftj``, ``lftj_intermediates <= agm_bound``, and both the cascade's
+  *measured* intermediates and its *estimated* bottleneck stage exceed
+  ``agm_bound``;
+- ``wcoj-4cycle`` (uniform): status ok and
+  ``lftj_intermediates <= agm_bound`` (on uniform instances the cascade
+  is competitive, so no separation is gated there).
+
+The LFTJ-vs-cascade wall-clock speedup is printed as information, never
+gated: smoke inputs are small and timing ratios are machine-dependent.
+
+    python tools/check_wcoj_smoke.py .wcoj-smoke/BENCH_*.json
+
+Exit status 0 when every check passes; 1 otherwise, one line per
+problem; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED = ("wcoj-triangle", "wcoj-4cycle")
+
+
+def _check_triangle(results: dict, problems: list[str]) -> None:
+    agm = results["agm_bound"]
+    if results["m"] <= 0:
+        problems.append("wcoj-triangle: empty output — instance degenerate")
+    if results["plan"] != "lftj":
+        problems.append(
+            f"wcoj-triangle: planner chose {results['plan']!r}, expected lftj"
+        )
+    if results["lftj_intermediates"] > agm:
+        problems.append(
+            f"wcoj-triangle: lftj intermediates {results['lftj_intermediates']}"
+            f" exceed AGM bound {agm} — not worst-case optimal"
+        )
+    if results["cascade_intermediates"] <= agm:
+        problems.append(
+            f"wcoj-triangle: cascade intermediates "
+            f"{results['cascade_intermediates']} within AGM bound {agm} — "
+            "instance not skewed enough to separate"
+        )
+    if results["cascade_estimate"] <= agm:
+        problems.append(
+            f"wcoj-triangle: cascade estimate {results['cascade_estimate']} "
+            f"within AGM bound {agm} — planner would not see the blowup"
+        )
+
+
+def _check_four_cycle(results: dict, problems: list[str]) -> None:
+    if results["lftj_intermediates"] > results["agm_bound"]:
+        problems.append(
+            f"wcoj-4cycle: lftj intermediates {results['lftj_intermediates']}"
+            f" exceed AGM bound {results['agm_bound']}"
+        )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_wcoj_smoke.py <BENCH_json>", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    report = json.loads(path.read_text())
+    by_name = {s["name"]: s for s in report.get("scenarios", [])}
+
+    problems: list[str] = []
+    for name in REQUIRED:
+        scenario = by_name.get(name)
+        if scenario is None:
+            problems.append(f"{name}: scenario missing from {path.name}")
+            continue
+        if scenario["status"] != "ok":
+            problems.append(
+                f"{name}: status {scenario['status']}: "
+                f"{scenario.get('error')}"
+            )
+            continue
+        results = scenario["results"]
+        if name == "wcoj-triangle":
+            _check_triangle(results, problems)
+        else:
+            _check_four_cycle(results, problems)
+        print(
+            f"{name}: m={results['m']}, AGM={results['agm_bound']}, "
+            f"lftj im={results['lftj_intermediates']}, "
+            f"cascade im={results['cascade_intermediates']}, "
+            f"speedup {results['speedup_vs_cascade']:.2f}x "
+            "(informational)"
+        )
+
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print("wcoj-smoke: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
